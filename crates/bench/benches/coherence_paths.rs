@@ -1,0 +1,145 @@
+//! Criterion benchmarks of the full in-network data path.
+//!
+//! Measures the simulator cost of each coherence path end-to-end (cache
+//! hit, cold fetch, shared-write upgrade with multicast invalidation,
+//! owner downgrade) plus a short end-to-end trace replay — the per-access
+//! budget that bounds harness experiment sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::system::{AccessKind, ConsistencyModel};
+use mind_sim::SimTime;
+use mind_workloads::micro::{MicroConfig, MicroWorkload};
+use mind_workloads::runner::{run, RunConfig};
+
+fn cluster() -> (MindCluster, u64) {
+    let mut c = MindCluster::new(MindConfig {
+        n_compute: 8,
+        cache_pages: 1 << 16,
+        ..Default::default()
+    });
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 30).unwrap();
+    (c, base)
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence");
+
+    group.bench_function("local_hit", |b| {
+        let (mut rack, base) = cluster();
+        rack.access_as(SimTime::ZERO, 0, 1, base, AccessKind::Read)
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                rack.access_as(SimTime::from_micros(50), 0, 1, base, AccessKind::Read)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("cold_fetch", |b| {
+        let (mut rack, base) = cluster();
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 4096;
+            black_box(
+                rack.access_as(
+                    SimTime::from_micros(page),
+                    0,
+                    1,
+                    base + page,
+                    AccessKind::Read,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("shared_write_invalidation", |b| {
+        b.iter_batched(
+            || {
+                let (mut rack, base) = cluster();
+                // All 8 blades share the page.
+                for blade in 0..8 {
+                    rack.access_as(
+                        SimTime::from_micros(10 * (blade as u64 + 1)),
+                        blade,
+                        1,
+                        base,
+                        AccessKind::Read,
+                    )
+                    .unwrap();
+                }
+                (rack, base)
+            },
+            |(mut rack, base)| {
+                rack.access_as(SimTime::from_millis(1), 0, 1, base, AccessKind::Write)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("owner_downgrade", |b| {
+        b.iter_batched(
+            || {
+                let (mut rack, base) = cluster();
+                rack.access_as(SimTime::from_micros(10), 1, 1, base, AccessKind::Write)
+                    .unwrap();
+                (rack, base)
+            },
+            |(mut rack, base)| {
+                rack.access_as(SimTime::from_millis(1), 0, 1, base, AccessKind::Read)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    c.bench_function("replay/micro_10k_ops_8_blades", |b| {
+        b.iter_batched(
+            || {
+                let sys = MindCluster::new(
+                    MindConfig {
+                        n_compute: 8,
+                        cache_pages: 1 << 14,
+                        ..Default::default()
+                    }
+                    .consistency(ConsistencyModel::Tso),
+                );
+                let wl = MicroWorkload::new(MicroConfig {
+                    n_threads: 8,
+                    read_ratio: 0.5,
+                    sharing_ratio: 0.5,
+                    shared_pages: 10_000,
+                    private_pages: 2_000,
+                    seed: 5,
+                });
+                (sys, wl)
+            },
+            |(mut sys, mut wl)| {
+                run(
+                    &mut sys,
+                    &mut wl,
+                    RunConfig {
+                        ops_per_thread: 1_250,
+                        warmup_ops_per_thread: 0,
+                        threads_per_blade: 1,
+                        think_time: SimTime::from_nanos(100),
+                        interleave: false,
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_paths, bench_trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks for MIND's building blocks.
+//!
+//! These measure the *simulator's* cost per modelled operation (host
+//! nanoseconds, not simulated time) — they are the budget that determines
+//! how large a rack/workload the harness can replay, and they catch
+//! algorithmic regressions in the hot structures (TCAM LPM, directory
+//! region lookup, bounded-splitting epochs, first-fit allocation, LRU
+//! cache maintenance).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mind_blade::DramCache;
+use mind_core::directory::RegionDirectory;
+use mind_core::galloc::GlobalAllocator;
+use mind_core::split::{BoundedSplitting, SplitConfig};
+use mind_sim::rng::Zipfian;
+use mind_sim::{SimRng, SimTime};
+use mind_switch::tcam::{Tcam, TcamEntry};
+
+fn bench_tcam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam");
+    // A realistically loaded protection TCAM: 2k entries over many domains.
+    let mut tcam: Tcam<u32> = Tcam::new(45_000);
+    let mut rng = SimRng::new(1);
+    for i in 0..2_000u64 {
+        let base = (rng.gen_below(1 << 30) >> 14) << 14;
+        let _ = tcam.insert(TcamEntry::new(i % 64, base, 14), i as u32);
+    }
+    group.bench_function("lpm_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(tcam.lookup(i % 64, i % (1 << 30)).map(|(e, &v)| (e, v)))
+        })
+    });
+    group.bench_function("insert_remove", |b| {
+        b.iter(|| {
+            let e = TcamEntry::new(99, 0x4000_0000, 14);
+            tcam.insert(e, 7).unwrap();
+            tcam.remove(&e)
+        })
+    });
+    group.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory");
+    group.bench_function("ensure_region_hot", |b| {
+        let mut dir = RegionDirectory::new(30_000, 14);
+        for i in 0..10_000u64 {
+            dir.ensure_region(i << 14).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(dir.ensure_region(i << 14))
+        })
+    });
+    group.bench_function("split_merge_cycle", |b| {
+        let mut dir = RegionDirectory::new(30_000, 14);
+        dir.ensure_region(0).unwrap();
+        b.iter(|| {
+            let (l, _r) = dir.split(0).unwrap();
+            dir.merge(l).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bounded_splitting(c: &mut Criterion) {
+    c.bench_function("bounded_splitting/epoch_10k_regions", |b| {
+        b.iter_batched(
+            || {
+                let mut dir = RegionDirectory::new(30_000, 14);
+                let mut rng = SimRng::new(3);
+                for i in 0..10_000u64 {
+                    dir.ensure_region(i << 14).unwrap();
+                }
+                for i in 0..10_000u64 {
+                    dir.record_invalidation(i << 14, rng.gen_below(20) as u32);
+                }
+                (BoundedSplitting::new(SplitConfig::default()), dir)
+            },
+            |(mut bs, mut dir)| bs.run_epoch(SimTime::from_millis(100), &mut dir),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("galloc/alloc_dealloc_1MB", |b| {
+        let mut galloc = GlobalAllocator::new(8, 1 << 34);
+        b.iter(|| {
+            let vma = galloc.alloc(1 << 20).unwrap();
+            galloc.dealloc(vma.base)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_cache");
+    group.bench_function("hit", |b| {
+        let mut cache = DramCache::new(1 << 17);
+        for i in 0..(1 << 17) as u64 {
+            cache.insert(i << 12, false, None);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 127) % (1 << 17);
+            black_box(cache.access(i << 12, false))
+        })
+    });
+    group.bench_function("miss_insert_evict", |b| {
+        let mut cache = DramCache::new(1 << 10);
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1 << 12;
+            cache.access(page, true);
+            black_box(cache.insert(page, true, None))
+        })
+    });
+    group.bench_function("invalidate_region_64_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = DramCache::new(1 << 10);
+                for i in 0..64u64 {
+                    cache.insert(i << 12, true, None);
+                }
+                cache
+            },
+            |mut cache| cache.invalidate_region(0, 18, false),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("xoshiro_next", |b| {
+        let mut rng = SimRng::new(9);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("zipfian_sample", |b| {
+        let mut rng = SimRng::new(9);
+        let z = Zipfian::new(1 << 20, 0.99);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tcam,
+    bench_directory,
+    bench_bounded_splitting,
+    bench_allocator,
+    bench_cache,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,534 @@
+//! The compute blade's local DRAM cache.
+//!
+//! LOAD/STOREs from user threads are served from this cache; a miss (or a
+//! store to a read-only cached page) triggers a page fault and the in-network
+//! coherence protocol (paper §3.2). The cache is virtually addressed, tracks
+//! writable/dirty pages, evicts LRU pages when full (writing dirty victims
+//! back to memory blades), and — on receiving an invalidation for a region —
+//! flushes all dirty pages in the region and unmaps the rest (§6.1).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::page::{PageData, PAGE_SIZE};
+use crate::pagetable::PageTable;
+
+/// Result of probing the cache for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Present with sufficient permission; served at DRAM latency.
+    Hit,
+    /// Not present; page fault fetches the page remotely.
+    Miss,
+    /// Present but read-only and the access is a store; page fault triggers
+    /// a coherence upgrade (S→M) without re-fetching data.
+    NeedUpgrade,
+}
+
+/// A page evicted to make room, to be written back if dirty.
+#[derive(Debug, Clone)]
+pub struct Evicted {
+    /// Page-aligned virtual address.
+    pub page: u64,
+    /// Whether the page was dirty (must be flushed to its memory blade).
+    pub dirty: bool,
+    /// Page contents, if data is being carried.
+    pub data: Option<PageData>,
+}
+
+/// Result of applying an invalidation to the cache.
+#[derive(Debug, Clone, Default)]
+pub struct InvalidationOutcome {
+    /// Dirty pages flushed back to memory blades (page address + data).
+    pub flushed: Vec<(u64, Option<PageData>)>,
+    /// Pages whose mapping was removed (excluding permission downgrades).
+    pub unmapped: u32,
+    /// Pages downgraded from writable to read-only (M→S).
+    pub downgraded: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    dirty: bool,
+    tick: u64,
+    data: Option<PageData>,
+}
+
+/// The LRU DRAM page cache.
+#[derive(Debug, Clone)]
+pub struct DramCache {
+    pt: PageTable,
+    entries: HashMap<u64, Entry>,
+    resident: BTreeSet<u64>,
+    lru: BTreeMap<u64, u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    upgrades: u64,
+    evictions: u64,
+    dirty_evictions: u64,
+    flushed_pages: u64,
+}
+
+impl DramCache {
+    /// Creates a cache with room for `capacity_pages` pages.
+    pub fn new(capacity_pages: u32) -> Self {
+        DramCache {
+            pt: PageTable::new(capacity_pages),
+            entries: HashMap::new(),
+            resident: BTreeSet::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            upgrades: 0,
+            evictions: 0,
+            dirty_evictions: 0,
+            flushed_pages: 0,
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> u32 {
+        self.pt.n_frames()
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn touch(&mut self, page: u64) {
+        let entry = self.entries.get_mut(&page).expect("touching resident page");
+        self.lru.remove(&entry.tick);
+        self.tick += 1;
+        entry.tick = self.tick;
+        self.lru.insert(self.tick, page);
+    }
+
+    /// Probes the cache for an access to `page` (page-aligned VA).
+    ///
+    /// On a [`CacheLookup::Hit`] with `is_write`, marks the page dirty.
+    /// Updates LRU recency on hits.
+    pub fn access(&mut self, page: u64, is_write: bool) -> CacheLookup {
+        debug_assert_eq!(page % PAGE_SIZE, 0, "page-aligned address expected");
+        match self.pt.lookup(page) {
+            None => {
+                self.misses += 1;
+                CacheLookup::Miss
+            }
+            Some(pte) if is_write && !pte.writable => {
+                self.upgrades += 1;
+                CacheLookup::NeedUpgrade
+            }
+            Some(_) => {
+                self.hits += 1;
+                if is_write {
+                    self.entries
+                        .get_mut(&page)
+                        .expect("mapped page has entry")
+                        .dirty = true;
+                }
+                self.touch(page);
+                CacheLookup::Hit
+            }
+        }
+    }
+
+    /// Inserts a fetched page, evicting the LRU victim if the cache is full.
+    /// Returns the eviction (if any) so the caller can write back dirty data.
+    ///
+    /// Under MSI a page is only fetched writable on a write fault, so a
+    /// writable insert is immediately dirtied by the faulting store; use
+    /// [`DramCache::insert_with`] for MESI's clean-but-writable Exclusive
+    /// grants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident.
+    pub fn insert(&mut self, page: u64, writable: bool, data: Option<PageData>) -> Option<Evicted> {
+        self.insert_with(page, writable, writable, data)
+    }
+
+    /// Inserts a page with explicit permission and dirty flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident.
+    pub fn insert_with(
+        &mut self,
+        page: u64,
+        writable: bool,
+        dirty: bool,
+        data: Option<PageData>,
+    ) -> Option<Evicted> {
+        let evicted = if self.pt.free_frames() == 0 {
+            Some(self.evict_lru().expect("full cache has a victim"))
+        } else {
+            None
+        };
+        self.pt
+            .map(page, writable)
+            .expect("frame freed by eviction");
+        self.tick += 1;
+        self.entries.insert(
+            page,
+            Entry {
+                dirty,
+                tick: self.tick,
+                data,
+            },
+        );
+        self.resident.insert(page);
+        self.lru.insert(self.tick, page);
+        evicted
+    }
+
+    /// Downgrades every writable page in the region to read-only while
+    /// *keeping dirty pages dirty and unflushed* — the MOESI M→O
+    /// transition, where the old owner retains the only up-to-date copy
+    /// and serves it cache-to-cache (paper §8). Dirty data eventually
+    /// reaches memory via eviction write-back or a later full
+    /// invalidation.
+    pub fn downgrade_region_keep_dirty(
+        &mut self,
+        region_base: u64,
+        size_log2: u8,
+    ) -> InvalidationOutcome {
+        let end = region_base.saturating_add(1u64 << size_log2);
+        let pages: Vec<u64> = self.resident.range(region_base..end).copied().collect();
+        let mut out = InvalidationOutcome::default();
+        for page in pages {
+            let pte = self.pt.lookup(page).expect("resident page mapped");
+            if pte.writable {
+                self.pt.downgrade(page);
+                out.downgraded += 1;
+            }
+        }
+        out
+    }
+
+    fn evict_lru(&mut self) -> Option<Evicted> {
+        let (&tick, &page) = self.lru.iter().next()?;
+        self.lru.remove(&tick);
+        let entry = self.entries.remove(&page).expect("LRU page resident");
+        self.resident.remove(&page);
+        self.pt.unmap(page);
+        self.evictions += 1;
+        if entry.dirty {
+            self.dirty_evictions += 1;
+        }
+        Some(Evicted {
+            page,
+            dirty: entry.dirty,
+            data: entry.data,
+        })
+    }
+
+    /// Grants write permission to a cached page after an S→M upgrade and
+    /// marks it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn grant_write(&mut self, page: u64) {
+        self.pt.upgrade(page).expect("upgrading resident page");
+        self.entries
+            .get_mut(&page)
+            .expect("resident page has entry")
+            .dirty = true;
+        self.touch(page);
+    }
+
+    /// Applies an invalidation to every cached page in
+    /// `[region_base, region_base + 2^size_log2)`.
+    ///
+    /// Dirty pages are flushed (returned with their data). With
+    /// `downgrade_to_shared`, writable pages become read-only but stay
+    /// resident (M→S); otherwise all pages in the region are unmapped.
+    pub fn invalidate_region(
+        &mut self,
+        region_base: u64,
+        size_log2: u8,
+        downgrade_to_shared: bool,
+    ) -> InvalidationOutcome {
+        let end = region_base.saturating_add(1u64 << size_log2);
+        let pages: Vec<u64> = self.resident.range(region_base..end).copied().collect();
+        let mut out = InvalidationOutcome::default();
+        for page in pages {
+            let pte = self.pt.lookup(page).expect("resident page mapped");
+            let entry = self.entries.get_mut(&page).expect("resident entry");
+            if entry.dirty {
+                out.flushed.push((page, entry.data.clone()));
+                entry.dirty = false;
+                self.flushed_pages += 1;
+            }
+            if downgrade_to_shared {
+                if pte.writable {
+                    self.pt.downgrade(page);
+                    out.downgraded += 1;
+                }
+            } else {
+                let entry = self.entries.remove(&page).expect("resident entry");
+                self.lru.remove(&entry.tick);
+                self.resident.remove(&page);
+                self.pt.unmap(page);
+                out.unmapped += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of resident pages within a region (used by tests and the
+    /// false-invalidation accounting in the coherence layer).
+    pub fn resident_in_region(&self, region_base: u64, size_log2: u8) -> usize {
+        let end = region_base.saturating_add(1u64 << size_log2);
+        self.resident.range(region_base..end).count()
+    }
+
+    /// Number of *dirty* resident pages within a region.
+    pub fn dirty_in_region(&self, region_base: u64, size_log2: u8) -> usize {
+        let end = region_base.saturating_add(1u64 << size_log2);
+        self.resident
+            .range(region_base..end)
+            .filter(|p| self.entries[p].dirty)
+            .count()
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: u64) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Whether `page` is resident and writable.
+    pub fn is_writable(&self, page: u64) -> bool {
+        self.pt.lookup(page).is_some_and(|pte| pte.writable)
+    }
+
+    /// Clones the full contents of a resident page (cache-to-cache supply).
+    pub fn page_data(&self, page: u64) -> Option<PageData> {
+        self.entries.get(&page).and_then(|e| e.data.clone())
+    }
+
+    /// Reads bytes from a resident page.
+    pub fn read_data(&self, page: u64, offset: usize, buf: &mut [u8]) -> bool {
+        match self.entries.get(&page).and_then(|e| e.data.as_ref()) {
+            Some(data) => {
+                data.read(offset, buf);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Writes bytes into a resident page (caller must hold write permission).
+    pub fn write_data(&mut self, page: u64, offset: usize, buf: &[u8]) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(entry) => match entry.data.as_mut() {
+                Some(data) => {
+                    data.write(offset, buf);
+                    entry.dirty = true;
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses (page faults that fetch remotely).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Write-upgrade faults (S→M on a resident page).
+    pub fn upgrades(&self) -> u64 {
+        self.upgrades
+    }
+
+    /// Evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evictions that required a dirty write-back.
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Pages flushed by invalidations.
+    pub fn flushed_pages(&self) -> u64 {
+        self.flushed_pages
+    }
+
+    /// TLB shootdowns incurred (from unmaps/downgrades).
+    pub fn tlb_shootdowns(&self) -> u64 {
+        self.pt.tlb_shootdowns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut c = DramCache::new(4);
+        assert_eq!(c.access(0x1000, false), CacheLookup::Miss);
+        c.insert(0x1000, false, None);
+        assert_eq!(c.access(0x1000, false), CacheLookup::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn store_to_read_only_page_needs_upgrade() {
+        let mut c = DramCache::new(4);
+        c.insert(0x1000, false, None);
+        assert_eq!(c.access(0x1000, true), CacheLookup::NeedUpgrade);
+        c.grant_write(0x1000);
+        assert_eq!(c.access(0x1000, true), CacheLookup::Hit);
+        assert!(c.is_writable(0x1000));
+        assert_eq!(c.upgrades(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = DramCache::new(2);
+        c.insert(0x1000, false, None);
+        c.insert(0x2000, false, None);
+        // Touch 0x1000 so 0x2000 becomes LRU.
+        c.access(0x1000, false);
+        let evicted = c.insert(0x3000, false, None).expect("cache full");
+        assert_eq!(evicted.page, 0x2000);
+        assert!(!evicted.dirty);
+        assert!(c.contains(0x1000) && c.contains(0x3000));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = DramCache::new(1);
+        c.insert(0x1000, true, None);
+        c.access(0x1000, true); // Mark dirty.
+        let evicted = c.insert(0x2000, false, None).unwrap();
+        assert!(evicted.dirty);
+        assert_eq!(c.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn invalidate_region_flushes_dirty_and_unmaps_all() {
+        let mut c = DramCache::new(8);
+        // Region [0x0, 0x4000): 4 pages; cache 3 of them, 2 dirty.
+        c.insert(0x0000, true, None);
+        c.insert(0x1000, true, None);
+        c.insert(0x2000, false, None);
+        c.access(0x0000, true);
+        c.access(0x1000, true);
+        // Outside the region.
+        c.insert(0x8000, true, None);
+        c.access(0x8000, true);
+
+        let out = c.invalidate_region(0x0, 14, false);
+        assert_eq!(out.flushed.len(), 2);
+        assert_eq!(out.unmapped, 3);
+        assert_eq!(out.downgraded, 0);
+        assert!(!c.contains(0x0000) && !c.contains(0x1000) && !c.contains(0x2000));
+        assert!(c.contains(0x8000), "outside region untouched");
+        assert_eq!(c.flushed_pages(), 2);
+    }
+
+    #[test]
+    fn downgrade_invalidation_keeps_pages_read_only() {
+        let mut c = DramCache::new(4);
+        c.insert(0x1000, true, None);
+        c.access(0x1000, true);
+        let out = c.invalidate_region(0x0, 14, true);
+        assert_eq!(out.flushed.len(), 1, "dirty page flushed");
+        assert_eq!(out.downgraded, 1);
+        assert_eq!(out.unmapped, 0);
+        assert!(c.contains(0x1000), "page stays resident");
+        assert!(!c.is_writable(0x1000));
+        // A subsequent read hits; a write needs an upgrade.
+        assert_eq!(c.access(0x1000, false), CacheLookup::Hit);
+        assert_eq!(c.access(0x1000, true), CacheLookup::NeedUpgrade);
+    }
+
+    #[test]
+    fn invalidation_is_flush_once() {
+        let mut c = DramCache::new(4);
+        c.insert(0x1000, true, None);
+        c.access(0x1000, true);
+        let first = c.invalidate_region(0x0, 20, true);
+        assert_eq!(first.flushed.len(), 1);
+        // Second invalidation: page is clean now, nothing to flush.
+        let second = c.invalidate_region(0x0, 20, true);
+        assert!(second.flushed.is_empty());
+    }
+
+    #[test]
+    fn region_residency_counts() {
+        let mut c = DramCache::new(8);
+        c.insert(0x0000, true, None);
+        c.insert(0x1000, false, None);
+        c.insert(0x4000, false, None);
+        c.access(0x0000, true);
+        // A 16 KB region at 0 covers [0x0, 0x4000): pages 0x0000 and 0x1000.
+        assert_eq!(c.resident_in_region(0x0, 14), 2);
+        assert_eq!(c.dirty_in_region(0x0, 14), 1);
+        assert_eq!(c.resident_in_region(0x0, 12), 1);
+        // A 32 KB region additionally covers 0x4000.
+        assert_eq!(c.resident_in_region(0x0, 15), 3);
+    }
+
+    #[test]
+    fn data_read_write_roundtrip() {
+        let mut c = DramCache::new(2);
+        c.insert(0x1000, true, Some(PageData::zeroed()));
+        assert!(c.write_data(0x1000, 16, b"mind"));
+        let mut buf = [0u8; 4];
+        assert!(c.read_data(0x1000, 16, &mut buf));
+        assert_eq!(&buf, b"mind");
+        // Pages without data refuse data ops.
+        c.insert(0x2000, true, None);
+        assert!(!c.read_data(0x2000, 0, &mut buf));
+        assert!(!c.write_data(0x2000, 0, b"x"));
+        assert!(!c.read_data(0x9000, 0, &mut buf), "non-resident");
+    }
+
+    #[test]
+    fn flushed_data_travels_with_invalidation() {
+        let mut c = DramCache::new(2);
+        c.insert(0x1000, true, Some(PageData::zeroed()));
+        c.write_data(0x1000, 0, b"dirty!");
+        let out = c.invalidate_region(0x1000, 12, false);
+        let (page, data) = &out.flushed[0];
+        assert_eq!(*page, 0x1000);
+        let mut buf = [0u8; 6];
+        data.as_ref().unwrap().read(0, &mut buf);
+        assert_eq!(&buf, b"dirty!");
+    }
+
+    #[test]
+    fn tlb_shootdowns_surface_from_pagetable() {
+        let mut c = DramCache::new(4);
+        c.insert(0x1000, true, None);
+        c.insert(0x2000, false, None);
+        c.invalidate_region(0x0, 16, false);
+        assert_eq!(c.tlb_shootdowns(), 2);
+    }
+
+    #[test]
+    fn eviction_then_reinsert_same_page() {
+        let mut c = DramCache::new(1);
+        c.insert(0x1000, false, None);
+        c.insert(0x2000, false, None); // Evicts 0x1000.
+        assert_eq!(c.access(0x1000, false), CacheLookup::Miss);
+        c.insert(0x1000, false, None); // Evicts 0x2000.
+        assert_eq!(c.access(0x1000, false), CacheLookup::Hit);
+        assert_eq!(c.resident_pages(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-blade invalidation-handler queue.
+//!
+//! Invalidation requests arriving at a compute blade are serviced by a
+//! kernel handler one at a time; under contention they queue, and that
+//! queueing delay is a major latency component at high blade counts and low
+//! read ratios — the "Inv (queue)" bars of Figure 7 (right).
+
+use mind_sim::SimTime;
+
+/// Outcome of enqueueing one invalidation for service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedService {
+    /// When service began (>= arrival).
+    pub start: SimTime,
+    /// When the handler finished (invalidation ACK can be sent).
+    pub done: SimTime,
+    /// Time spent waiting behind earlier invalidations.
+    pub queue_delay: SimTime,
+}
+
+/// FIFO single-server queue for the blade's invalidation handler.
+#[derive(Debug, Clone)]
+pub struct InvalidationQueue {
+    busy_until: SimTime,
+    processed: u64,
+    total_queue_delay: SimTime,
+    max_queue_delay: SimTime,
+}
+
+impl InvalidationQueue {
+    /// Creates an idle queue.
+    pub fn new() -> Self {
+        InvalidationQueue {
+            busy_until: SimTime::ZERO,
+            processed: 0,
+            total_queue_delay: SimTime::ZERO,
+            max_queue_delay: SimTime::ZERO,
+        }
+    }
+
+    /// Enqueues an invalidation arriving at `arrival` with the given
+    /// service time (handler work + any TLB shootdowns + dirty flush DMA).
+    pub fn enqueue(&mut self, arrival: SimTime, service: SimTime) -> QueuedService {
+        let start = arrival.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        let queue_delay = start - arrival;
+        self.processed += 1;
+        self.total_queue_delay += queue_delay;
+        self.max_queue_delay = self.max_queue_delay.max(queue_delay);
+        QueuedService {
+            start,
+            done,
+            queue_delay,
+        }
+    }
+
+    /// Invalidations processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Mean queueing delay across processed invalidations.
+    pub fn mean_queue_delay(&self) -> SimTime {
+        if self.processed == 0 {
+            SimTime::ZERO
+        } else {
+            self.total_queue_delay / self.processed
+        }
+    }
+
+    /// Worst-case queueing delay observed.
+    pub fn max_queue_delay(&self) -> SimTime {
+        self.max_queue_delay
+    }
+
+    /// When the handler next goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+impl Default for InvalidationQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_queue_serves_immediately() {
+        let mut q = InvalidationQueue::new();
+        let s = q.enqueue(SimTime::from_micros(5), SimTime::from_micros(1));
+        assert_eq!(s.start, SimTime::from_micros(5));
+        assert_eq!(s.done, SimTime::from_micros(6));
+        assert_eq!(s.queue_delay, SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_arrivals_queue_fifo() {
+        let mut q = InvalidationQueue::new();
+        let a = q.enqueue(SimTime::ZERO, SimTime::from_micros(2));
+        let b = q.enqueue(SimTime::ZERO, SimTime::from_micros(2));
+        let c = q.enqueue(SimTime::ZERO, SimTime::from_micros(2));
+        assert_eq!(a.queue_delay, SimTime::ZERO);
+        assert_eq!(b.queue_delay, SimTime::from_micros(2));
+        assert_eq!(c.queue_delay, SimTime::from_micros(4));
+        assert_eq!(q.processed(), 3);
+        assert_eq!(q.mean_queue_delay(), SimTime::from_micros(2));
+        assert_eq!(q.max_queue_delay(), SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn late_arrival_after_drain_no_delay() {
+        let mut q = InvalidationQueue::new();
+        q.enqueue(SimTime::ZERO, SimTime::from_micros(3));
+        let s = q.enqueue(SimTime::from_micros(10), SimTime::from_micros(1));
+        assert_eq!(s.queue_delay, SimTime::ZERO);
+        assert_eq!(s.done, SimTime::from_micros(11));
+    }
+
+    #[test]
+    fn empty_queue_stats() {
+        let q = InvalidationQueue::new();
+        assert_eq!(q.mean_queue_delay(), SimTime::ZERO);
+        assert_eq!(q.busy_until(), SimTime::ZERO);
+    }
+}

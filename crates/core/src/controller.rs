@@ -1,0 +1,478 @@
+//! The switch control plane: processes and system-call intercepts (§6.1,
+//! §6.3).
+//!
+//! Compute-blade kernel modules intercept process and memory system calls
+//! (`exec`, `exit`, `mmap`, `brk`, `munmap`, `mprotect`) and forward them to
+//! the switch control plane over a reliable channel. The control plane keeps
+//! the canonical `task_struct`/`mm_struct` equivalents, performs balanced
+//! allocation, installs data-plane rules, and replies with Linux-compatible
+//! return values — keeping user applications unmodified.
+//!
+//! Threads of the same process run on different compute blades under one
+//! PID, sharing the address space through the in-switch tables; placement is
+//! round-robin (the paper does not innovate on scheduling, §6.1).
+
+use std::collections::HashMap;
+
+use mind_sim::SimTime;
+use mind_switch::control::ControlPlane;
+
+use crate::addr::Vma;
+use crate::coherence::CoherenceEngine;
+use crate::galloc::GlobalAllocator;
+use crate::protect::{Pdid, PermClass};
+
+/// Process identifier. For unmodified applications `PDID = PID` (§4.2).
+pub type Pid = u64;
+
+/// Linux-compatible errors returned by syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysError {
+    /// Out of disaggregated memory (`ENOMEM`).
+    NoMem,
+    /// Unknown process (`ESRCH`).
+    NoProcess,
+    /// Bad address / unknown vma (`EFAULT`).
+    Fault,
+}
+
+impl std::fmt::Display for SysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SysError::NoMem => write!(f, "ENOMEM"),
+            SysError::NoProcess => write!(f, "ESRCH"),
+            SysError::Fault => write!(f, "EFAULT"),
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+/// Control-plane record of a process (`task_struct` + `mm_struct`).
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id (also the protection domain id).
+    pub pid: Pid,
+    /// Live vmas, in allocation order.
+    pub vmas: Vec<Vma>,
+    /// Compute blades hosting this process's threads.
+    pub blades: Vec<u16>,
+}
+
+/// A grant record, kept for backup-switch reconstruction (§4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct GrantRecord {
+    /// Protection domain.
+    pub pdid: Pdid,
+    /// The granted vma (reserved, power-of-two size).
+    pub vma: Vma,
+    /// Permission class.
+    pub pc: PermClass,
+}
+
+/// The MIND control program running on the switch CPU.
+#[derive(Debug)]
+pub struct Controller {
+    galloc: GlobalAllocator,
+    processes: HashMap<Pid, Process>,
+    next_pid: Pid,
+    control: ControlPlane,
+    rr_next_blade: u16,
+    n_compute: u16,
+    grants: Vec<GrantRecord>,
+}
+
+impl Controller {
+    /// Creates a controller for a rack with `n_compute` compute blades and
+    /// `n_memory` memory blades of `blade_span` VA bytes each.
+    pub fn new(
+        n_compute: u16,
+        n_memory: u16,
+        blade_span: u64,
+        syscall_cost: SimTime,
+        rule_install_cost: SimTime,
+    ) -> Self {
+        Controller {
+            galloc: GlobalAllocator::new(n_memory, blade_span),
+            processes: HashMap::new(),
+            next_pid: 1,
+            control: ControlPlane::new(syscall_cost, rule_install_cost),
+            rr_next_blade: 0,
+            n_compute,
+            grants: Vec::new(),
+        }
+    }
+
+    /// `exec`: creates a process; the PID doubles as its protection domain.
+    pub fn exec(&mut self) -> Pid {
+        self.control.handle_syscall();
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.processes.insert(
+            pid,
+            Process {
+                pid,
+                vmas: Vec::new(),
+                blades: Vec::new(),
+            },
+        );
+        pid
+    }
+
+    /// Places a new thread of `pid` on a compute blade, round-robin (§6.1).
+    pub fn place_thread(&mut self, pid: Pid) -> Result<u16, SysError> {
+        let blade = self.rr_next_blade;
+        self.rr_next_blade = (self.rr_next_blade + 1) % self.n_compute;
+        let p = self.processes.get_mut(&pid).ok_or(SysError::NoProcess)?;
+        p.blades.push(blade);
+        Ok(blade)
+    }
+
+    /// `mmap`: allocates a vma on the least-loaded memory blade and installs
+    /// the `<PDID, vma> → PC` protection entry.
+    pub fn mmap(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        pid: Pid,
+        len: u64,
+        pc: PermClass,
+    ) -> Result<Vma, SysError> {
+        self.control.handle_syscall();
+        if !self.processes.contains_key(&pid) {
+            return Err(SysError::NoProcess);
+        }
+        let vma = self.galloc.alloc(len).ok_or(SysError::NoMem)?;
+        // Grant over the reserved power-of-two extent: a single TCAM entry
+        // (§4.2 "Optimizing for TCAM storage").
+        let reserved = Vma::new(
+            vma.base,
+            self.galloc.reserved_size(vma.base).expect("just allocated"),
+        );
+        if engine.protection.grant(pid, reserved, pc).is_err() {
+            self.galloc.dealloc(vma.base);
+            return Err(SysError::NoMem);
+        }
+        self.control.install_rule();
+        self.grants.push(GrantRecord {
+            pdid: pid,
+            vma: reserved,
+            pc,
+        });
+        self.processes
+            .get_mut(&pid)
+            .expect("checked above")
+            .vmas
+            .push(vma);
+        Ok(vma)
+    }
+
+    /// `brk`-style heap growth is modelled as an mmap of the increment; the
+    /// glibc allocator's power-of-two request pattern (§4.2) makes the two
+    /// equivalent at the switch.
+    pub fn brk(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        pid: Pid,
+        increment: u64,
+    ) -> Result<Vma, SysError> {
+        self.mmap(engine, pid, increment, PermClass::ReadWrite)
+    }
+
+    /// `munmap`: revokes protection, resets coherence state for all regions
+    /// overlapping the vma (flushing cached pages), and frees the memory.
+    pub fn munmap(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        now: SimTime,
+        pid: Pid,
+        base: u64,
+    ) -> Result<(), SysError> {
+        self.control.handle_syscall();
+        let p = self.processes.get_mut(&pid).ok_or(SysError::NoProcess)?;
+        let idx = p
+            .vmas
+            .iter()
+            .position(|v| v.base == base)
+            .ok_or(SysError::Fault)?;
+        let vma = p.vmas.remove(idx);
+        let reserved_len = self.galloc.reserved_size(base).ok_or(SysError::Fault)?;
+        let reserved = Vma::new(base, reserved_len);
+        engine.protection.revoke(pid, reserved);
+        self.control.remove_rule();
+        self.grants
+            .retain(|g| !(g.pdid == pid && g.vma.base == base));
+        // Tear down directory entries covering the vma, flushing caches.
+        let mut addr = reserved.base;
+        while addr < reserved.end() {
+            match engine.directory().region_of(addr) {
+                Some((rbase, rk)) => {
+                    engine.reset_region(now, rbase, rk);
+                    addr = rbase + (1u64 << rk);
+                }
+                None => addr += mind_blade::PAGE_SIZE,
+            }
+        }
+        self.galloc.dealloc(base);
+        let _ = vma;
+        Ok(())
+    }
+
+    /// `mprotect`: changes the permission class of an existing vma.
+    ///
+    /// Cached mappings for the vma are torn down (dirty pages flushed) so
+    /// blades re-fault and re-check the new class — the analog of the PTE
+    /// update + TLB shootdown a host kernel performs.
+    pub fn mprotect(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        now: SimTime,
+        pid: Pid,
+        base: u64,
+        pc: PermClass,
+    ) -> Result<(), SysError> {
+        self.control.handle_syscall();
+        if !self.processes.contains_key(&pid) {
+            return Err(SysError::NoProcess);
+        }
+        let reserved_len = self.galloc.reserved_size(base).ok_or(SysError::Fault)?;
+        let reserved = Vma::new(base, reserved_len);
+        engine.protection.revoke(pid, reserved);
+        engine
+            .protection
+            .grant(pid, reserved, pc)
+            .map_err(|_| SysError::NoMem)?;
+        self.control.install_rule();
+        let mut addr = reserved.base;
+        while addr < reserved.end() {
+            match engine.directory().region_of(addr) {
+                Some((rbase, rk)) => {
+                    engine.reset_region(now, rbase, rk);
+                    addr = rbase + (1u64 << rk);
+                }
+                None => addr += mind_blade::PAGE_SIZE,
+            }
+        }
+        for g in &mut self.grants {
+            if g.pdid == pid && g.vma.base == base {
+                g.pc = pc;
+            }
+        }
+        Ok(())
+    }
+
+    /// `exit`: tears down every vma of the process.
+    pub fn exit(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        now: SimTime,
+        pid: Pid,
+    ) -> Result<(), SysError> {
+        self.control.handle_syscall();
+        let p = self.processes.get(&pid).ok_or(SysError::NoProcess)?;
+        let bases: Vec<u64> = p.vmas.iter().map(|v| v.base).collect();
+        for base in bases {
+            self.munmap(engine, now, pid, base)?;
+        }
+        self.processes.remove(&pid);
+        Ok(())
+    }
+
+    /// Looks up a process.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.processes.get(&pid)
+    }
+
+    /// Live processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The allocator (for fairness reporting).
+    pub fn allocator(&self) -> &GlobalAllocator {
+        &self.galloc
+    }
+
+    /// The control-plane CPU model.
+    pub fn control_plane(&self) -> &ControlPlane {
+        &self.control
+    }
+
+    /// Mutable control-plane access (replication driver).
+    pub fn control_plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.control
+    }
+
+    /// Grant records for backup-switch reconstruction.
+    pub fn grants(&self) -> &[GrantRecord] {
+        &self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mind_net::link::LatencyConfig;
+
+    use crate::coherence::CoherenceConfig;
+    use crate::system::AccessKind;
+
+    fn setup() -> (Controller, CoherenceEngine) {
+        let ctl = Controller::new(
+            4,
+            2,
+            1 << 30,
+            SimTime::from_micros(15),
+            SimTime::from_micros(2),
+        );
+        let engine = CoherenceEngine::new(
+            4,
+            2,
+            1024,
+            1 << 30,
+            1 << 30,
+            1000,
+            14,
+            1000,
+            LatencyConfig::default(),
+            CoherenceConfig::default(),
+        );
+        (ctl, engine)
+    }
+
+    #[test]
+    fn exec_assigns_fresh_pids() {
+        let (mut ctl, _) = setup();
+        let a = ctl.exec();
+        let b = ctl.exec();
+        assert_ne!(a, b);
+        assert_eq!(ctl.process_count(), 2);
+        assert_eq!(ctl.control_plane().syscalls_handled(), 2);
+    }
+
+    #[test]
+    fn round_robin_thread_placement() {
+        let (mut ctl, _) = setup();
+        let pid = ctl.exec();
+        let blades: Vec<u16> = (0..6).map(|_| ctl.place_thread(pid).unwrap()).collect();
+        assert_eq!(blades, vec![0, 1, 2, 3, 0, 1]);
+        assert!(ctl.place_thread(999).is_err());
+    }
+
+    #[test]
+    fn mmap_grants_protection_and_allocates() {
+        let (mut ctl, mut eng) = setup();
+        let pid = ctl.exec();
+        let vma = ctl
+            .mmap(&mut eng, pid, 1 << 20, PermClass::ReadWrite)
+            .unwrap();
+        assert_eq!(vma.len, 1 << 20);
+        assert!(eng.protection.check(pid, vma.base, AccessKind::Write));
+        assert!(
+            !eng.protection.check(pid + 1, vma.base, AccessKind::Read),
+            "other domains denied"
+        );
+        assert_eq!(ctl.grants().len(), 1);
+    }
+
+    #[test]
+    fn mmap_unknown_process_fails() {
+        let (mut ctl, mut eng) = setup();
+        assert_eq!(
+            ctl.mmap(&mut eng, 42, 4096, PermClass::ReadOnly),
+            Err(SysError::NoProcess)
+        );
+    }
+
+    #[test]
+    fn munmap_revokes_and_frees() {
+        let (mut ctl, mut eng) = setup();
+        let pid = ctl.exec();
+        let vma = ctl
+            .mmap(&mut eng, pid, 1 << 16, PermClass::ReadWrite)
+            .unwrap();
+        // Touch a page so a directory entry exists.
+        eng.access(SimTime::ZERO, 0, pid, vma.base, AccessKind::Write)
+            .unwrap();
+        assert!(eng.directory().region_of(vma.base).is_some());
+        ctl.munmap(&mut eng, SimTime::from_millis(1), pid, vma.base)
+            .unwrap();
+        assert!(!eng.protection.check(pid, vma.base, AccessKind::Read));
+        assert!(
+            eng.directory().region_of(vma.base).is_none(),
+            "directory entries torn down"
+        );
+        assert!(!eng.cache(0).contains(vma.base), "cached page dropped");
+        assert_eq!(ctl.allocator().live_allocations(), 0);
+    }
+
+    #[test]
+    fn mprotect_downgrades_permissions() {
+        let (mut ctl, mut eng) = setup();
+        let pid = ctl.exec();
+        let vma = ctl.mmap(&mut eng, pid, 4096, PermClass::ReadWrite).unwrap();
+        ctl.mprotect(&mut eng, SimTime::ZERO, pid, vma.base, PermClass::ReadOnly)
+            .unwrap();
+        assert!(eng.protection.check(pid, vma.base, AccessKind::Read));
+        assert!(!eng.protection.check(pid, vma.base, AccessKind::Write));
+    }
+
+    #[test]
+    fn exit_tears_down_everything() {
+        let (mut ctl, mut eng) = setup();
+        let pid = ctl.exec();
+        ctl.mmap(&mut eng, pid, 4096, PermClass::ReadWrite).unwrap();
+        ctl.mmap(&mut eng, pid, 1 << 16, PermClass::ReadOnly)
+            .unwrap();
+        ctl.exit(&mut eng, SimTime::ZERO, pid).unwrap();
+        assert_eq!(ctl.process_count(), 0);
+        assert_eq!(ctl.allocator().live_allocations(), 0);
+        assert_eq!(ctl.grants().len(), 0);
+    }
+
+    #[test]
+    fn enomem_when_memory_exhausted() {
+        let mut ctl = Controller::new(
+            1,
+            1,
+            1 << 16,
+            SimTime::from_micros(15),
+            SimTime::from_micros(2),
+        );
+        let mut eng = CoherenceEngine::new(
+            1,
+            1,
+            64,
+            1 << 16,
+            1 << 16,
+            100,
+            14,
+            100,
+            LatencyConfig::default(),
+            CoherenceConfig::default(),
+        );
+        let pid = ctl.exec();
+        assert!(ctl
+            .mmap(&mut eng, pid, 1 << 16, PermClass::ReadWrite)
+            .is_ok());
+        assert_eq!(
+            ctl.mmap(&mut eng, pid, 4096, PermClass::ReadWrite),
+            Err(SysError::NoMem)
+        );
+    }
+
+    #[test]
+    fn isolation_allocations_never_overlap_across_processes() {
+        let (mut ctl, mut eng) = setup();
+        let p1 = ctl.exec();
+        let p2 = ctl.exec();
+        let v1 = ctl
+            .mmap(&mut eng, p1, 1 << 16, PermClass::ReadWrite)
+            .unwrap();
+        let v2 = ctl
+            .mmap(&mut eng, p2, 1 << 16, PermClass::ReadWrite)
+            .unwrap();
+        let r1 = Vma::new(v1.base, ctl.allocator().reserved_size(v1.base).unwrap());
+        let r2 = Vma::new(v2.base, ctl.allocator().reserved_size(v2.base).unwrap());
+        assert!(!r1.overlaps(&r2), "single address space, disjoint vmas");
+    }
+}

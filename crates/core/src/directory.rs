@@ -1,0 +1,630 @@
+//! The in-network cache directory (paper §4.3, §6.3).
+//!
+//! Directory entries live in switch SRAM slots and track *regions* —
+//! power-of-two sized, size-aligned virtual ranges whose granularity is
+//! decoupled from the 4 KB page granularity of cache accesses (§4.3.1).
+//! Each entry records the MSI state and the sharer list; entries are
+//! created lazily when a page in the region is first cached, split/merged
+//! by the bounded-splitting algorithm (§5), and *force-merged* when the
+//! SRAM capacity is reached — the capacity pressure that pins Memcached
+//! workloads at the 30 k limit in Figure 8 (left).
+
+use std::collections::BTreeMap;
+
+use mind_blade::PAGE_SHIFT;
+use mind_net::node::BladeSet;
+use mind_sim::SimTime;
+use mind_switch::sram::{SlotStore, SramFull};
+
+/// Coherence states (§2.1). MIND runs MSI; the Exclusive and Owned states
+/// appear only when the switch is configured with the MESI/MOESI
+/// state-transition tables of paper §8 ("Other coherence protocols").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsiState {
+    /// Not present in any compute-blade cache.
+    Invalid,
+    /// One or more blades hold read-only copies.
+    Shared,
+    /// Exactly one blade owns the region read-write.
+    Modified,
+    /// MESI: one blade holds the region with write permission but the
+    /// memory copy is (initially) clean; treated like Modified when
+    /// leaving the state, since it may have been silently dirtied.
+    Exclusive,
+    /// MOESI: one blade holds a dirty copy it serves to (clean) sharers
+    /// cache-to-cache; memory is stale until the owner flushes.
+    Owned,
+}
+
+/// One epoch's activity snapshot for a region (bounded-splitting input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCounter {
+    /// Region base.
+    pub base: u64,
+    /// log2 of the region size in bytes.
+    pub size_log2: u8,
+    /// False invalidations charged to the region this epoch.
+    pub false_inv: u32,
+    /// Invalidation rounds on the region this epoch.
+    pub invalidations: u32,
+}
+
+/// One directory entry: the coherence state of a region.
+#[derive(Debug, Clone)]
+pub struct DirEntry {
+    /// log2 of the region size in bytes.
+    pub size_log2: u8,
+    /// Current MSI state.
+    pub state: MsiState,
+    /// Blades holding the region (singleton owner when `Modified`).
+    pub sharers: BladeSet,
+    /// The distinguished owner for `Owned` regions (MOESI): the blade that
+    /// holds the dirty data and serves cache-to-cache fetches.
+    pub owner_blade: Option<u16>,
+    /// The region is mid-transition until this time; later requests queue.
+    pub busy_until: SimTime,
+    /// Invalidations sent for this region in the current epoch.
+    pub epoch_invalidations: u32,
+    /// False invalidations charged to this region in the current epoch
+    /// (bounded splitting's split signal, §5).
+    pub epoch_false_inv: u32,
+}
+
+impl DirEntry {
+    fn new(size_log2: u8) -> Self {
+        DirEntry {
+            size_log2,
+            state: MsiState::Invalid,
+            sharers: BladeSet::EMPTY,
+            owner_blade: None,
+            busy_until: SimTime::ZERO,
+            epoch_invalidations: 0,
+            epoch_false_inv: 0,
+        }
+    }
+
+    /// The owner blade: the exclusive holder for `Modified`/`Exclusive`,
+    /// the dirty-data supplier for `Owned`.
+    pub fn owner(&self) -> Option<u16> {
+        match self.state {
+            MsiState::Modified | MsiState::Exclusive => self.sharers.sole_member(),
+            MsiState::Owned => self.owner_blade,
+            _ => None,
+        }
+    }
+
+    /// Whether this entry can merge with `other` without violating
+    /// coherence: merging must not grant any blade more rights than it has.
+    fn mergeable_with(&self, other: &DirEntry) -> bool {
+        match (self.state, other.state) {
+            (MsiState::Invalid, _) | (_, MsiState::Invalid) => true,
+            (MsiState::Shared, MsiState::Shared) => true,
+            // Owned regions carry a dirty supplier: merging would couple
+            // its flush obligations with unrelated pages — never merged
+            // except with Invalid (handled above).
+            (MsiState::Owned, _) | (_, MsiState::Owned) => false,
+            // Merging M/E with M/E/S would mix an exclusive owner with
+            // other holders; only allowed when the sharer sets coincide on
+            // the single owner.
+            _ => self.sharers == other.sharers && self.sharers.len() == 1,
+        }
+    }
+
+    fn merged_with(&self, other: &DirEntry) -> DirEntry {
+        let state = match (self.state, other.state) {
+            (MsiState::Invalid, s) | (s, MsiState::Invalid) => s,
+            (MsiState::Shared, MsiState::Shared) => MsiState::Shared,
+            (a, b) if a == b => a,
+            // Mixed exclusive-ish states with the same single holder:
+            // conservatively Modified.
+            _ => MsiState::Modified,
+        };
+        DirEntry {
+            size_log2: self.size_log2 + 1,
+            state,
+            sharers: self.sharers.union(other.sharers),
+            owner_blade: self.owner_blade.or(other.owner_blade),
+            busy_until: self.busy_until.max(other.busy_until),
+            epoch_invalidations: self.epoch_invalidations + other.epoch_invalidations,
+            epoch_false_inv: self.epoch_false_inv + other.epoch_false_inv,
+        }
+    }
+}
+
+/// The region directory.
+#[derive(Debug)]
+pub struct RegionDirectory {
+    slots: SlotStore<DirEntry>,
+    /// Ordered mirror of region bases → size, for containing-region lookup.
+    regions: BTreeMap<u64, u8>,
+    initial_region_log2: u8,
+    splits: u64,
+    merges: u64,
+    forced_merges: u64,
+    total_false_inv: u64,
+    total_invalidations: u64,
+}
+
+impl RegionDirectory {
+    /// Creates a directory with `capacity` SRAM slots and the given initial
+    /// region size (16 KB default in MIND, §5).
+    pub fn new(capacity: usize, initial_region_log2: u8) -> Self {
+        assert!(initial_region_log2 >= PAGE_SHIFT, "region below page size");
+        RegionDirectory {
+            slots: SlotStore::new(capacity),
+            regions: BTreeMap::new(),
+            initial_region_log2,
+            splits: 0,
+            merges: 0,
+            forced_merges: 0,
+            total_false_inv: 0,
+            total_invalidations: 0,
+        }
+    }
+
+    /// Directory entries installed.
+    pub fn entries(&self) -> usize {
+        self.slots.used()
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// SRAM utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.slots.utilization()
+    }
+
+    /// The region `(base, size_log2)` containing `addr`, if tracked.
+    pub fn region_of(&self, addr: u64) -> Option<(u64, u8)> {
+        let (&base, &k) = self.regions.range(..=addr).next_back()?;
+        if addr < base + (1u64 << k) {
+            Some((base, k))
+        } else {
+            None
+        }
+    }
+
+    /// Immutable entry access.
+    pub fn entry(&self, base: u64) -> Option<&DirEntry> {
+        self.slots.get(base)
+    }
+
+    /// Mutable entry access.
+    pub fn entry_mut(&mut self, base: u64) -> Option<&mut DirEntry> {
+        self.slots.get_mut(base)
+    }
+
+    /// Finds or creates the region entry containing `addr`.
+    ///
+    /// New regions start at the configured initial size, *coarsened* under
+    /// SRAM pressure (the capacity-adaptive analog of §5's `c` adjustment:
+    /// as utilization climbs, fresh entries must each cover more address
+    /// space or the directory cannot track the working set at all) and
+    /// shrunk as needed to avoid overlapping existing finer regions. At
+    /// full occupancy, force-merges the coldest compatible buddy pair; if
+    /// nothing can merge, returns [`SramFull`] and the caller must bypass
+    /// the cache.
+    pub fn ensure_region(&mut self, addr: u64) -> Result<(u64, u8), SramFull> {
+        if let Some(found) = self.region_of(addr) {
+            return Ok(found);
+        }
+        // Pressure-adaptive creation size: up to 2 MB extra coarseness as
+        // the directory approaches capacity.
+        let boost = match self.utilization() {
+            u if u > 0.90 => 5,
+            u if u > 0.80 => 4,
+            u if u > 0.65 => 3,
+            u if u > 0.50 => 2,
+            u if u > 0.35 => 1,
+            _ => 0,
+        };
+        let mut k = (self.initial_region_log2 + boost).min(30);
+        // Find the largest aligned region containing `addr` that does not
+        // overlap existing regions.
+        let (base, k) = loop {
+            let base = addr & !((1u64 << k) - 1);
+            if !self.overlaps_existing(base, k) {
+                break (base, k);
+            }
+            debug_assert!(k > PAGE_SHIFT, "page-size region cannot overlap");
+            k -= 1;
+        };
+        if self.slots.free() == 0 {
+            self.force_merge_one()?;
+        }
+        self.slots.insert(base, DirEntry::new(k))?;
+        self.regions.insert(base, k);
+        Ok((base, k))
+    }
+
+    fn overlaps_existing(&self, base: u64, k: u8) -> bool {
+        let end = base + (1u64 << k);
+        // A region starting inside [base, end)...
+        if self.regions.range(base..end).next().is_some() {
+            return true;
+        }
+        // ...or one starting before and reaching into it.
+        if let Some((&pbase, &pk)) = self.regions.range(..base).next_back() {
+            if pbase + (1u64 << pk) > base {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Splits the region at `base` into two halves (bounded splitting, §5).
+    ///
+    /// Children inherit the parent's state and sharers (pages could reside
+    /// anywhere in the region). Epoch counters reset on split.
+    pub fn split(&mut self, base: u64) -> Result<(u64, u64), SramFull> {
+        let entry = self.slots.get(base).expect("splitting existing region");
+        assert!(
+            entry.size_log2 > PAGE_SHIFT,
+            "cannot split a page-sized region"
+        );
+        if self.slots.free() == 0 {
+            return Err(SramFull);
+        }
+        let parent = self.slots.remove(base).expect("entry exists");
+        self.regions.remove(&base);
+        let child_k = parent.size_log2 - 1;
+        let right_base = base + (1u64 << child_k);
+        let mk_child = || DirEntry {
+            size_log2: child_k,
+            state: parent.state,
+            sharers: parent.sharers,
+            owner_blade: parent.owner_blade,
+            busy_until: parent.busy_until,
+            epoch_invalidations: 0,
+            epoch_false_inv: 0,
+        };
+        self.slots.insert(base, mk_child()).expect("slot freed");
+        self.slots
+            .insert(right_base, mk_child())
+            .expect("free slot checked");
+        self.regions.insert(base, child_k);
+        self.regions.insert(right_base, child_k);
+        self.splits += 1;
+        Ok((base, right_base))
+    }
+
+    /// Merges the region at `base` with its buddy if both exist at the same
+    /// size and are coherence-compatible. Returns the merged base.
+    pub fn merge(&mut self, base: u64) -> Option<u64> {
+        let k = *self.regions.get(&base)?;
+        let buddy_base = base ^ (1u64 << k);
+        let buddy_k = *self.regions.get(&buddy_base)?;
+        if buddy_k != k {
+            return None;
+        }
+        let a = self.slots.get(base)?;
+        let b = self.slots.get(buddy_base)?;
+        if !a.mergeable_with(b) {
+            return None;
+        }
+        let merged = a.merged_with(b);
+        let parent_base = base & !(1u64 << k);
+        self.slots.remove(base);
+        self.slots.remove(buddy_base);
+        self.regions.remove(&base);
+        self.regions.remove(&buddy_base);
+        self.slots
+            .insert(parent_base, merged)
+            .expect("merge frees two slots");
+        self.regions.insert(parent_base, k + 1);
+        self.merges += 1;
+        Some(parent_base)
+    }
+
+    /// Frees one slot under capacity pressure by merging the coldest
+    /// compatible buddy pair (fewest epoch invalidations).
+    fn force_merge_one(&mut self) -> Result<(), SramFull> {
+        let mut candidates: Vec<(u32, u64)> = Vec::new();
+        for (&base, &k) in &self.regions {
+            let buddy = base ^ (1u64 << k);
+            if buddy < base {
+                continue; // Visit each pair once (from its left half).
+            }
+            if self.regions.get(&buddy) != Some(&k) {
+                continue;
+            }
+            let a = self.slots.get(base).expect("region has entry");
+            let b = self.slots.get(buddy).expect("region has entry");
+            if a.mergeable_with(b) {
+                let heat = a.epoch_invalidations + b.epoch_invalidations;
+                candidates.push((heat, base));
+            }
+        }
+        let &(_, base) = candidates.iter().min().ok_or(SramFull)?;
+        self.merge(base).expect("candidate verified mergeable");
+        self.forced_merges += 1;
+        Ok(())
+    }
+
+    /// Removes the region entry at `base` (reset protocol §4.4, or
+    /// deallocation).
+    pub fn remove(&mut self, base: u64) -> Option<DirEntry> {
+        self.regions.remove(&base);
+        self.slots.remove(base)
+    }
+
+    /// Records invalidation traffic for a region (bounded-splitting signal).
+    pub fn record_invalidation(&mut self, base: u64, false_invalidations: u32) {
+        self.total_invalidations += 1;
+        self.total_false_inv += false_invalidations as u64;
+        if let Some(e) = self.slots.get_mut(base) {
+            e.epoch_invalidations += 1;
+            e.epoch_false_inv += false_invalidations;
+        }
+    }
+
+    /// Takes and resets all per-epoch counters, returning one
+    /// [`EpochCounter`] per region, sorted by base.
+    pub fn drain_epoch_counters(&mut self) -> Vec<EpochCounter> {
+        let bases = self.slots.bases_sorted();
+        let mut out = Vec::with_capacity(bases.len());
+        for base in bases {
+            let e = self.slots.get_mut(base).expect("base listed");
+            out.push(EpochCounter {
+                base,
+                size_log2: e.size_log2,
+                false_inv: e.epoch_false_inv,
+                invalidations: e.epoch_invalidations,
+            });
+            e.epoch_false_inv = 0;
+            e.epoch_invalidations = 0;
+        }
+        out
+    }
+
+    /// All region bases, sorted.
+    pub fn bases_sorted(&self) -> Vec<u64> {
+        self.slots.bases_sorted()
+    }
+
+    /// Splits performed (policy-driven).
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Merges performed (including forced).
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Merges forced by SRAM pressure.
+    pub fn forced_merges(&self) -> u64 {
+        self.forced_merges
+    }
+
+    /// Lifetime false invalidations.
+    pub fn total_false_invalidations(&self) -> u64 {
+        self.total_false_inv
+    }
+
+    /// Lifetime invalidation rounds.
+    pub fn total_invalidations(&self) -> u64 {
+        self.total_invalidations
+    }
+
+    /// Highest simultaneous entry count.
+    pub fn high_watermark(&self) -> usize {
+        self.slots.high_watermark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> RegionDirectory {
+        RegionDirectory::new(64, 14) // 16 KB initial regions.
+    }
+
+    #[test]
+    fn ensure_creates_aligned_initial_region() {
+        let mut d = dir();
+        let (base, k) = d.ensure_region(0x1_2345).unwrap();
+        assert_eq!(k, 14);
+        assert_eq!(base, 0x1_0000, "aligned to 16 KB");
+        assert_eq!(d.entries(), 1);
+        // Idempotent.
+        assert_eq!(d.ensure_region(0x1_3000).unwrap(), (base, k));
+        assert_eq!(d.entries(), 1);
+    }
+
+    #[test]
+    fn region_of_respects_bounds() {
+        let mut d = dir();
+        d.ensure_region(0x1_0000).unwrap();
+        assert_eq!(d.region_of(0x1_3FFF), Some((0x1_0000, 14)));
+        assert_eq!(d.region_of(0x1_4000), None);
+        assert_eq!(d.region_of(0x0_FFFF), None);
+    }
+
+    #[test]
+    fn split_halves_region() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        d.entry_mut(base).unwrap().state = MsiState::Shared;
+        d.entry_mut(base).unwrap().sharers = BladeSet::singleton(2);
+        let (l, r) = d.split(base).unwrap();
+        assert_eq!(l, 0x1_0000);
+        assert_eq!(r, 0x1_2000);
+        assert_eq!(d.entries(), 2);
+        // Children inherit coherence state conservatively.
+        assert_eq!(d.entry(l).unwrap().state, MsiState::Shared);
+        assert!(d.entry(r).unwrap().sharers.contains(2));
+        assert_eq!(d.region_of(0x1_2000), Some((r, 13)));
+        assert_eq!(d.splits(), 1);
+    }
+
+    #[test]
+    fn split_down_to_page_size_only() {
+        let mut d = RegionDirectory::new(64, 13);
+        let (base, _) = d.ensure_region(0x2000).unwrap();
+        let (l, _r) = d.split(base).unwrap();
+        assert_eq!(d.entry(l).unwrap().size_log2, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn page_region_split_panics() {
+        let mut d = RegionDirectory::new(64, 12);
+        let (base, _) = d.ensure_region(0x1000).unwrap();
+        let _ = d.split(base);
+    }
+
+    #[test]
+    fn merge_requires_compatible_buddies() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        let (l, r) = d.split(base).unwrap();
+        // I + I merges.
+        let merged = d.merge(l).unwrap();
+        assert_eq!(merged, 0x1_0000);
+        assert_eq!(d.entries(), 1);
+        assert_eq!(d.entry(merged).unwrap().size_log2, 14);
+        let _ = r;
+    }
+
+    #[test]
+    fn merge_unions_sharers() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        let (l, r) = d.split(base).unwrap();
+        d.entry_mut(l).unwrap().state = MsiState::Shared;
+        d.entry_mut(l).unwrap().sharers = BladeSet::singleton(0);
+        d.entry_mut(r).unwrap().state = MsiState::Shared;
+        d.entry_mut(r).unwrap().sharers = BladeSet::singleton(1);
+        let merged = d.merge(l).unwrap();
+        let e = d.entry(merged).unwrap();
+        assert_eq!(e.state, MsiState::Shared);
+        assert!(e.sharers.contains(0) && e.sharers.contains(1));
+    }
+
+    #[test]
+    fn merge_refuses_conflicting_modified() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        let (l, r) = d.split(base).unwrap();
+        d.entry_mut(l).unwrap().state = MsiState::Modified;
+        d.entry_mut(l).unwrap().sharers = BladeSet::singleton(0);
+        d.entry_mut(r).unwrap().state = MsiState::Shared;
+        d.entry_mut(r).unwrap().sharers = BladeSet::singleton(1);
+        assert!(d.merge(l).is_none(), "M + S with different blades");
+        // Same single owner on both sides is fine.
+        d.entry_mut(r).unwrap().state = MsiState::Modified;
+        d.entry_mut(r).unwrap().sharers = BladeSet::singleton(0);
+        assert!(d.merge(l).is_some());
+        assert_eq!(
+            d.entry(0x1_0000).unwrap().owner(),
+            Some(0),
+            "owner preserved"
+        );
+    }
+
+    #[test]
+    fn lazy_creation_avoids_overlap_with_finer_regions() {
+        let mut d = dir();
+        // Create a 16 KB region and split it to 8 KB; remove the right half.
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        let (l, r) = d.split(base).unwrap();
+        d.remove(r);
+        // A new access at the removed right half must not create a 16 KB
+        // region overlapping the left 8 KB one.
+        let (nbase, nk) = d.ensure_region(0x1_2000).unwrap();
+        assert_eq!((nbase, nk), (0x1_2000, 13));
+        assert_eq!(d.region_of(0x1_1000), Some((l, 13)), "left intact");
+    }
+
+    #[test]
+    fn capacity_pressure_forces_merges() {
+        let mut d = RegionDirectory::new(4, 14);
+        // Fill all 4 slots with adjacent 16 KB regions (pre-sizing them via
+        // split from a pair of 32 KB parents keeps creation sizes exact).
+        for i in 0..4u64 {
+            let (base, k) = d.ensure_region(i * 0x4000).unwrap();
+            let _ = (base, k);
+        }
+        assert!(d.entries() >= 3, "pressure may coarsen creation");
+        let before = d.entries();
+        // Another region far away forces a cold buddy pair to merge once
+        // the store is full.
+        while d.slots.free() > 0 {
+            let next = 0x100_0000 + d.entries() as u64 * 0x40_0000;
+            d.ensure_region(next).unwrap();
+        }
+        d.ensure_region(0x900_0000).unwrap();
+        assert!(d.entries() <= 4, "stayed at capacity");
+        assert!(d.forced_merges() >= 1 || d.entries() < before + 1);
+        // All original addresses are still covered by some region.
+        for i in 0..4u64 {
+            assert!(d.region_of(i * 0x4000).is_some());
+        }
+    }
+
+    #[test]
+    fn creation_size_coarsens_under_pressure() {
+        let mut d = RegionDirectory::new(10, 14);
+        let (_, k0) = d.ensure_region(0x0).unwrap();
+        assert_eq!(k0, 14, "no pressure: initial size");
+        // Fill to >65% utilization with far-apart regions.
+        for i in 1..8u64 {
+            d.ensure_region(i << 30).unwrap();
+        }
+        let (_, k_hot) = d.ensure_region(0x4000_0000_0000).unwrap();
+        assert!(k_hot > 14, "creation coarsened under pressure: {k_hot}");
+    }
+
+    #[test]
+    fn sram_full_when_nothing_mergeable() {
+        let mut d = RegionDirectory::new(2, 14);
+        let (a, _) = d.ensure_region(0x0).unwrap();
+        let (b, _) = d.ensure_region(0x10_0000).unwrap();
+        // Make both unmergeable: different M owners, and they are not
+        // buddies anyway.
+        d.entry_mut(a).unwrap().state = MsiState::Modified;
+        d.entry_mut(a).unwrap().sharers = BladeSet::singleton(0);
+        d.entry_mut(b).unwrap().state = MsiState::Modified;
+        d.entry_mut(b).unwrap().sharers = BladeSet::singleton(1);
+        assert!(d.ensure_region(0x20_0000).is_err());
+    }
+
+    #[test]
+    fn epoch_counters_drain_and_reset() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        d.record_invalidation(base, 3);
+        d.record_invalidation(base, 2);
+        let drained = d.drain_epoch_counters();
+        assert_eq!(
+            drained,
+            vec![EpochCounter {
+                base,
+                size_log2: 14,
+                false_inv: 5,
+                invalidations: 2,
+            }]
+        );
+        assert_eq!(d.total_false_invalidations(), 5);
+        assert_eq!(d.total_invalidations(), 2);
+        // Second drain sees zeros.
+        let again = d.drain_epoch_counters();
+        assert_eq!(again[0].false_inv, 0);
+        assert_eq!(again[0].invalidations, 0);
+    }
+
+    #[test]
+    fn owner_accessor() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x0).unwrap();
+        assert_eq!(d.entry(base).unwrap().owner(), None);
+        d.entry_mut(base).unwrap().state = MsiState::Modified;
+        d.entry_mut(base).unwrap().sharers = BladeSet::singleton(5);
+        assert_eq!(d.entry(base).unwrap().owner(), Some(5));
+    }
+}

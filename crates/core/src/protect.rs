@@ -1,0 +1,330 @@
+//! Domain-based memory protection (paper §4.2).
+//!
+//! MIND decouples protection from translation: permissions attach to
+//! `<protection domain, vma>` pairs of arbitrary size, stored as TCAM range
+//! entries. A protection domain (PDID) identifies *who* may access — for
+//! unmodified applications MIND uses the PID, but richer schemes (per-client
+//! sessions of a database, capability-style domains) are expressible. The
+//! permission class (PC) identifies *what* they may do.
+//!
+//! TCAM entries match power-of-two ranges only; arbitrary vmas are split by
+//! [`pow2_cover`] (bounded by ⌈log₂ s⌉ pieces), and the control plane keeps
+//! entry counts low by (1) power-of-two aligned allocation so each vma is
+//! one entry and (2) coalescing buddy entries with identical domain and
+//! class.
+
+use mind_switch::tcam::{pow2_cover, Tcam, TcamEntry, TcamFull};
+
+use crate::addr::Vma;
+use crate::system::AccessKind;
+
+/// Protection domain identifier (PID for unmodified applications).
+pub type Pdid = u64;
+
+/// Permission classes, mirroring Linux memory permissions for unmodified
+/// applications (richer classes are possible, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PermClass {
+    /// No access.
+    None,
+    /// Loads only.
+    ReadOnly,
+    /// Loads and stores.
+    ReadWrite,
+}
+
+impl PermClass {
+    /// Whether the class admits the access kind.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (PermClass::None, _) => false,
+            (PermClass::ReadOnly, AccessKind::Read) => true,
+            (PermClass::ReadOnly, AccessKind::Write) => false,
+            (PermClass::ReadWrite, _) => true,
+        }
+    }
+}
+
+/// The in-switch protection table.
+#[derive(Debug, Clone)]
+pub struct ProtectionTable {
+    tcam: Tcam<PermClass>,
+    checks: u64,
+    denials: u64,
+}
+
+impl ProtectionTable {
+    /// Creates a table with `tcam_capacity` entries.
+    pub fn new(tcam_capacity: usize) -> Self {
+        ProtectionTable {
+            tcam: Tcam::new(tcam_capacity),
+            checks: 0,
+            denials: 0,
+        }
+    }
+
+    /// Grants `pc` to `<pdid, vma>`; splits unaligned vmas into
+    /// power-of-two pieces and coalesces buddies afterwards.
+    ///
+    /// Rolls back on TCAM exhaustion.
+    pub fn grant(&mut self, pdid: Pdid, vma: Vma, pc: PermClass) -> Result<(), TcamFull> {
+        let pieces = pow2_cover(vma.base, vma.len);
+        let mut installed = Vec::new();
+        for &(base, k) in &pieces {
+            let entry = TcamEntry::new(pdid, base, k);
+            match self.tcam.insert(entry, pc) {
+                Ok(_) => installed.push(entry),
+                Err(full) => {
+                    for e in installed {
+                        self.tcam.remove(&e);
+                    }
+                    return Err(full);
+                }
+            }
+        }
+        for entry in installed {
+            self.coalesce_from(entry);
+        }
+        Ok(())
+    }
+
+    /// Repeatedly merges `entry` with its buddy while both exist with the
+    /// same permission class (§4.2 "coalesces adjacent entries").
+    fn coalesce_from(&mut self, mut entry: TcamEntry) {
+        loop {
+            let Some(&pc) = self.tcam.get(&entry) else {
+                return;
+            };
+            let buddy = entry.buddy();
+            let Some(&buddy_pc) = self.tcam.get(&buddy) else {
+                return;
+            };
+            if buddy_pc != pc {
+                return;
+            }
+            self.tcam.remove(&entry);
+            self.tcam.remove(&buddy);
+            let parent = entry.parent();
+            self.tcam
+                .insert(parent, pc)
+                .expect("merge frees two entries, parent always fits");
+            entry = parent;
+        }
+    }
+
+    /// Revokes the entries covering `<pdid, vma>`. Returns entries removed.
+    ///
+    /// The vma must have been granted as a whole (partial revocation of a
+    /// coalesced entry re-splits it first).
+    pub fn revoke(&mut self, pdid: Pdid, vma: Vma) -> usize {
+        let mut removed = 0;
+        for (base, k) in pow2_cover(vma.base, vma.len) {
+            removed += self.revoke_range(pdid, base, k);
+        }
+        removed
+    }
+
+    fn revoke_range(&mut self, pdid: Pdid, base: u64, k: u8) -> usize {
+        let entry = TcamEntry::new(pdid, base, k);
+        if self.tcam.remove(&entry).is_some() {
+            return 1;
+        }
+        // The range may be covered by a coalesced ancestor: split it down.
+        if let Some((covering, &pc)) = self.tcam.lookup(pdid, base) {
+            if covering.size_log2 > k {
+                self.tcam.remove(&covering);
+                // Re-install the ancestor minus [base, base + 2^k).
+                let mut cur = covering;
+                while cur.size_log2 > k {
+                    let left = TcamEntry::new(pdid, cur.base, cur.size_log2 - 1);
+                    let right =
+                        TcamEntry::new(pdid, cur.base + (1 << (cur.size_log2 - 1)), left.size_log2);
+                    let (keep, descend) =
+                        if base >> (cur.size_log2 - 1) == left.base >> (cur.size_log2 - 1) {
+                            (right, left)
+                        } else {
+                            (left, right)
+                        };
+                    self.tcam
+                        .insert(keep, pc)
+                        .expect("split of removed entry fits");
+                    cur = descend;
+                }
+                return 1;
+            }
+        }
+        0
+    }
+
+    /// Checks whether `<pdid>` may perform `kind` at `vaddr` — the data-
+    /// plane TCAM parallel range match.
+    pub fn check(&mut self, pdid: Pdid, vaddr: u64, kind: AccessKind) -> bool {
+        self.checks += 1;
+        let allowed = self
+            .tcam
+            .lookup(pdid, vaddr)
+            .is_some_and(|(_, pc)| pc.allows(kind));
+        if !allowed {
+            self.denials += 1;
+        }
+        allowed
+    }
+
+    /// Installed TCAM entries (Figure 8 center counts these).
+    pub fn rule_count(&self) -> usize {
+        self.tcam.used()
+    }
+
+    /// Checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Checks denied.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_class_semantics() {
+        assert!(PermClass::ReadWrite.allows(AccessKind::Write));
+        assert!(PermClass::ReadWrite.allows(AccessKind::Read));
+        assert!(PermClass::ReadOnly.allows(AccessKind::Read));
+        assert!(!PermClass::ReadOnly.allows(AccessKind::Write));
+        assert!(!PermClass::None.allows(AccessKind::Read));
+    }
+
+    #[test]
+    fn grant_and_check_basic() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(7, Vma::new(0x4000, 0x4000), PermClass::ReadWrite)
+            .unwrap();
+        assert!(p.check(7, 0x4000, AccessKind::Write));
+        assert!(p.check(7, 0x7FFF, AccessKind::Read));
+        assert!(!p.check(7, 0x8000, AccessKind::Read), "past the vma");
+        assert!(!p.check(8, 0x4000, AccessKind::Read), "other domain");
+        assert_eq!(p.denials(), 2);
+        assert_eq!(p.checks(), 4);
+    }
+
+    #[test]
+    fn pow2_vma_is_single_entry() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x10_0000, 1 << 20), PermClass::ReadOnly)
+            .unwrap();
+        assert_eq!(p.rule_count(), 1);
+    }
+
+    #[test]
+    fn unaligned_vma_splits_bounded() {
+        let mut p = ProtectionTable::new(64);
+        // 12 KB = 4K + 8K pieces = 2 entries <= ceil(log2(12K)).
+        p.grant(1, Vma::new(0x1000, 0x3000), PermClass::ReadWrite)
+            .unwrap();
+        assert!(p.rule_count() <= 14);
+        assert!(p.check(1, 0x1000, AccessKind::Write));
+        assert!(p.check(1, 0x3FFF, AccessKind::Write));
+        assert!(!p.check(1, 0x4000, AccessKind::Read));
+    }
+
+    #[test]
+    fn adjacent_grants_coalesce() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x8000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        p.grant(1, Vma::new(0x9000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        assert_eq!(p.rule_count(), 1, "buddies merged into one 8K entry");
+        assert!(p.check(1, 0x8000, AccessKind::Write));
+        assert!(p.check(1, 0x9FFF, AccessKind::Write));
+    }
+
+    #[test]
+    fn coalescing_cascades() {
+        let mut p = ProtectionTable::new(64);
+        for i in 0..4u64 {
+            p.grant(
+                1,
+                Vma::new(0x1_0000 + i * 0x1000, 0x1000),
+                PermClass::ReadOnly,
+            )
+            .unwrap();
+        }
+        assert_eq!(p.rule_count(), 1, "four 4K buddies -> one 16K entry");
+    }
+
+    #[test]
+    fn different_classes_do_not_coalesce() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x8000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        p.grant(1, Vma::new(0x9000, 0x1000), PermClass::ReadOnly)
+            .unwrap();
+        assert_eq!(p.rule_count(), 2);
+        assert!(p.check(1, 0x8000, AccessKind::Write));
+        assert!(!p.check(1, 0x9000, AccessKind::Write));
+    }
+
+    #[test]
+    fn different_domains_do_not_coalesce() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x8000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        p.grant(2, Vma::new(0x9000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        assert_eq!(p.rule_count(), 2);
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let mut p = ProtectionTable::new(64);
+        let vma = Vma::new(0x4000, 0x4000);
+        p.grant(1, vma, PermClass::ReadWrite).unwrap();
+        assert_eq!(p.revoke(1, vma), 1);
+        assert!(!p.check(1, 0x4000, AccessKind::Read));
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn revoke_part_of_coalesced_entry_resplits() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x8000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        p.grant(1, Vma::new(0x9000, 0x1000), PermClass::ReadWrite)
+            .unwrap();
+        assert_eq!(p.rule_count(), 1);
+        // Revoke just the first page: the 8K entry must split.
+        assert_eq!(p.revoke(1, Vma::new(0x8000, 0x1000)), 1);
+        assert!(!p.check(1, 0x8000, AccessKind::Read));
+        assert!(p.check(1, 0x9000, AccessKind::Write), "other half intact");
+    }
+
+    #[test]
+    fn session_isolation_use_case() {
+        // A database assigns one domain per client session (§4.2).
+        let mut p = ProtectionTable::new(64);
+        let session_a = 100;
+        let session_b = 101;
+        let buf_a = Vma::new(0x10_0000, 1 << 16);
+        let buf_b = Vma::new(0x20_0000, 1 << 16);
+        p.grant(session_a, buf_a, PermClass::ReadWrite).unwrap();
+        p.grant(session_b, buf_b, PermClass::ReadWrite).unwrap();
+        assert!(p.check(session_a, buf_a.base, AccessKind::Write));
+        assert!(!p.check(session_a, buf_b.base, AccessKind::Read));
+        assert!(!p.check(session_b, buf_a.base, AccessKind::Read));
+    }
+
+    #[test]
+    fn tcam_exhaustion_rolls_back_grant() {
+        let mut p = ProtectionTable::new(1);
+        // Requires 2 entries.
+        let err = p.grant(1, Vma::new(0x1000, 0x3000), PermClass::ReadOnly);
+        assert!(err.is_err());
+        assert_eq!(p.rule_count(), 0);
+    }
+}

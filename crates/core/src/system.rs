@@ -1,0 +1,171 @@
+//! The common interface evaluated systems implement.
+//!
+//! MIND, GAM, and FastSwap are compared by replaying identical memory-access
+//! traces against each (the paper captures accesses with Intel PIN and
+//! replays them through an emulator, §7). [`MemorySystem`] is that replay
+//! interface: an access at a simulated time returns a latency breakdown the
+//! harness uses to advance per-thread clocks.
+
+use mind_sim::stats::Metrics;
+use mind_sim::SimTime;
+
+/// The type of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A LOAD.
+    Read,
+    /// A STORE.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a write.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Memory consistency model in force at the compute blades (paper §6.1, §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyModel {
+    /// Total Store Order — MIND's default. The page-fault implementation on
+    /// x86 forces every write miss to block the thread.
+    #[default]
+    Tso,
+    /// Process Store Order — writes propagate asynchronously (simulated as
+    /// in the paper's MIND-PSO configuration).
+    Pso,
+    /// PSO plus an effectively infinite switch directory (MIND-PSO+),
+    /// eliminating capacity-forced false invalidations.
+    PsoPlus,
+}
+
+impl ConsistencyModel {
+    /// Whether writes may complete asynchronously.
+    pub fn async_writes(self) -> bool {
+        !matches!(self, ConsistencyModel::Tso)
+    }
+
+    /// Whether the directory is modelled as unbounded.
+    pub fn infinite_directory(self) -> bool {
+        matches!(self, ConsistencyModel::PsoPlus)
+    }
+}
+
+/// Where the cycles of one access went (Figure 7 right's breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Page-fault handler entry/exit and PTE setup.
+    pub fault: SimTime,
+    /// Network transfer + switch pipeline + memory-blade service.
+    pub network: SimTime,
+    /// Waiting for invalidation handlers at other blades (queueing).
+    pub inv_queue: SimTime,
+    /// Synchronous TLB shootdowns at invalidated blades.
+    pub inv_tlb: SimTime,
+    /// Local DRAM access.
+    pub dram: SimTime,
+    /// Software overhead (GAM's per-access user-level library checks).
+    pub software: SimTime,
+}
+
+impl LatencyBreakdown {
+    /// Total latency of the access.
+    pub fn total(&self) -> SimTime {
+        self.fault + self.network + self.inv_queue + self.inv_tlb + self.dram + self.software
+    }
+
+    /// A pure local-DRAM hit.
+    pub fn local(dram: SimTime) -> Self {
+        LatencyBreakdown {
+            dram,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of one memory access against a [`MemorySystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessOutcome {
+    /// Latency attribution; `latency.total()` advances the thread clock.
+    pub latency: LatencyBreakdown,
+    /// Whether the access left the blade (page fault to remote memory).
+    pub remote: bool,
+    /// Invalidation requests this access triggered at other blades.
+    pub invalidations: u32,
+    /// Dirty pages flushed at other blades because of this access.
+    pub flushed_pages: u32,
+    /// Of those, pages invalidated *falsely* — dirty pages sharing the
+    /// directory region but not actually requested (§4.3.1).
+    pub false_invalidations: u32,
+}
+
+/// A system that can replay a memory-access trace.
+///
+/// Implementations: `MindCluster` (this crate), `GamSystem` and
+/// `FastSwapSystem` (the `mind-baselines` crate).
+pub trait MemorySystem {
+    /// Performs one access by `thread` running on `blade` at time `now`.
+    ///
+    /// `now` is the issuing thread's clock; implementations may use it for
+    /// queueing decisions. Returns the outcome whose latency the caller adds
+    /// to the thread clock.
+    fn access(&mut self, now: SimTime, blade: u16, vaddr: u64, kind: AccessKind) -> AccessOutcome;
+
+    /// Number of compute blades in the rack.
+    fn n_compute(&self) -> u16;
+
+    /// Snapshot of system-wide metrics (invalidations, remote accesses,
+    /// flushed pages, directory occupancy, ...).
+    fn metrics(&self) -> Metrics;
+
+    /// Allocates a shared region of `len` bytes and returns its base
+    /// virtual address. Used by the trace runner so every compared system
+    /// replays the same addresses (the paper's PIN-trace methodology, §7).
+    fn alloc(&mut self, len: u64) -> u64;
+
+    /// Gives the system an opportunity to run periodic work (e.g. MIND's
+    /// bounded-splitting epoch) up to time `now`.
+    fn advance_to(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_flag() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn consistency_model_flags() {
+        assert!(!ConsistencyModel::Tso.async_writes());
+        assert!(ConsistencyModel::Pso.async_writes());
+        assert!(ConsistencyModel::PsoPlus.async_writes());
+        assert!(ConsistencyModel::PsoPlus.infinite_directory());
+        assert!(!ConsistencyModel::Pso.infinite_directory());
+        assert_eq!(ConsistencyModel::default(), ConsistencyModel::Tso);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = LatencyBreakdown {
+            fault: SimTime::from_nanos(500),
+            network: SimTime::from_micros(8),
+            inv_queue: SimTime::from_micros(2),
+            inv_tlb: SimTime::from_micros(4),
+            dram: SimTime::from_nanos(80),
+            software: SimTime::ZERO,
+        };
+        assert_eq!(b.total().as_nanos(), 500 + 8_000 + 2_000 + 4_000 + 80);
+    }
+
+    #[test]
+    fn local_breakdown_is_dram_only() {
+        let b = LatencyBreakdown::local(SimTime::from_nanos(80));
+        assert_eq!(b.total(), SimTime::from_nanos(80));
+        assert_eq!(b.network, SimTime::ZERO);
+    }
+}

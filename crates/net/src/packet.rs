@@ -1,0 +1,199 @@
+//! Packets carried by the rack fabric.
+//!
+//! MIND compute blades issue one-sided RDMA requests addressed by *virtual*
+//! address; the switch data plane intercepts them, runs coherence/protection/
+//! translation, rewrites the headers, and forwards to the right memory blade
+//! (paper §6.3 "Virtualizing RDMA connections"). Invalidation requests embed
+//! the sharer list so the egress pipeline can prune multicast copies
+//! (§4.3.2).
+
+use crate::node::{BladeSet, NodeId};
+
+/// RDMA/coherence packet payloads.
+///
+/// Byte sizes below follow RoCEv2 framing: ~58 B of Ethernet/IP/UDP/BTH
+/// headers per packet, plus the application payload (a 4 KB page for data
+/// responses and write requests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// One-sided RDMA read of `len` bytes at virtual address `vaddr`
+    /// (compute blade → switch → memory blade).
+    RdmaReadReq {
+        /// Global virtual address being read.
+        vaddr: u64,
+        /// Requested length in bytes (page-sized in MIND).
+        len: u32,
+    },
+    /// RDMA read response carrying data back to the requester.
+    RdmaReadResp {
+        /// Global virtual address read.
+        vaddr: u64,
+        /// Length of returned data.
+        len: u32,
+    },
+    /// One-sided RDMA write (dirty-page flush or eviction write-back).
+    RdmaWriteReq {
+        /// Global virtual address being written.
+        vaddr: u64,
+        /// Length written.
+        len: u32,
+    },
+    /// RDMA write completion.
+    RdmaWriteResp {
+        /// Global virtual address written.
+        vaddr: u64,
+    },
+    /// Cache invalidation request multicast to sharers; carries the sharer
+    /// list for egress pruning (§4.3.2).
+    Invalidate {
+        /// Base virtual address of the directory region being invalidated.
+        region_base: u64,
+        /// log2 of the region size in bytes.
+        region_size_log2: u8,
+        /// Compute blades that must invalidate (embedded sharer list).
+        sharers: BladeSet,
+        /// Whether the new permission downgrades to read-only (M→S) rather
+        /// than fully invalid (→I / →M elsewhere).
+        downgrade_to_shared: bool,
+    },
+    /// Acknowledgement that a blade completed an invalidation, reporting how
+    /// many dirty pages it flushed back to memory.
+    InvalidateAck {
+        /// Base virtual address of the invalidated region.
+        region_base: u64,
+        /// Number of dirty pages flushed during the invalidation.
+        flushed_pages: u32,
+    },
+    /// Control-plane system-call intercept (mmap/munmap/brk/exec/exit) sent
+    /// over the reliable control channel to the switch CPU.
+    CtrlSyscall {
+        /// Opaque syscall identifier for accounting.
+        call: u32,
+    },
+    /// Control-plane response with a Linux-compatible return value.
+    CtrlResp {
+        /// Return value (negative errno on failure).
+        ret: i64,
+    },
+    /// Reset message for a virtual address after repeated ACK timeouts;
+    /// forces all blades to flush and drops the directory entry (§4.4).
+    Reset {
+        /// Virtual address whose coherence state is being reset.
+        vaddr: u64,
+    },
+}
+
+impl PacketKind {
+    /// Total wire size in bytes (headers + payload) for bandwidth accounting.
+    pub fn wire_bytes(&self) -> u32 {
+        const HDR: u32 = 58;
+        match self {
+            PacketKind::RdmaReadReq { .. } => HDR + 16,
+            PacketKind::RdmaReadResp { len, .. } => HDR + len,
+            PacketKind::RdmaWriteReq { len, .. } => HDR + len,
+            PacketKind::RdmaWriteResp { .. } => HDR + 8,
+            PacketKind::Invalidate { .. } => HDR + 24,
+            PacketKind::InvalidateAck { .. } => HDR + 12,
+            PacketKind::CtrlSyscall { .. } => HDR + 64,
+            PacketKind::CtrlResp { .. } => HDR + 8,
+            PacketKind::Reset { .. } => HDR + 8,
+        }
+    }
+
+    /// Whether this packet must traverse the switch ASIC match-action
+    /// pipeline (data-plane packets) as opposed to the control-plane CPU.
+    pub fn is_data_plane(&self) -> bool {
+        !matches!(
+            self,
+            PacketKind::CtrlSyscall { .. } | PacketKind::CtrlResp { .. }
+        )
+    }
+}
+
+/// A packet in flight on the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver (after any switch rewriting).
+    pub dst: NodeId,
+    /// Payload.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(src: NodeId, dst: NodeId, kind: PacketKind) -> Self {
+        Packet { src, dst, kind }
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        self.kind.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_response_dominates_wire_size() {
+        let req = PacketKind::RdmaReadReq {
+            vaddr: 0x1000,
+            len: 4096,
+        };
+        let resp = PacketKind::RdmaReadResp {
+            vaddr: 0x1000,
+            len: 4096,
+        };
+        assert!(resp.wire_bytes() > 4096);
+        assert!(req.wire_bytes() < 128, "request is header-sized");
+    }
+
+    #[test]
+    fn control_plane_classification() {
+        assert!(!PacketKind::CtrlSyscall { call: 9 }.is_data_plane());
+        assert!(!PacketKind::CtrlResp { ret: 0 }.is_data_plane());
+        assert!(PacketKind::RdmaReadReq {
+            vaddr: 0,
+            len: 4096
+        }
+        .is_data_plane());
+        assert!(PacketKind::Invalidate {
+            region_base: 0,
+            region_size_log2: 14,
+            sharers: BladeSet::EMPTY,
+            downgrade_to_shared: false,
+        }
+        .is_data_plane());
+    }
+
+    #[test]
+    fn packet_carries_endpoints() {
+        let p = Packet::new(
+            NodeId::Compute(1),
+            NodeId::Switch,
+            PacketKind::Reset { vaddr: 0x2000 },
+        );
+        assert_eq!(p.src, NodeId::Compute(1));
+        assert_eq!(p.dst, NodeId::Switch);
+        assert_eq!(p.wire_bytes(), 58 + 8);
+    }
+
+    #[test]
+    fn invalidate_embeds_sharers() {
+        let sharers: BladeSet = [0u16, 3].into_iter().collect();
+        let kind = PacketKind::Invalidate {
+            region_base: 0x4000,
+            region_size_log2: 14,
+            sharers,
+            downgrade_to_shared: true,
+        };
+        if let PacketKind::Invalidate { sharers: s, .. } = kind {
+            assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        } else {
+            unreachable!();
+        }
+    }
+}

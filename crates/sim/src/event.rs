@@ -1,0 +1,206 @@
+//! Stable-ordered discrete-event queue.
+//!
+//! The queue orders events by timestamp and breaks ties by insertion order,
+//! which keeps simulation runs deterministic even when many events share a
+//! timestamp (common for multicast invalidations, which fan out to all
+//! sharers "at the same time" in the switch egress pipeline).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number for deterministic tie-breaking.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-sequence) event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use mind_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "second");
+/// q.schedule(SimTime::from_nanos(10), "first");
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.pop().unwrap().event, "second");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past — the simulation must
+    /// never travel backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` at `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let next = self.heap.pop()?;
+        self.now = next.at;
+        Some(next)
+    }
+
+    /// Returns the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Drains and returns every event scheduled at exactly the next
+    /// timestamp, in insertion order. Useful for batch-processing multicast
+    /// fan-out deterministically.
+    pub fn pop_batch(&mut self) -> Vec<Scheduled<E>> {
+        let Some(at) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(at) {
+            batch.push(self.heap.pop().expect("peeked event exists"));
+        }
+        self.now = at;
+        batch
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3u32);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 0u32);
+        q.pop();
+        q.schedule_after(SimTime::from_nanos(5), 1);
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn pop_batch_takes_all_simultaneous() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), 1u32);
+        q.schedule(SimTime::from_nanos(7), 2);
+        q.schedule(SimTime::from_nanos(9), 3);
+        let batch = q.pop_batch();
+        assert_eq!(
+            batch.iter().map(|s| s.event).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.pop_batch().is_empty());
+    }
+}

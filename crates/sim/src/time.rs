@@ -1,0 +1,242 @@
+//! Simulated time.
+//!
+//! All latencies in the MIND reproduction are expressed as [`SimTime`], an
+//! unsigned nanosecond count since simulation start. The paper's calibration
+//! points (§7.2) — sub-100 ns local DRAM access, ~9 µs one-sided RDMA page
+//! fetch, ~18 µs modified-state transitions, 100 ms bounded-splitting epochs —
+//! span eight orders of magnitude, which comfortably fits in a `u64`
+//! (584 years of simulated time).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic operators treat it as a plain nanosecond count. Subtraction is
+/// saturating, so latency computations never panic on slightly out-of-order
+/// bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use mind_sim::SimTime;
+///
+/// let rdma = SimTime::from_micros(9);
+/// let dram = SimTime::from_nanos(80);
+/// assert!(rdma > dram * 100);
+/// assert_eq!((rdma + dram).as_nanos(), 9_080);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero timestamp (simulation start) / zero-length duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in microseconds as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time in milliseconds as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the time in seconds as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction; returns [`SimTime::ZERO`] instead of wrapping.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// Scales a duration by a float factor, rounding to the nearest
+    /// nanosecond. Useful for bandwidth-derived serialization delays.
+    pub fn scale(self, factor: f64) -> SimTime {
+        debug_assert!(factor >= 0.0, "negative time scale");
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({})", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_micros(9).as_nanos(), 9_000);
+        assert_eq!(SimTime::from_millis(100).as_nanos(), 100_000_000);
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_nanos(80).as_nanos(), 80);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(30);
+        assert_eq!((a + b).as_nanos(), 130);
+        assert_eq!((a - b).as_nanos(), 70);
+        assert_eq!((b - a).as_nanos(), 0, "subtraction saturates");
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_nanos(1)), None);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(1)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let t = SimTime::from_nanos(10);
+        assert_eq!(t.scale(1.5).as_nanos(), 15);
+        assert_eq!(t.scale(0.04).as_nanos(), 0);
+        assert_eq!(t.scale(0.05).as_nanos(), 1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(80)), "80ns");
+        assert_eq!(format!("{}", SimTime::from_micros(9)), "9.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(100)), "100.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+}

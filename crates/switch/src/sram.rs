@@ -1,0 +1,238 @@
+//! SRAM slot store for cache-directory entries.
+//!
+//! MIND reserves a fixed amount of switch SRAM for directory entries,
+//! partitions it into fixed-size slots, keeps a free list of available
+//! slots, and a `used` map from the base virtual address of each
+//! (dynamically sized) region to the slot storing its entry (paper §6.3,
+//! "Cache directory management"). The 30 k-entry capacity is the resource
+//! bound Figure 8 (left) plots against.
+
+use std::collections::HashMap;
+
+/// Error returned when no SRAM slots remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramFull;
+
+impl std::fmt::Display for SramFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "directory SRAM capacity exhausted")
+    }
+}
+
+impl std::error::Error for SramFull {}
+
+/// A fixed-capacity slot store keyed by region base address.
+///
+/// Slot storage grows lazily up to `capacity`, so modelling an effectively
+/// unbounded SRAM (the paper's MIND-PSO+ simulation) costs no memory up
+/// front.
+#[derive(Debug, Clone)]
+pub struct SlotStore<T> {
+    slots: Vec<Option<T>>,
+    free_list: Vec<usize>,
+    used_map: HashMap<u64, usize>,
+    capacity: usize,
+    high_watermark: usize,
+}
+
+impl<T> SlotStore<T> {
+    /// Creates a store with `capacity` slots, all initially free.
+    pub fn new(capacity: usize) -> Self {
+        SlotStore {
+            slots: Vec::new(),
+            free_list: Vec::new(),
+            used_map: HashMap::new(),
+            capacity,
+            high_watermark: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots in use.
+    pub fn used(&self) -> usize {
+        self.used_map.len()
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used()
+    }
+
+    /// Largest simultaneous occupancy observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Allocates a slot for region `base` and stores `value`.
+    ///
+    /// Returns [`SramFull`] when no slots remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` already has a slot — directory entries must be
+    /// removed before being re-created.
+    pub fn insert(&mut self, base: u64, value: T) -> Result<(), SramFull> {
+        assert!(
+            !self.used_map.contains_key(&base),
+            "slot already allocated for region {base:#x}"
+        );
+        if self.used() >= self.capacity {
+            return Err(SramFull);
+        }
+        let slot = match self.free_list.pop() {
+            Some(s) => {
+                self.slots[s] = Some(value);
+                s
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        };
+        self.used_map.insert(base, slot);
+        self.high_watermark = self.high_watermark.max(self.used());
+        Ok(())
+    }
+
+    /// Looks up the entry for region `base`.
+    pub fn get(&self, base: u64) -> Option<&T> {
+        self.used_map
+            .get(&base)
+            .map(|&slot| self.slots[slot].as_ref().expect("used slot is populated"))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, base: u64) -> Option<&mut T> {
+        let slot = *self.used_map.get(&base)?;
+        self.slots[slot].as_mut()
+    }
+
+    /// Removes the entry for region `base`, returning the slot to the free
+    /// list.
+    pub fn remove(&mut self, base: u64) -> Option<T> {
+        let slot = self.used_map.remove(&base)?;
+        let value = self.slots[slot].take().expect("used slot is populated");
+        self.free_list.push(slot);
+        Some(value)
+    }
+
+    /// Whether a region has a slot.
+    pub fn contains(&self, base: u64) -> bool {
+        self.used_map.contains_key(&base)
+    }
+
+    /// Iterates `(base, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.used_map
+            .iter()
+            .map(|(&base, &slot)| (base, self.slots[slot].as_ref().expect("populated")))
+    }
+
+    /// Region bases currently stored, sorted (for deterministic iteration).
+    pub fn bases_sorted(&self) -> Vec<u64> {
+        let mut bases: Vec<u64> = self.used_map.keys().copied().collect();
+        bases.sort_unstable();
+        bases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = SlotStore::new(4);
+        s.insert(0x1000, "a").unwrap();
+        s.insert(0x2000, "b").unwrap();
+        assert_eq!(s.get(0x1000), Some(&"a"));
+        assert_eq!(s.get(0x2000), Some(&"b"));
+        assert_eq!(s.used(), 2);
+        assert_eq!(s.remove(0x1000), Some("a"));
+        assert_eq!(s.get(0x1000), None);
+        assert_eq!(s.free(), 3);
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut s = SlotStore::new(2);
+        s.insert(1, ()).unwrap();
+        s.insert(2, ()).unwrap();
+        assert_eq!(s.insert(3, ()), Err(SramFull));
+        // Freeing a slot makes room again.
+        s.remove(1);
+        assert!(s.insert(3, ()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_insert_panics() {
+        let mut s = SlotStore::new(2);
+        s.insert(1, ()).unwrap();
+        let _ = s.insert(1, ());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut s = SlotStore::new(1);
+        for i in 0..100u64 {
+            s.insert(i, i).unwrap();
+            assert_eq!(s.remove(i), Some(i));
+        }
+        assert_eq!(s.capacity(), 1);
+        assert_eq!(s.free(), 1);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = SlotStore::new(2);
+        s.insert(7, 10u32).unwrap();
+        *s.get_mut(7).unwrap() += 5;
+        assert_eq!(s.get(7), Some(&15));
+        assert!(s.get_mut(99).is_none());
+    }
+
+    #[test]
+    fn watermark_and_utilization() {
+        let mut s = SlotStore::new(4);
+        s.insert(1, ()).unwrap();
+        s.insert(2, ()).unwrap();
+        s.insert(3, ()).unwrap();
+        s.remove(2);
+        assert_eq!(s.high_watermark(), 3);
+        assert_eq!(s.used(), 2);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_and_sorted_bases() {
+        let mut s = SlotStore::new(4);
+        s.insert(0x3000, 3).unwrap();
+        s.insert(0x1000, 1).unwrap();
+        s.insert(0x2000, 2).unwrap();
+        assert_eq!(s.bases_sorted(), vec![0x1000, 0x2000, 0x3000]);
+        let mut pairs: Vec<(u64, i32)> = s.iter().map(|(b, &v)| (b, v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0x1000, 1), (0x2000, 2), (0x3000, 3)]);
+    }
+
+    #[test]
+    fn zero_capacity_store() {
+        let mut s: SlotStore<()> = SlotStore::new(0);
+        assert_eq!(s.insert(1, ()), Err(SramFull));
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

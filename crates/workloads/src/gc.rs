@@ -1,0 +1,231 @@
+//! GraphChi / PageRank on the Twitter graph ("GC" in the paper).
+//!
+//! Graph traversal incurs random, often contentious access to shared data:
+//! threads stream their shard of the (shared, read-only) adjacency
+//! structure and read/update the globally shared rank vector of neighbour
+//! vertices with poor locality. GC writes ~2.5× more shared data than TF
+//! (§7.1), producing significantly more M-state transitions and
+//! invalidations — the reason its scaling peaks at 2 compute blades and
+//! declines after (Figure 5 center, Figure 6).
+
+use mind_core::system::AccessKind;
+use mind_sim::SimRng;
+
+use crate::tf::LINE;
+use crate::trace::{TraceOp, Workload};
+
+/// GC workload parameters. Region sizes are fixed totals (strong scaling).
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Threads (graph shards processed in parallel).
+    pub n_threads: u16,
+    /// Shared adjacency-structure region, in pages.
+    pub graph_pages: u64,
+    /// Shared rank-vector region, in pages (contended read-write).
+    pub rank_pages: u64,
+    /// Fraction of ops that update a neighbour's rank (shared writes);
+    /// ~2.5× TF's shared-write fraction.
+    pub rank_write_fraction: f64,
+    /// Skew toward "celebrity" vertices: fraction of rank accesses hitting
+    /// the hot head of the vector.
+    pub hot_fraction: f64,
+    /// Pages in the hot head.
+    pub hot_pages: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            n_threads: 8,
+            graph_pages: 24_576, // 96 MB adjacency lists.
+            rank_pages: 8_192,   // 32 MB of ranks.
+            rank_write_fraction: 0.0025,
+            hot_fraction: 0.5,
+            hot_pages: 1_024,
+            seed: 11,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ThreadState {
+    scan_cursor: u64,
+}
+
+/// The GC generator.
+#[derive(Debug)]
+pub struct GcWorkload {
+    cfg: GcConfig,
+    rngs: Vec<SimRng>,
+    threads: Vec<ThreadState>,
+}
+
+impl GcWorkload {
+    /// Creates the generator.
+    pub fn new(cfg: GcConfig) -> Self {
+        let mut root = SimRng::new(cfg.seed);
+        GcWorkload {
+            rngs: (0..cfg.n_threads).map(|_| root.fork()).collect(),
+            threads: vec![ThreadState::default(); cfg.n_threads as usize],
+            cfg,
+        }
+    }
+
+    fn rank_page(cfg: &GcConfig, rng: &mut SimRng) -> u64 {
+        if rng.gen_bool(cfg.hot_fraction) {
+            rng.gen_below(cfg.hot_pages)
+        } else {
+            rng.gen_below(cfg.rank_pages)
+        }
+    }
+}
+
+impl Workload for GcWorkload {
+    fn name(&self) -> &'static str {
+        "GC"
+    }
+
+    fn regions(&self) -> Vec<u64> {
+        vec![self.cfg.graph_pages << 12, self.cfg.rank_pages << 12]
+    }
+
+    fn n_threads(&self) -> u16 {
+        self.cfg.n_threads
+    }
+
+    fn next_op(&mut self, thread: u16) -> TraceOp {
+        let rng = &mut self.rngs[thread as usize];
+        let st = &mut self.threads[thread as usize];
+        let dice = rng.gen_f64();
+        let w = self.cfg.rank_write_fraction;
+        if dice < 0.75 {
+            // Edge scan: cache-line sequential within the thread's shard,
+            // with occasional random jumps (GraphChi's sliding shards).
+            let shard_pages = (self.cfg.graph_pages / self.cfg.n_threads as u64).max(1);
+            let shard_bytes = shard_pages << 12;
+            let base = shard_bytes * thread as u64;
+            let offset = if rng.gen_bool(0.95) {
+                let o = base + (st.scan_cursor * LINE) % shard_bytes;
+                st.scan_cursor += 1;
+                o
+            } else {
+                rng.gen_below(self.cfg.graph_pages << 12) & !(LINE - 1)
+            };
+            TraceOp {
+                region: 0,
+                offset,
+                kind: AccessKind::Read,
+            }
+        } else if dice < 1.0 - w {
+            // Random neighbour-rank read: poor locality, shared.
+            let page = Self::rank_page(&self.cfg, rng);
+            TraceOp {
+                region: 1,
+                offset: page << 12,
+                kind: AccessKind::Read,
+            }
+        } else {
+            // Rank update: the contended shared write.
+            let page = Self::rank_page(&self.cfg, rng);
+            TraceOp {
+                region: 1,
+                offset: page << 12,
+                kind: AccessKind::Write,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tf::{TfConfig, TfWorkload};
+
+    #[test]
+    fn writes_shared_data_more_than_tf() {
+        let n = 200_000;
+        let mut gc = GcWorkload::new(GcConfig::default());
+        let gc_writes = (0..n)
+            .map(|i| gc.next_op((i % 8) as u16))
+            .filter(|o| o.kind.is_write())
+            .count() as f64;
+        let mut tf = TfWorkload::new(TfConfig::default());
+        let tf_writes = (0..n)
+            .map(|i| tf.next_op((i % 8) as u16))
+            .filter(|o| o.region <= 1 && o.kind.is_write())
+            .count() as f64;
+        let ratio = gc_writes / tf_writes.max(1.0);
+        // Paper §7.1 quotes GC writing ~2.5× more *data* to shared pages
+        // than TF. The generators are calibrated against Figure 6's
+        // per-access invalidation rates, which puts the shared-write count
+        // ratio in the same few-× band.
+        assert!(
+            (2.0..10.0).contains(&ratio),
+            "GC/TF shared-write ratio = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn rank_accesses_are_contended_across_threads() {
+        let mut gc = GcWorkload::new(GcConfig::default());
+        let mut hot_hits = [0usize; 2];
+        for t in 0..2u16 {
+            for _ in 0..10_000 {
+                let op = gc.next_op(t);
+                if op.region == 1 && (op.offset >> 12) < GcConfig::default().hot_pages {
+                    hot_hits[t as usize] += 1;
+                }
+            }
+        }
+        // Both threads touch the same hot rank pages.
+        assert!(hot_hits[0] > 300 && hot_hits[1] > 300, "{hot_hits:?}");
+    }
+
+    #[test]
+    fn graph_scan_has_high_page_locality() {
+        let mut gc = GcWorkload::new(GcConfig::default());
+        let mut scans = 0u64;
+        let mut changes = 0u64;
+        let mut last = u64::MAX;
+        for _ in 0..100_000 {
+            let op = gc.next_op(0);
+            if op.region == 0 {
+                scans += 1;
+                let page = op.offset >> 12;
+                if page != last {
+                    changes += 1;
+                    last = page;
+                }
+            }
+        }
+        let rate = changes as f64 / scans as f64;
+        assert!(rate < 0.15, "page-change rate {rate}");
+    }
+
+    #[test]
+    fn offsets_in_bounds() {
+        let mut gc = GcWorkload::new(GcConfig::default());
+        let regions = gc.regions();
+        for i in 0..50_000 {
+            let op = gc.next_op((i % 8) as u16);
+            assert!(op.offset < regions[op.region as usize]);
+        }
+    }
+
+    #[test]
+    fn footprint_is_thread_independent() {
+        let a = GcWorkload::new(GcConfig {
+            n_threads: 1,
+            ..Default::default()
+        })
+        .regions();
+        let b = GcWorkload::new(GcConfig {
+            n_threads: 80,
+            ..Default::default()
+        })
+        .regions();
+        assert_eq!(a, b);
+    }
+}

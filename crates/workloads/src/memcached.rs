@@ -1,0 +1,298 @@
+//! Memcached under YCSB ("M_A" = workload A, 50 % reads / 50 % writes;
+//! "M_C" = workload C, 100 % reads).
+//!
+//! The crucial modelled detail: memcached's *internal* bookkeeping writes.
+//! GETs update the shared LRU lists and slab statistics, so even the
+//! "read-only" YCSB-C drives a stream of writes into a small, hot, globally
+//! shared metadata region (some bookkeeping lands in per-thread statistics
+//! instead). Combined with zipfian key popularity, M_A and M_C have far
+//! more sharers and shared writes than TF/GC — the paper measures >10×
+//! their invalidations and flushes (Figure 6) and neither scales past one
+//! compute blade (Figure 5 center).
+
+use mind_core::system::AccessKind;
+use mind_sim::rng::Zipfian;
+use mind_sim::SimRng;
+
+use crate::trace::{TraceOp, Workload};
+
+/// Which YCSB mix drives the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// Workload A: 50 % reads, 50 % updates.
+    A,
+    /// Workload C: 100 % reads.
+    C,
+}
+
+impl YcsbMix {
+    /// Fraction of operations that are updates.
+    pub fn update_fraction(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.5,
+            YcsbMix::C => 0.0,
+        }
+    }
+}
+
+/// Memcached workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MemcachedConfig {
+    /// Client threads.
+    pub n_threads: u16,
+    /// The YCSB mix (A or C).
+    pub mix: YcsbMix,
+    /// Value/slab storage, in pages.
+    pub value_pages: u64,
+    /// Hash-table bucket pages.
+    pub bucket_pages: u64,
+    /// Shared LRU/statistics metadata, in pages (small and hot).
+    pub meta_pages: u64,
+    /// Probability a client op updates the *shared* LRU metadata (the rest
+    /// lands in per-thread statistics).
+    pub meta_write_prob: f64,
+    /// Zipfian skew of key popularity (YCSB default 0.99).
+    pub zipf_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MemcachedConfig {
+    /// Defaults for workload A.
+    pub fn workload_a() -> Self {
+        MemcachedConfig {
+            n_threads: 8,
+            mix: YcsbMix::A,
+            value_pages: 16_384,
+            bucket_pages: 2_048,
+            meta_pages: 256,
+            meta_write_prob: 0.4,
+            zipf_theta: 0.99,
+            seed: 13,
+        }
+    }
+
+    /// Defaults for workload C.
+    pub fn workload_c() -> Self {
+        MemcachedConfig {
+            mix: YcsbMix::C,
+            ..Self::workload_a()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    rng: SimRng,
+    /// Multi-access sequence: bucket read → value access → bookkeeping.
+    phase: u8,
+    current_value_page: u64,
+    current_is_update: bool,
+}
+
+/// The memcached generator.
+#[derive(Debug)]
+pub struct MemcachedWorkload {
+    cfg: MemcachedConfig,
+    zipf: Zipfian,
+    threads: Vec<ThreadState>,
+}
+
+impl MemcachedWorkload {
+    /// Creates the generator.
+    pub fn new(cfg: MemcachedConfig) -> Self {
+        let mut root = SimRng::new(cfg.seed);
+        MemcachedWorkload {
+            zipf: Zipfian::new(cfg.value_pages, cfg.zipf_theta),
+            threads: (0..cfg.n_threads)
+                .map(|_| ThreadState {
+                    rng: root.fork(),
+                    phase: 0,
+                    current_value_page: 0,
+                    current_is_update: false,
+                })
+                .collect(),
+            cfg,
+        }
+    }
+}
+
+impl Workload for MemcachedWorkload {
+    fn name(&self) -> &'static str {
+        match self.cfg.mix {
+            YcsbMix::A => "MA",
+            YcsbMix::C => "MC",
+        }
+    }
+
+    fn regions(&self) -> Vec<u64> {
+        // 0: values, 1: hash buckets, 2: shared LRU/stats metadata,
+        // 3: per-thread statistics (one page per possible thread).
+        vec![
+            self.cfg.value_pages << 12,
+            self.cfg.bucket_pages << 12,
+            self.cfg.meta_pages << 12,
+            64 << 12,
+        ]
+    }
+
+    fn n_threads(&self) -> u16 {
+        self.cfg.n_threads
+    }
+
+    fn next_op(&mut self, thread: u16) -> TraceOp {
+        let st = &mut self.threads[thread as usize];
+        match st.phase {
+            0 => {
+                // Start of a client op: pick the key, read its hash bucket.
+                st.current_value_page = self.zipf.sample(&mut st.rng);
+                st.current_is_update = st.rng.gen_bool(self.cfg.mix.update_fraction());
+                st.phase = 1;
+                let bucket = st.current_value_page % self.cfg.bucket_pages;
+                TraceOp {
+                    region: 1,
+                    offset: bucket << 12,
+                    kind: AccessKind::Read,
+                }
+            }
+            1 => {
+                // Value access: read for GET, write for SET.
+                st.phase = 2;
+                TraceOp {
+                    region: 0,
+                    offset: st.current_value_page << 12,
+                    kind: if st.current_is_update {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                }
+            }
+            _ => {
+                // Bookkeeping: usually the shared LRU/stats (a WRITE on GET
+                // or SET — memcached moves items to the LRU head); the rest
+                // bumps per-thread counters.
+                st.phase = 0;
+                if st.rng.gen_bool(self.cfg.meta_write_prob) {
+                    let meta = st.rng.gen_below(self.cfg.meta_pages);
+                    TraceOp {
+                        region: 2,
+                        offset: meta << 12,
+                        kind: AccessKind::Write,
+                    }
+                } else {
+                    TraceOp {
+                        region: 3,
+                        offset: (thread as u64 % 64) << 12,
+                        kind: AccessKind::Write,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: MemcachedConfig, n: usize) -> Vec<TraceOp> {
+        let mut wl = MemcachedWorkload::new(cfg);
+        (0..n)
+            .map(|i| wl.next_op((i % cfg.n_threads as usize) as u16))
+            .collect()
+    }
+
+    #[test]
+    fn workload_c_still_writes_shared_metadata() {
+        let ops = collect(MemcachedConfig::workload_c(), 30_000);
+        let shared_meta_writes = ops
+            .iter()
+            .filter(|o| o.region == 2 && o.kind.is_write())
+            .count();
+        let frac = shared_meta_writes as f64 / ops.len() as f64;
+        // 0.4 shared-metadata write per 3-access client op.
+        assert!((frac - 0.4 / 3.0).abs() < 0.02, "shared-write frac {frac}");
+    }
+
+    #[test]
+    fn memcached_shared_writes_dwarf_tf_and_gc() {
+        use crate::gc::{GcConfig, GcWorkload};
+        let n = 100_000;
+        let ops = collect(MemcachedConfig::workload_c(), n);
+        let mc_writes = ops
+            .iter()
+            .filter(|o| o.region == 2 && o.kind.is_write())
+            .count() as f64;
+        let mut gc = GcWorkload::new(GcConfig::default());
+        let gc_writes = (0..n)
+            .map(|i| gc.next_op((i % 8) as u16))
+            .filter(|o| o.kind.is_write())
+            .count() as f64;
+        assert!(
+            mc_writes / gc_writes > 5.0,
+            "MC/GC shared-write ratio = {:.1}",
+            mc_writes / gc_writes
+        );
+    }
+
+    #[test]
+    fn workload_a_adds_value_writes() {
+        let ops = collect(MemcachedConfig::workload_a(), 30_000);
+        let value_writes = ops
+            .iter()
+            .filter(|o| o.region == 0 && o.kind.is_write())
+            .count();
+        let value_ops = ops.iter().filter(|o| o.region == 0).count();
+        let frac = value_writes as f64 / value_ops as f64;
+        assert!((frac - 0.5).abs() < 0.05, "SET fraction {frac}");
+    }
+
+    #[test]
+    fn keys_are_zipfian_skewed() {
+        let ops = collect(MemcachedConfig::workload_c(), 60_000);
+        let value_pages: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.region == 0)
+            .map(|o| o.offset >> 12)
+            .collect();
+        let hot = value_pages.iter().filter(|&&p| p < 100).count();
+        let frac = hot as f64 / value_pages.len() as f64;
+        assert!(frac > 0.3, "hot-100 fraction {frac}");
+    }
+
+    #[test]
+    fn client_op_expands_to_three_accesses() {
+        let mut wl = MemcachedWorkload::new(MemcachedConfig::workload_a());
+        let a = wl.next_op(0);
+        let b = wl.next_op(0);
+        let c = wl.next_op(0);
+        assert_eq!(a.region, 1, "bucket read first");
+        assert_eq!(b.region, 0, "value access second");
+        assert!(c.region == 2 || c.region == 3, "bookkeeping third");
+        assert!(c.kind.is_write());
+    }
+
+    #[test]
+    fn per_thread_stats_do_not_collide() {
+        let mut wl = MemcachedWorkload::new(MemcachedConfig::workload_c());
+        let mut pages = std::collections::HashSet::new();
+        for t in 0..8u16 {
+            for _ in 0..30 {
+                let op = wl.next_op(t);
+                if op.region == 3 {
+                    pages.insert((t, op.offset >> 12));
+                }
+            }
+        }
+        // Each thread writes only its own stats page.
+        for t in 0..8u16 {
+            let thread_pages: Vec<u64> = pages
+                .iter()
+                .filter(|&&(tt, _)| tt == t)
+                .map(|&(_, p)| p)
+                .collect();
+            assert!(thread_pages.len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The trace-replay runner.
+//!
+//! Replays a [`Workload`] against a [`MemorySystem`], maintaining one
+//! virtual clock per thread: at each step the thread with the earliest
+//! clock issues its next operation at that time, and its clock advances by
+//! the access latency plus a small per-op compute gap. The run's *runtime*
+//! is the maximum thread clock — the quantity Figure 5 reports (as inverse,
+//! normalized performance).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mind_core::system::MemorySystem;
+use mind_sim::stats::Metrics;
+use mind_sim::SimTime;
+
+use crate::trace::Workload;
+
+/// Runner parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Operations each thread executes in the measured phase.
+    pub ops_per_thread: u64,
+    /// Untimed operations each thread executes first, to populate caches
+    /// and let bounded splitting stabilize (excluded from every reported
+    /// number).
+    pub warmup_ops_per_thread: u64,
+    /// Threads co-located per compute blade (the paper uses 10 for
+    /// inter-blade scaling); thread `t` runs on blade `t / threads_per_blade`.
+    pub threads_per_blade: u16,
+    /// Non-memory compute time between operations.
+    pub think_time: SimTime,
+    /// Thread→blade mapping: `false` groups consecutive threads per blade
+    /// (`t / threads_per_blade`, the paper's round-robin process
+    /// placement); `true` interleaves (`t % n_blades`) — used by the §8
+    /// thread-placement ablation to co-locate or separate sharers.
+    pub interleave: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            ops_per_thread: 10_000,
+            warmup_ops_per_thread: 0,
+            threads_per_blade: 1,
+            think_time: SimTime::from_nanos(100),
+            interleave: false,
+        }
+    }
+}
+
+/// Aggregated results of one replay.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub name: &'static str,
+    /// Max thread clock at completion.
+    pub runtime: SimTime,
+    /// Total operations executed.
+    pub total_ops: u64,
+    /// Million operations per second (aggregate).
+    pub mops: f64,
+    /// Remote accesses (page faults) per operation.
+    pub remote_per_op: f64,
+    /// Invalidation messages per operation.
+    pub invalidations_per_op: f64,
+    /// Pages flushed per operation.
+    pub flushed_per_op: f64,
+    /// Sum of per-access latency components, for breakdown reporting (ns).
+    pub sum_fault_ns: u128,
+    /// Network component total (ns).
+    pub sum_network_ns: u128,
+    /// Invalidation queueing component total (ns).
+    pub sum_inv_queue_ns: u128,
+    /// TLB shootdown component total (ns).
+    pub sum_inv_tlb_ns: u128,
+    /// Software (library) component total (ns).
+    pub sum_software_ns: u128,
+    /// Mean latency of *remote* accesses only (ns).
+    pub mean_remote_ns: f64,
+    /// System metrics snapshot at completion (lifetime, includes warmup).
+    pub metrics: Metrics,
+    /// Metrics accumulated during the measured window only.
+    pub window_metrics: Metrics,
+}
+
+impl RunReport {
+    /// Performance as inverse runtime, normalized against `baseline`
+    /// (Figure 5's y-axis).
+    pub fn normalized_perf(&self, baseline: &RunReport) -> f64 {
+        baseline.runtime.as_nanos() as f64 / self.runtime.as_nanos() as f64
+    }
+}
+
+/// The thread→blade mapping under the configured placement.
+fn blade_of(thread: u16, cfg: RunConfig, n_blades: u16) -> u16 {
+    if cfg.interleave {
+        thread % n_blades
+    } else {
+        thread / cfg.threads_per_blade
+    }
+}
+
+/// Replays `ops_per_thread × n_threads` operations of `workload` against
+/// `system`.
+///
+/// # Panics
+///
+/// Panics if the workload's threads do not fit on the system's compute
+/// blades under `threads_per_blade`.
+pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
+    system: &mut S,
+    workload: &mut W,
+    cfg: RunConfig,
+) -> RunReport {
+    let n_threads = workload.n_threads();
+    let blades_needed = n_threads.div_ceil(cfg.threads_per_blade);
+    assert!(
+        blades_needed <= system.n_compute(),
+        "workload needs {blades_needed} blades, system has {}",
+        system.n_compute()
+    );
+
+    // Resolve workload regions to system addresses.
+    let bases: Vec<u64> = workload
+        .regions()
+        .into_iter()
+        .map(|len| system.alloc(len))
+        .collect();
+
+    // Min-heap of (clock, thread): the earliest thread issues next.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u16)>> = (0..n_threads)
+        .map(|t| Reverse((SimTime::ZERO, t)))
+        .collect();
+
+    // Warmup phase: populate caches, stabilize regions; untimed.
+    let mut warmup_end = SimTime::ZERO;
+    if cfg.warmup_ops_per_thread > 0 {
+        let mut left: Vec<u64> = vec![cfg.warmup_ops_per_thread; n_threads as usize];
+        let mut next_heap = BinaryHeap::new();
+        while let Some(Reverse((clock, thread))) = heap.pop() {
+            let op = workload.next_op(thread);
+            let blade = blade_of(thread, cfg, blades_needed);
+            let vaddr = bases[op.region as usize] + op.offset;
+            system.advance_to(clock);
+            let outcome = system.access(clock, blade, vaddr, op.kind);
+            let next = clock + outcome.latency.total() + cfg.think_time;
+            warmup_end = warmup_end.max(next);
+            left[thread as usize] -= 1;
+            if left[thread as usize] > 0 {
+                heap.push(Reverse((next, thread)));
+            } else {
+                next_heap.push(Reverse((next, thread)));
+            }
+        }
+        heap = next_heap;
+    }
+    let baseline_metrics = system.metrics();
+
+    let mut remaining: Vec<u64> = vec![cfg.ops_per_thread; n_threads as usize];
+
+    let mut total_ops = 0u64;
+    let mut remote = 0u64;
+    let mut invals = 0u64;
+    let mut flushed = 0u64;
+    let mut sum_fault = 0u128;
+    let mut sum_network = 0u128;
+    let mut sum_inv_queue = 0u128;
+    let mut sum_inv_tlb = 0u128;
+    let mut sum_software = 0u128;
+    let mut sum_remote_lat = 0u128;
+    let mut runtime = SimTime::ZERO;
+
+    while let Some(Reverse((clock, thread))) = heap.pop() {
+        let op = workload.next_op(thread);
+        let blade = blade_of(thread, cfg, blades_needed);
+        let vaddr = bases[op.region as usize] + op.offset;
+        system.advance_to(clock);
+        let outcome = system.access(clock, blade, vaddr, op.kind);
+
+        total_ops += 1;
+        if outcome.remote {
+            remote += 1;
+            sum_remote_lat += outcome.latency.total().as_nanos() as u128;
+        }
+        invals += outcome.invalidations as u64;
+        flushed += outcome.flushed_pages as u64;
+        sum_fault += outcome.latency.fault.as_nanos() as u128;
+        sum_network += outcome.latency.network.as_nanos() as u128;
+        sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
+        sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
+        sum_software += outcome.latency.software.as_nanos() as u128;
+
+        let next_clock = clock + outcome.latency.total() + cfg.think_time;
+        runtime = runtime.max(next_clock);
+        remaining[thread as usize] -= 1;
+        if remaining[thread as usize] > 0 {
+            heap.push(Reverse((next_clock, thread)));
+        }
+    }
+
+    // Report the measured window only.
+    let runtime = runtime.saturating_sub(warmup_end);
+    let secs = runtime.as_secs_f64().max(1e-12);
+    RunReport {
+        name: workload.name(),
+        runtime,
+        total_ops,
+        mops: total_ops as f64 / secs / 1e6,
+        remote_per_op: remote as f64 / total_ops as f64,
+        invalidations_per_op: invals as f64 / total_ops as f64,
+        flushed_per_op: flushed as f64 / total_ops as f64,
+        sum_fault_ns: sum_fault,
+        sum_network_ns: sum_network,
+        sum_inv_queue_ns: sum_inv_queue,
+        sum_inv_tlb_ns: sum_inv_tlb,
+        sum_software_ns: sum_software,
+        mean_remote_ns: if remote > 0 {
+            sum_remote_lat as f64 / remote as f64
+        } else {
+            0.0
+        },
+        window_metrics: system.metrics().diff(&baseline_metrics),
+        metrics: system.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mind_core::cluster::{MindCluster, MindConfig};
+    use mind_core::system::AccessKind;
+    use mind_sim::SimRng;
+
+    use crate::trace::TraceOp;
+
+    /// A trivially deterministic workload for runner tests.
+    struct PingPong {
+        threads: u16,
+        rng: SimRng,
+    }
+
+    impl Workload for PingPong {
+        fn name(&self) -> &'static str {
+            "pingpong"
+        }
+        fn regions(&self) -> Vec<u64> {
+            vec![1 << 20]
+        }
+        fn n_threads(&self) -> u16 {
+            self.threads
+        }
+        fn next_op(&mut self, _thread: u16) -> TraceOp {
+            let page = self.rng.gen_below(4);
+            TraceOp {
+                region: 0,
+                offset: page << 12,
+                kind: if self.rng.gen_bool(0.5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn runner_executes_all_ops() {
+        let mut sys = MindCluster::new(MindConfig::small());
+        let mut wl = PingPong {
+            threads: 2,
+            rng: SimRng::new(1),
+        };
+        let report = run(
+            &mut sys,
+            &mut wl,
+            RunConfig {
+                ops_per_thread: 500,
+                warmup_ops_per_thread: 100,
+                threads_per_blade: 1,
+                think_time: SimTime::from_nanos(100),
+                interleave: false,
+            },
+        );
+        assert_eq!(report.total_ops, 1000);
+        assert!(report.runtime > SimTime::ZERO);
+        assert!(report.mops > 0.0);
+        assert!(report.remote_per_op > 0.0, "ping-pong faults");
+        assert!(
+            report.invalidations_per_op > 0.0,
+            "write contention invalidates"
+        );
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mk = || {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = PingPong {
+                threads: 2,
+                rng: SimRng::new(7),
+            };
+            run(&mut sys, &mut wl, RunConfig::default())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(
+            a.metrics.get("invalidation_requests"),
+            b.metrics.get("invalidation_requests")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "blades")]
+    fn too_many_threads_rejected() {
+        let mut sys = MindCluster::new(MindConfig::small()); // 2 blades.
+        let mut wl = PingPong {
+            threads: 6,
+            rng: SimRng::new(1),
+        };
+        run(
+            &mut sys,
+            &mut wl,
+            RunConfig {
+                threads_per_blade: 1,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn normalized_perf_is_relative_runtime() {
+        let mut sys = MindCluster::new(MindConfig::small());
+        let mut wl = PingPong {
+            threads: 1,
+            rng: SimRng::new(3),
+        };
+        let a = run(&mut sys, &mut wl, RunConfig::default());
+        let mut b = a.clone();
+        b.runtime = a.runtime / 2;
+        assert!((b.normalized_perf(&a) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Trace representation shared by all workloads.
+
+use mind_core::system::AccessKind;
+
+/// One memory operation in a workload trace, addressed relative to a
+/// workload region (the runner resolves regions to system-assigned bases so
+/// every compared system replays identical addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Index into the workload's region table.
+    pub region: u16,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// LOAD or STORE.
+    pub kind: AccessKind,
+}
+
+/// A deterministic workload generator.
+///
+/// Generators produce each thread's next operation on demand; all
+/// randomness derives from per-thread forks of a seed RNG, so the operation
+/// stream of a thread is independent of global interleaving — the property
+/// that makes cross-system comparisons exact.
+pub trait Workload {
+    /// Short name for reports ("TF", "GC", "MA", "MC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Region sizes in bytes, allocated once by the runner before replay.
+    fn regions(&self) -> Vec<u64>;
+
+    /// Number of threads the workload drives.
+    fn n_threads(&self) -> u16;
+
+    /// The next operation for `thread`.
+    fn next_op(&mut self, thread: u16) -> TraceOp;
+}
+
+/// Convenience: byte offset of a page index.
+pub fn page_offset(page_index: u64) -> u64 {
+    page_index << 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_offset_shifts() {
+        assert_eq!(page_offset(0), 0);
+        assert_eq!(page_offset(3), 0x3000);
+    }
+
+    #[test]
+    fn trace_op_holds_fields() {
+        let op = TraceOp {
+            region: 2,
+            offset: 0x1234,
+            kind: AccessKind::Write,
+        };
+        assert_eq!(op.region, 2);
+        assert!(op.kind.is_write());
+    }
+}

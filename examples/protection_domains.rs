@@ -1,0 +1,100 @@
+//! Fine-grained, flexible memory protection with domains and permission
+//! classes (paper §4.2) — richer than per-process page permissions.
+//!
+//! Scenario from the paper: a database server handles multiple client
+//! sessions and gives each a separate protection domain over its own
+//! buffer, so a compromised session cannot read another session's data —
+//! enforced *in the switch*, on the natural RDMA path, at line rate.
+//!
+//! ```text
+//! cargo run -p mind-core --example protection_domains
+//! ```
+
+use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::protect::PermClass;
+use mind_core::system::AccessKind;
+use mind_sim::SimTime;
+
+fn main() {
+    let mut rack = MindCluster::new(MindConfig::small());
+
+    // Two client sessions of a database process — modelled as two
+    // protection domains (MIND lets applications mint domains; for
+    // unmodified apps PDID = PID).
+    let session_a = rack.exec().expect("exec session A");
+    let session_b = rack.exec().expect("exec session B");
+
+    let buf_a = rack.mmap(session_a, 64 << 10).expect("A's buffer");
+    let buf_b = rack.mmap(session_b, 64 << 10).expect("B's buffer");
+    println!("session A buffer at {buf_a:#x}, session B buffer at {buf_b:#x}");
+
+    // Each session works in its own buffer...
+    rack.write_bytes(SimTime::ZERO, 0, session_a, buf_a, b"A's secret")
+        .expect("A writes");
+    rack.write_bytes(SimTime::ZERO, 1, session_b, buf_b, b"B's ledger")
+        .expect("B writes");
+
+    // ...and the switch rejects cross-session access outright: the
+    // <PDID, vma> TCAM match fails before any memory blade is touched.
+    let stolen = rack.access_as(
+        SimTime::from_millis(1),
+        1,
+        session_b,
+        buf_a,
+        AccessKind::Read,
+    );
+    println!("session B reading A's buffer: {stolen:?}");
+    assert!(stolen.is_err());
+
+    // Permission classes go beyond all-or-nothing: publish A's buffer to
+    // everyone as read-only via an mprotect-style downgrade of A's own
+    // write access.
+    rack.mprotect(
+        SimTime::from_millis(2),
+        session_a,
+        buf_a,
+        PermClass::ReadOnly,
+    )
+    .expect("downgrade");
+    let reread = rack.access_as(
+        SimTime::from_millis(2),
+        0,
+        session_a,
+        buf_a,
+        AccessKind::Read,
+    );
+    let rewrite = rack.access_as(
+        SimTime::from_millis(2),
+        0,
+        session_a,
+        buf_a,
+        AccessKind::Write,
+    );
+    println!("A re-reads own buffer:  ok = {}", reread.is_ok());
+    println!(
+        "A re-writes own buffer: ok = {} (now read-only)",
+        rewrite.is_ok()
+    );
+    assert!(reread.is_ok() && rewrite.is_err());
+
+    // Teardown revokes everything at the switch.
+    rack.exit(SimTime::from_millis(3), session_a)
+        .expect("exit A");
+    let gone = rack.access_as(
+        SimTime::from_millis(4),
+        0,
+        session_a,
+        buf_a,
+        AccessKind::Read,
+    );
+    println!("A's buffer after exit:  {gone:?}");
+    assert!(gone.is_err());
+
+    let m = rack.metrics_snapshot();
+    println!(
+        "\nprotection checks at the switch: {} (denied: {}), TCAM rules now: {}",
+        m.get("accesses"),
+        m.get("denials"),
+        m.get("match_action_rules"),
+    );
+}

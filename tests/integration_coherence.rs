@@ -1,0 +1,273 @@
+//! Cross-crate coherence litmus tests: the shared-memory semantics MIND
+//! promises (§4.3) hold end-to-end through switch tables, blade caches,
+//! and the fabric.
+
+use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::directory::MsiState;
+use mind_core::system::AccessKind;
+use mind_sim::SimTime;
+
+fn rack() -> (MindCluster, u64, u64) {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 20).unwrap();
+    (c, pid, base)
+}
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+#[test]
+fn message_passing_litmus() {
+    // Blade 0: data = 42; flag = 1. Blade 1: sees flag == 1 => must see
+    // data == 42 (TSO forbids the stale-data outcome).
+    let (mut c, pid, base) = rack();
+    let data = base;
+    let flag = base + 4096;
+    c.write_bytes(ms(1), 0, pid, data, &[42]).unwrap();
+    c.write_bytes(ms(2), 0, pid, flag, &[1]).unwrap();
+    let f = c.read_bytes(ms(3), 1, pid, flag, 1).unwrap();
+    assert_eq!(f, [1]);
+    let d = c.read_bytes(ms(4), 1, pid, data, 1).unwrap();
+    assert_eq!(d, [42], "TSO: flag visible implies data visible");
+}
+
+#[test]
+fn write_ping_pong_preserves_last_value() {
+    let (mut c, pid, base) = rack();
+    for round in 0u8..20 {
+        let blade = (round % 2) as u16;
+        c.write_bytes(ms(1 + round as u64 * 2), blade, pid, base, &[round])
+            .unwrap();
+        let got = c
+            .read_bytes(ms(2 + round as u64 * 2), 1 - blade, pid, base, 1)
+            .unwrap();
+        assert_eq!(got, [round], "round {round}");
+    }
+}
+
+#[test]
+fn directory_tracks_sharers_and_owner() {
+    let (mut c, pid, base) = rack();
+    // Both blades read: region Shared with both sharers.
+    c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    c.access_as(ms(2), 1, pid, base, AccessKind::Read).unwrap();
+    let (rbase, _) = c.engine().directory().region_of(base).unwrap();
+    let e = c.engine().directory().entry(rbase).unwrap();
+    assert_eq!(e.state, MsiState::Shared);
+    assert!(e.sharers.contains(0) && e.sharers.contains(1));
+
+    // Blade 1 writes: region Modified, sole owner 1, blade 0 invalidated.
+    c.access_as(ms(3), 1, pid, base, AccessKind::Write).unwrap();
+    let e = c.engine().directory().entry(rbase).unwrap();
+    assert_eq!(e.state, MsiState::Modified);
+    assert_eq!(e.owner(), Some(1));
+    assert!(!c.engine().cache(0).contains(base), "blade 0 invalidated");
+}
+
+#[test]
+fn single_writer_invariant_under_random_traffic() {
+    let (mut c, pid, base) = rack();
+    let mut rng = mind_sim::SimRng::new(99);
+    for i in 0..2_000u64 {
+        let blade = rng.gen_below(2) as u16;
+        let page = base + rng.gen_below(64) * 4096;
+        let kind = if rng.gen_bool(0.5) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        c.access_as(SimTime::from_micros(i * 40), blade, pid, page, kind)
+            .unwrap();
+        // Invariant: a page writable on one blade is not cached anywhere
+        // else.
+        for p in (0..64).map(|k| base + k * 4096) {
+            let w0 = c.engine().cache(0).is_writable(p);
+            let w1 = c.engine().cache(1).is_writable(p);
+            assert!(
+                !(w0 && c.engine().cache(1).contains(p) || w1 && c.engine().cache(0).contains(p)),
+                "page {p:#x} writable on one blade while cached on the other"
+            );
+        }
+    }
+}
+
+#[test]
+fn downgrade_keeps_readonly_copy_at_old_owner() {
+    let (mut c, pid, base) = rack();
+    c.write_bytes(ms(1), 0, pid, base, b"owned").unwrap();
+    assert!(c.engine().cache(0).is_writable(base));
+    // Blade 1 reads: M->S. Blade 0 keeps a read-only copy.
+    c.access_as(ms(2), 1, pid, base, AccessKind::Read).unwrap();
+    assert!(c.engine().cache(0).contains(base));
+    assert!(!c.engine().cache(0).is_writable(base));
+    // Blade 0's next read is a local hit (no fault).
+    let out = c.access_as(ms(3), 0, pid, base, AccessKind::Read).unwrap();
+    assert!(!out.remote);
+}
+
+#[test]
+fn false_invalidations_accounted_within_region() {
+    let (mut c, pid, base) = rack();
+    // Dirty two pages of the same initial 16 KB region on blade 0.
+    c.access_as(ms(1), 0, pid, base, AccessKind::Write).unwrap();
+    c.access_as(ms(1), 0, pid, base + 4096, AccessKind::Write)
+        .unwrap();
+    // Blade 1 writes the first page: region invalidation flushes both dirty
+    // pages; the second is a false invalidation (§4.3.1).
+    let out = c.access_as(ms(2), 1, pid, base, AccessKind::Write).unwrap();
+    assert_eq!(out.flushed_pages, 2);
+    assert_eq!(out.false_invalidations, 1);
+}
+
+#[test]
+fn eviction_roundtrips_data_through_memory_blade() {
+    // Cache of 8 pages; write 32 distinct pages, then read them all back.
+    let mut cfg = MindConfig::small();
+    cfg.cache_pages = 8;
+    let mut c = MindCluster::new(cfg);
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 20).unwrap();
+    for i in 0..32u64 {
+        c.write_bytes(ms(1 + i), 0, pid, base + i * 4096, &[i as u8 ^ 0x5A])
+            .unwrap();
+    }
+    for i in 0..32u64 {
+        let got = c
+            .read_bytes(ms(100 + i), 0, pid, base + i * 4096, 1)
+            .unwrap();
+        assert_eq!(got, [i as u8 ^ 0x5A], "page {i} survived eviction");
+    }
+    assert!(c.metrics_snapshot().get("evictions") >= 24);
+}
+
+#[test]
+fn multicast_prunes_non_sharers() {
+    let mut cfg = MindConfig::small();
+    cfg.n_compute = 4;
+    let mut c = MindCluster::new(cfg);
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    // Only blades 0 and 1 share; blade 2 writes -> invalidations must not
+    // reach blade 3 (egress pruning, 4.3.2).
+    c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    c.access_as(ms(2), 1, pid, base, AccessKind::Read).unwrap();
+    let before = c.metrics_snapshot().get("multicast_pruned");
+    c.access_as(ms(3), 2, pid, base, AccessKind::Write).unwrap();
+    let m = c.metrics_snapshot();
+    assert_eq!(m.get("invalidation_requests"), 2, "only the two sharers");
+    assert!(
+        m.get("multicast_pruned") > before,
+        "copies for non-sharers pruned in egress"
+    );
+}
+
+#[test]
+fn upgrades_skip_data_fetch() {
+    let (mut c, pid, base) = rack();
+    c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    let reads_before = c.metrics_snapshot().get("remote_accesses");
+    let out = c.access_as(ms(2), 0, pid, base, AccessKind::Write).unwrap();
+    assert!(out.remote, "upgrade consults the switch");
+    // An S->M upgrade with no other sharers: no invalidations, and the
+    // latency is below a data-carrying fetch (grant only).
+    assert_eq!(out.invalidations, 0);
+    assert!(out.latency.total() < SimTime::from_micros(9));
+    assert_eq!(
+        c.metrics_snapshot().get("remote_accesses"),
+        reads_before + 1
+    );
+}
+
+#[test]
+fn pipeline_recirculates_per_transition() {
+    let (mut c, pid, base) = rack();
+    c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    c.access_as(ms(2), 1, pid, base, AccessKind::Write).unwrap();
+    let m = c.metrics_snapshot();
+    assert!(
+        m.get("pipeline_recirculations") >= 2,
+        "each directory transition recirculates once (Figure 4)"
+    );
+}
+
+#[test]
+fn latency_calibration_matches_paper_figure7() {
+    let (mut c, pid, base) = rack();
+    // Cold fetch ~= 9-10us (paper: 9.3-9.4).
+    let out = c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    let us = out.latency.total().as_micros_f64();
+    assert!((8.5..10.5).contains(&us), "I->S fetch {us:.1}us");
+    // Modified-elsewhere read ~= 18-22us (paper: 18.0).
+    c.access_as(ms(2), 1, pid, base, AccessKind::Write).unwrap();
+    let out = c.access_as(ms(3), 0, pid, base, AccessKind::Read).unwrap();
+    let us = out.latency.total().as_micros_f64();
+    assert!((16.0..24.0).contains(&us), "M->S path {us:.1}us");
+    // Local hit < 100ns.
+    let out = c.access_as(ms(4), 0, pid, base, AccessKind::Read).unwrap();
+    assert!(out.latency.total() <= SimTime::from_nanos(100));
+}
+
+#[test]
+fn data_coherent_under_all_protocols() {
+    use mind_core::stt::Protocol;
+    for protocol in [Protocol::Msi, Protocol::Mesi, Protocol::Moesi] {
+        let mut c = MindCluster::new(MindConfig::small().protocol(protocol));
+        let pid = c.exec().unwrap();
+        let base = c.mmap(pid, 1 << 18).unwrap();
+        let mut rng = mind_sim::SimRng::new(31);
+        let mut reference = std::collections::HashMap::new();
+        for i in 0..600u64 {
+            let addr = base + rng.gen_below(1 << 18);
+            let blade = rng.gen_below(2) as u16;
+            let t = SimTime::from_micros(i * 60);
+            if rng.gen_bool(0.5) {
+                let val = rng.gen_below(256) as u8;
+                c.write_bytes(t, blade, pid, addr, &[val]).unwrap();
+                reference.insert(addr, val);
+            } else {
+                let got = c.read_bytes(t, blade, pid, addr, 1).unwrap();
+                let expect = reference.get(&addr).copied().unwrap_or(0);
+                assert_eq!(got[0], expect, "{protocol:?} addr {addr:#x} op {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mesi_first_write_after_sole_read_is_silent() {
+    use mind_core::stt::Protocol;
+    let mut c = MindCluster::new(MindConfig::small().protocol(Protocol::Mesi));
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    // Sole read grants Exclusive (writable mapping)...
+    let out = c.access_as(ms(1), 0, pid, base, AccessKind::Read).unwrap();
+    assert!(out.remote);
+    // ...so the first write is a pure cache hit — no fault, no switch trip.
+    let out = c.access_as(ms(2), 0, pid, base, AccessKind::Write).unwrap();
+    assert!(!out.remote, "silent E->M upgrade");
+    assert_eq!(out.latency.total(), SimTime::from_nanos(80));
+}
+
+#[test]
+fn moesi_downgrade_skips_writeback() {
+    use mind_core::stt::Protocol;
+    let mut c = MindCluster::new(MindConfig::small().protocol(Protocol::Moesi));
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    c.write_bytes(ms(1), 0, pid, base, b"owned dirty").unwrap();
+    // Blade 1 reads: M->O, no flush, data served cache-to-cache.
+    let got = c.read_bytes(ms(2), 1, pid, base, 11).unwrap();
+    assert_eq!(&got, b"owned dirty");
+    assert_eq!(
+        c.metrics_snapshot().get("flushed_pages"),
+        0,
+        "MOESI downgrade keeps the dirty copy at the owner"
+    );
+    // A later write collapses O: now the flush happens.
+    c.write_bytes(ms(3), 1, pid, base, b"new owner!!").unwrap();
+    assert!(c.metrics_snapshot().get("flushed_pages") >= 1);
+    let got = c.read_bytes(ms(4), 0, pid, base, 11).unwrap();
+    assert_eq!(&got, b"new owner!!");
+}

@@ -1,0 +1,139 @@
+//! Failure handling end-to-end (paper §4.4): packet loss with
+//! retransmission, blade failure driving the reset protocol, and
+//! switch failover with control-plane reconstruction.
+
+use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::coherence::AccessError;
+use mind_core::system::AccessKind;
+use mind_sim::SimTime;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+#[test]
+fn packet_loss_retransmits_and_completes() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 18).unwrap();
+    c.inject_loss(0.1, 777);
+    // Plenty of cross-blade write traffic: invalidation rounds lose
+    // packets and retransmit, but data stays correct throughout.
+    for i in 0..100u64 {
+        let blade = (i % 2) as u16;
+        c.write_bytes(ms(1 + i * 2), blade, pid, base + (i % 8) * 4096, &[i as u8])
+            .unwrap();
+        let got = c
+            .read_bytes(ms(2 + i * 2), 1 - blade, pid, base + (i % 8) * 4096, 1)
+            .unwrap();
+        assert_eq!(got, [i as u8]);
+    }
+    let m = c.metrics_snapshot();
+    assert!(
+        m.get("retransmissions") > 0,
+        "loss at 10% must force retransmissions"
+    );
+    // A reset needs max_retries+1 consecutive failures (~0.1% per round at
+    // this rate); data stayed correct above either way.
+    assert!(
+        m.get("resets") <= 2,
+        "resets stay rare: {}",
+        m.get("resets")
+    );
+}
+
+#[test]
+fn failed_blade_triggers_reset_and_releases_region() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    // Blade 1 owns the page dirty, then dies silently.
+    c.access_as(ms(1), 1, pid, base, AccessKind::Write).unwrap();
+    c.fail_blade(1);
+    // Blade 0's access needs blade 1 invalidated; ACKs never come, the
+    // reset protocol fires, and the access still completes (no deadlock).
+    let out = c.access_as(ms(2), 0, pid, base, AccessKind::Write).unwrap();
+    assert!(out.remote);
+    let m = c.metrics_snapshot();
+    assert!(m.get("resets") >= 1, "reset protocol fired");
+    assert!(m.get("retransmissions") >= 1, "retries preceded the reset");
+    // The failed blade rejects new work.
+    assert_eq!(
+        c.access_as(ms(3), 1, pid, base, AccessKind::Read)
+            .unwrap_err(),
+        AccessError::BladeFailed
+    );
+    // The survivor continues normally.
+    assert!(c.access_as(ms(4), 0, pid, base, AccessKind::Read).is_ok());
+}
+
+#[test]
+fn reset_latency_is_bounded_by_retry_budget() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    c.access_as(ms(1), 1, pid, base, AccessKind::Write).unwrap();
+    c.fail_blade(1);
+    let out = c.access_as(ms(2), 0, pid, base, AccessKind::Write).unwrap();
+    // (max_retries + 1) x ack_timeout plus protocol time.
+    let cfg = c.config().coherence;
+    let bound = cfg.ack_timeout * (cfg.max_retries as u64 + 2);
+    assert!(
+        out.latency.total() < bound + SimTime::from_micros(50),
+        "reset bounded: {} vs {}",
+        out.latency.total(),
+        bound
+    );
+}
+
+#[test]
+fn switch_failover_preserves_data_and_permissions() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let p1 = c.exec().unwrap();
+    let p2 = c.exec().unwrap();
+    let v1 = c.mmap(p1, 1 << 16).unwrap();
+    c.write_bytes(ms(1), 0, p1, v1, b"survives failover")
+        .unwrap();
+
+    let report = c.switch_failover(ms(2));
+    assert!(report.rules_replayed >= 1);
+    assert!(report.pages_flushed >= 1, "dirty data flushed before drop");
+
+    // Data survives (flushed to memory blades), permissions survive
+    // (replayed from the control-plane log), isolation survives.
+    let got = c.read_bytes(ms(3), 1, p1, v1, 17).unwrap();
+    assert_eq!(&got, b"survives failover");
+    assert!(c.access_as(ms(4), 0, p2, v1, AccessKind::Read).is_err());
+}
+
+#[test]
+fn failover_mid_write_traffic_stays_coherent() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 18).unwrap();
+    for i in 0..16u64 {
+        c.write_bytes(ms(1 + i), (i % 2) as u16, pid, base + i * 4096, &[i as u8])
+            .unwrap();
+    }
+    c.switch_failover(ms(40));
+    for i in 0..16u64 {
+        let got = c
+            .read_bytes(ms(50 + i), ((i + 1) % 2) as u16, pid, base + i * 4096, 1)
+            .unwrap();
+        assert_eq!(got, [i as u8], "page {i} after failover");
+    }
+}
+
+#[test]
+fn loss_free_runs_have_no_reliability_activity() {
+    let mut c = MindCluster::new(MindConfig::small());
+    let pid = c.exec().unwrap();
+    let base = c.mmap(pid, 1 << 16).unwrap();
+    for i in 0..50u64 {
+        c.write_bytes(ms(1 + i), (i % 2) as u16, pid, base, &[i as u8])
+            .unwrap();
+    }
+    let m = c.metrics_snapshot();
+    assert_eq!(m.get("retransmissions"), 0);
+    assert_eq!(m.get("resets"), 0);
+}
