@@ -425,6 +425,117 @@ mod tests {
         );
     }
 
+    /// Collects `(base, size)` for every region and asserts the §5
+    /// structural invariants: power-of-two sized, naturally aligned, and
+    /// mutually disjoint.
+    fn check_partition(d: &RegionDirectory) -> Vec<(u64, u64)> {
+        let mut regions = Vec::new();
+        let mut prev_end = 0u64;
+        for base in d.bases_sorted() {
+            let e = d.entry(base).unwrap();
+            let size = 1u64 << e.size_log2;
+            assert_eq!(base % size, 0, "region {base:#x} not aligned to {size:#x}");
+            assert!(
+                base >= prev_end,
+                "region {base:#x} overlaps previous end {prev_end:#x}"
+            );
+            prev_end = base + size;
+            regions.push((base, size));
+        }
+        regions
+    }
+
+    /// Splitting and merging under sustained churn must be cover-preserving:
+    /// every byte of the initially registered regions stays tracked by
+    /// exactly one region, and no region ever strays outside the initial
+    /// footprint. (A lost range would silently drop coherence for its pages;
+    /// an overlap would give two directory entries authority over one page.)
+    #[test]
+    fn epoch_churn_preserves_cover_and_disjointness() {
+        let mut bs = BoundedSplitting::new(SplitConfig {
+            initial_region_log2: 16,
+            ..Default::default()
+        });
+        let mut d = RegionDirectory::new(4_096, 16);
+        let n_regions = 8u64;
+        for i in 0..n_regions {
+            d.ensure_region(i << 16).unwrap();
+        }
+        let footprint = n_regions << 16;
+
+        let mut rng = mind_sim::SimRng::new(0x5EED);
+        for epoch in 1..=40u64 {
+            // Concentrate churn on a few pseudo-random addresses so some
+            // regions split while others go cold and merge.
+            for _ in 0..4 {
+                let addr = rng.gen_below(footprint);
+                let (base, _) = d.region_of(addr).unwrap();
+                d.record_invalidation(base, 1 + rng.gen_below(64) as u32);
+            }
+            bs.run_epoch(SimTime::from_millis(epoch * 100), &mut d);
+
+            let regions = check_partition(&d);
+            let covered: u64 = regions.iter().map(|&(_, s)| s).sum();
+            assert_eq!(covered, footprint, "cover gained or lost bytes");
+            assert!(
+                regions.iter().all(|&(b, s)| b + s <= footprint),
+                "region escaped the initial footprint"
+            );
+            // Exact-cover double check: every page of the footprint resolves
+            // to a region that contains it.
+            for page in (0..footprint).step_by(1 << PAGE_SHIFT) {
+                let (b, k) = d.region_of(page).unwrap();
+                assert!(b <= page && page < b + (1u64 << k));
+            }
+        }
+    }
+
+    /// The split phase must respect the directory-slot budget: with far more
+    /// split pressure than SRAM, entries never exceed capacity and splitting
+    /// stops at the configured utilization target (modulo the one entry a
+    /// final split adds) instead of erroring out on a full store.
+    #[test]
+    fn split_storm_respects_slot_budget() {
+        let capacity = 64usize;
+        let target = 0.95;
+        let mut bs = BoundedSplitting::new(SplitConfig {
+            initial_region_log2: 21, // 2 MB: 512 potential 4 KB leaves each.
+            enable_merge: false,
+            target_utilization: target,
+            ..Default::default()
+        });
+        let mut d = RegionDirectory::new(capacity, 21);
+        for i in 0..4u64 {
+            d.ensure_region(i << 21).unwrap();
+        }
+
+        for epoch in 1..=30u64 {
+            // Skewed hammering: the upper half of the regions sits well
+            // above the mean every epoch (equal counts would tie the
+            // threshold exactly and never split), so split pressure vastly
+            // outstrips the 64-slot budget.
+            for (j, base) in d.bases_sorted().into_iter().enumerate() {
+                d.record_invalidation(base, 100 * (1 + j as u32));
+            }
+            bs.run_epoch(SimTime::from_millis(epoch * 100), &mut d);
+            assert!(
+                d.entries() <= capacity,
+                "directory exceeded its slot budget: {} > {capacity}",
+                d.entries()
+            );
+            assert!(
+                d.utilization() <= target + 1.0 / capacity as f64 + f64::EPSILON,
+                "splitting blew through the utilization target: {}",
+                d.utilization()
+            );
+            check_partition(&d);
+        }
+        // The storm actually used the budget (the bound above is not
+        // vacuous) and pressure pushed c upward.
+        assert!(d.entries() > 4, "no splits happened at all");
+        assert!(bs.c() > bs.config().c, "c never adapted under pressure");
+    }
+
     #[test]
     fn epoch_report_exposed() {
         let mut bs = driver(100);

@@ -1,0 +1,128 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this local crate provides
+//! the subset of criterion's API the workspace benches use: `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: a short warm-up, then timed batches
+//! until a wall-clock budget is spent, reporting mean ns/iter to stdout. It
+//! is good enough for relative comparisons and for keeping the bench
+//! binaries compiling and runnable; it makes no statistical claims.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 10_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    MediumInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the
+/// benchmark routine.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.report(start.elapsed(), iters);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < MEASURE_BUDGET && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.report(spent, iters);
+    }
+
+    fn report(&self, elapsed: Duration, iters: u64) {
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{:<48} {:>14.1} ns/iter ({} iters)", self.label, ns_per_iter, iters);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            label: name.to_string(),
+        };
+        f(&mut bencher);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, name),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

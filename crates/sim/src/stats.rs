@@ -235,7 +235,7 @@ pub fn jains_index(loads: &[f64]) -> f64 {
 }
 
 /// A labelled collection of counters, used for per-run metric snapshots.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     values: BTreeMap<&'static str, u64>,
 }
