@@ -51,6 +51,20 @@ impl Default for FastSwapConfig {
     }
 }
 
+impl FastSwapConfig {
+    /// A FastSwap system scaled for a workload of `footprint_pages`
+    /// (single compute blade — FastSwap cannot share across blades), with
+    /// the same cache ratio as
+    /// [`mind_core::cluster::MindConfig::scaled_to`].
+    pub fn scaled_to(footprint_pages: u64) -> Self {
+        FastSwapConfig {
+            n_compute: 1,
+            cache_pages: mind_core::cluster::scaled_cache_pages(footprint_pages),
+            ..Default::default()
+        }
+    }
+}
+
 /// The FastSwap system model.
 #[derive(Debug)]
 pub struct FastSwapSystem {

@@ -74,6 +74,20 @@ impl Default for GamConfig {
     }
 }
 
+impl GamConfig {
+    /// A GAM system scaled for a workload of `footprint_pages`, with the
+    /// same cache ratio as [`mind_core::cluster::MindConfig::scaled_to`]
+    /// so cross-system comparisons stay fair.
+    pub fn scaled_to(footprint_pages: u64, n_compute: u16, threads_per_blade: u16) -> Self {
+        GamConfig {
+            n_compute,
+            cache_pages: mind_core::cluster::scaled_cache_pages(footprint_pages),
+            threads_per_blade,
+            ..Default::default()
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PageState {
     Invalid,

@@ -1,92 +1,9 @@
-//! Ablation (paper §8, "Thread management"): sharer-aware thread placement.
-//!
-//! The paper notes that co-locating threads with a high proportion of
-//! mutual shared-memory accesses is an orthogonal lever: invalidations
-//! between co-located threads never cross the network (same blade, same
-//! cache). This harness quantifies it with a partitioned KVS under YCSB-A
-//! where threads `t` and `t + n/2` share a partition:
-//!
-//! - **grouped** placement (`t / threads_per_blade`, the paper's
-//!   round-robin default) puts the two sharers of every partition on
-//!   *different* blades — worst case, every shared write ping-pongs;
-//! - **co-located** placement (`t % n_blades` under this thread/partition
-//!   layout) puts each partition's sharers on the *same* blade — shared
-//!   writes become local cache hits.
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::kvs::{KvsConfig, KvsWorkload};
-use mind_workloads::runner::{run, RunConfig};
-use mind_workloads::trace::Workload;
-
-const BLADES: u16 = 2;
-const THREADS: u16 = 20;
-const OPS_PER_THREAD: u64 = 15_000;
-
-fn run_one(interleave: bool) -> (f64, u64, u64) {
-    // n_partitions = THREADS / 2: threads t and t + 10 share partition
-    // t % 10. Grouped placement puts t on blade t/10 (sharers split);
-    // interleaved puts t on blade t%2 (t and t+10 share parity → same
-    // blade).
-    let mut wl = KvsWorkload::new(KvsConfig {
-        n_partitions: THREADS / 2,
-        locality: 1.0,
-        ..KvsConfig::ycsb_a(THREADS)
-    });
-    let regions = wl.regions();
-    let mut cfg = MindConfig {
-        n_compute: BLADES,
-        cache_pages: cache_pages_for(&regions),
-        dir_capacity: dir_capacity_for(&regions),
-        ..Default::default()
-    }
-    .consistency(ConsistencyModel::Tso);
-    cfg.split.epoch_len = SimTime::from_millis(2);
-    let mut sys = MindCluster::new(cfg);
-    let report = run(
-        &mut sys,
-        &mut wl,
-        RunConfig {
-            ops_per_thread: OPS_PER_THREAD,
-            warmup_ops_per_thread: OPS_PER_THREAD / 2,
-            threads_per_blade: THREADS / BLADES,
-            think_time: SimTime::from_nanos(100),
-            interleave,
-        },
-    );
-    (
-        report.mops,
-        report.window_metrics.get("invalidation_rounds"),
-        report.window_metrics.get("flushed_pages"),
-    )
-}
+//! Thin wrapper over the `ablation_placement` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_ablation_placement.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    let (g_mops, g_inv, g_flush) = run_one(false);
-    let (c_mops, c_inv, c_flush) = run_one(true);
-    print_table(
-        "§8 ablation — thread placement (KVS YCSB-A, sharers in pairs, 2 blades)",
-        &["placement", "MOPS", "inv rounds", "flushed"],
-        &[
-            vec![
-                "sharers split".into(),
-                format!("{g_mops:.3}"),
-                g_inv.to_string(),
-                g_flush.to_string(),
-            ],
-            vec![
-                "sharers co-located".into(),
-                format!("{c_mops:.3}"),
-                c_inv.to_string(),
-                c_flush.to_string(),
-            ],
-        ],
-    );
-    println!(
-        "\nco-location speedup: {:.2}x — invalidations between co-located\n\
-         threads never leave the blade (§8 'Thread management')",
-        c_mops / g_mops
-    );
+    mind_bench::figures::run_main("ablation_placement");
 }

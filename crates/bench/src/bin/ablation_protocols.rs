@@ -1,84 +1,9 @@
-//! Ablation (paper §8, "Other coherence protocols"): MSI vs MESI vs MOESI.
-//!
-//! The paper implements MSI for its simplicity and conjectures that MOESI
-//! "may offer better scalability by reducing broadcasts and write-backs to
-//! disaggregated memory" at the cost of a larger state-transition table.
-//! This harness quantifies the conjecture on the simulated rack:
-//!
-//! - MESI removes the S→M upgrade fault for private read-then-write
-//!   patterns (a sole reader is granted a writable Exclusive mapping);
-//! - MOESI additionally removes the write-back on M→S downgrades and
-//!   serves subsequent reads cache-to-cache from the Owned copy.
-//!
-//! Reported per workload at 4 blades × 10 threads: runtime (normalized to
-//! MSI), upgrade faults, pages flushed, and STT rows (the switch storage
-//! price §8 predicts stays "quite small").
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table, real_workload, REAL_WORKLOADS};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::stt::{Protocol, SttTable};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const BLADES: u16 = 4;
-const THREADS_PER_BLADE: u16 = 10;
-const TOTAL_OPS: u64 = 400_000;
+//! Thin wrapper over the `ablation_protocols` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_ablation_protocols.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in REAL_WORKLOADS {
-        let mut rows = Vec::new();
-        let mut msi_runtime = None;
-        for protocol in [Protocol::Msi, Protocol::Mesi, Protocol::Moesi] {
-            let n_threads = BLADES * THREADS_PER_BLADE;
-            let mut wl = real_workload(wl_name, n_threads);
-            let regions = wl.regions();
-            let mut cfg = MindConfig {
-                n_compute: BLADES,
-                cache_pages: cache_pages_for(&regions),
-                dir_capacity: dir_capacity_for(&regions),
-                ..Default::default()
-            }
-            .consistency(ConsistencyModel::Tso)
-            .protocol(protocol);
-            cfg.split.epoch_len = SimTime::from_millis(2);
-            let mut sys = MindCluster::new(cfg);
-            let ops_per_thread = TOTAL_OPS / n_threads as u64;
-            let report = run(
-                &mut sys,
-                &mut *wl,
-                RunConfig {
-                    ops_per_thread,
-                    warmup_ops_per_thread: ops_per_thread / 2,
-                    threads_per_blade: THREADS_PER_BLADE,
-                    think_time: SimTime::from_nanos(100),
-                    interleave: false,
-                },
-            );
-            let base = *msi_runtime.get_or_insert(report.runtime);
-            rows.push(vec![
-                protocol.name().to_string(),
-                format!(
-                    "{:.3}",
-                    base.as_nanos() as f64 / report.runtime.as_nanos() as f64
-                ),
-                report.metrics.get("upgrades").to_string(),
-                report.metrics.get("flushed_pages").to_string(),
-                report.metrics.get("invalidation_rounds").to_string(),
-                SttTable::new(protocol).rows().to_string(),
-            ]);
-        }
-        print_table(
-            &format!("§8 ablation — {wl_name}: coherence protocol (perf normalized to MSI)"),
-            &[
-                "protocol",
-                "perf",
-                "upgrades",
-                "flushed",
-                "inv rounds",
-                "STT rows",
-            ],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("ablation_protocols");
 }

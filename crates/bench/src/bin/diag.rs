@@ -1,10 +1,15 @@
 //! Diagnostic: per-run metric dump for calibration work (not a paper
 //! figure). Usage: `diag [workload] [blades...]`.
+//!
+//! Builds one replay scenario per blade count and executes them through
+//! the engine (so even ad-hoc diagnostics fan out across `MIND_THREADS`
+//! workers), then dumps every metric and writes `BENCH_diag.json`.
 
-use mind_bench::{mind_for, real_workload};
 use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
+use mind_harness::{report, Engine, Scenario, SystemSpec, WorkloadSpec};
+use mind_workloads::runner::RunConfig;
+
+const TOTAL_OPS: u64 = 600_000;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -14,23 +19,31 @@ fn main() {
     } else {
         vec![1, 2, 4, 8]
     };
-    const TOTAL_OPS: u64 = 600_000;
-    for &b in &blades {
-        let n_threads = b * 10;
-        let mut wl = real_workload(wl_name, n_threads);
-        let regions = wl.regions();
-        let mut sys = mind_for(&regions, b, ConsistencyModel::Tso);
-        let report = run(
-            &mut sys,
-            &mut *wl,
-            RunConfig {
-                ops_per_thread: TOTAL_OPS / n_threads as u64,
-                warmup_ops_per_thread: (TOTAL_OPS / n_threads as u64) / 2,
-                threads_per_blade: 10,
-                think_time: SimTime::from_nanos(100),
-                interleave: false,
-            },
-        );
+
+    let table: Vec<Scenario> = blades
+        .iter()
+        .map(|&b| {
+            let n_threads = b * 10;
+            let ops_per_thread = TOTAL_OPS / n_threads as u64;
+            let workload = WorkloadSpec::real(wl_name, n_threads);
+            let regions = workload.regions();
+            Scenario::replay(
+                format!("diag/{wl_name}/b{b}"),
+                SystemSpec::mind_scaled(&regions, b, ConsistencyModel::Tso),
+                workload,
+                RunConfig {
+                    ops_per_thread,
+                    warmup_ops_per_thread: ops_per_thread / 2,
+                    threads_per_blade: 10,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let results = Engine::from_env().run(table);
+
+    for (r, &b) in results.iter().zip(&blades) {
+        let report = r.report();
         println!(
             "\n{} blades={} runtime={} mops={:.3} remote/op={:.4} inval/op={:.4} flushed/op={:.4} mean_remote={:.1}us",
             wl_name, b, report.runtime, report.mops, report.remote_per_op,
@@ -65,4 +78,7 @@ fn main() {
         }
         println!();
     }
+
+    let path = report::write_suite("diag", &results).expect("write BENCH json");
+    println!("\nwrote {}", path.display());
 }

@@ -1,73 +1,9 @@
-//! Figure 5 (center): inter-blade performance scaling.
-//!
-//! 10 threads per compute blade, 1–8 blades, for TF / GC / MA / MC under
-//! MIND (TSO), MIND-PSO, MIND-PSO+ (infinite directory), and GAM.
-//! Performance is the inverse of runtime, normalized to MIND at 1 blade.
-//! FastSwap is omitted: it does not transparently scale beyond one blade
-//! (§7.1).
-//!
-//! Expected shape (paper): TF scales ~1.67× per doubling; GC peaks at 2
-//! blades; MA/MC do not scale past 1 blade under TSO; PSO(+) recovers some
-//! scaling; GAM scales better on write-heavy workloads but from a much
-//! lower single-blade baseline.
-
-use mind_bench::{gam_for, mind_for, print_table, real_workload, REAL_WORKLOADS};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const THREADS_PER_BLADE: u16 = 10;
-const TOTAL_OPS: u64 = 600_000;
-const BLADES: [u16; 4] = [1, 2, 4, 8];
+//! Thin wrapper over the `fig5_inter` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig5_inter.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    let configs: [(&str, Option<ConsistencyModel>); 4] = [
-        ("MIND", Some(ConsistencyModel::Tso)),
-        ("MIND-PSO", Some(ConsistencyModel::Pso)),
-        ("MIND-PSO+", Some(ConsistencyModel::PsoPlus)),
-        ("GAM", None),
-    ];
-
-    for wl_name in REAL_WORKLOADS {
-        let mut rows = Vec::new();
-        let mut baseline_runtime: Option<SimTime> = None;
-        for &blades in &BLADES {
-            let n_threads = blades * THREADS_PER_BLADE;
-            let ops_per_thread = TOTAL_OPS / n_threads as u64;
-            let cfg = RunConfig {
-                ops_per_thread,
-                warmup_ops_per_thread: ops_per_thread / 2,
-                threads_per_blade: THREADS_PER_BLADE,
-                think_time: SimTime::from_nanos(100),
-                interleave: false,
-            };
-            let mut cells = vec![blades.to_string()];
-            for (sys_name, model) in configs {
-                let mut wl = real_workload(wl_name, n_threads);
-                let regions = wl.regions();
-                let report = match model {
-                    Some(m) => {
-                        let mut sys = mind_for(&regions, blades, m);
-                        run(&mut sys, &mut *wl, cfg)
-                    }
-                    None => {
-                        let mut sys = gam_for(&regions, blades, THREADS_PER_BLADE);
-                        run(&mut sys, &mut *wl, cfg)
-                    }
-                };
-                if sys_name == "MIND" && blades == 1 {
-                    baseline_runtime = Some(report.runtime);
-                }
-                let base = baseline_runtime.expect("MIND@1 runs first");
-                let norm = base.as_nanos() as f64 / report.runtime.as_nanos() as f64;
-                cells.push(format!("{norm:.3}"));
-            }
-            rows.push(cells);
-        }
-        print_table(
-            &format!("Figure 5 (center) — {wl_name}: normalized perf vs #blades"),
-            &["blades", "MIND", "MIND-PSO", "MIND-PSO+", "GAM"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig5_inter");
 }

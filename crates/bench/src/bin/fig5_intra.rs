@@ -1,66 +1,9 @@
-//! Figure 5 (left): intra-blade performance scaling.
-//!
-//! 1–10 threads on a single compute blade for TF / GC / MA / MC under MIND,
-//! FastSwap, and GAM. Performance is inverse runtime normalized to MIND at
-//! 1 thread.
-//!
-//! Expected shape (paper): MIND and FastSwap scale almost linearly (page-
-//! fault driven remote access, hardware MMU for local hits); GAM is linear
-//! only to ~4 threads and sub-linear after, because its user-level library
-//! takes a lock on *every* access and the software path contends.
-
-use mind_bench::{fastswap_for, gam_for, mind_for, print_table, real_workload, REAL_WORKLOADS};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const TOTAL_OPS: u64 = 400_000;
-const THREADS: [u16; 4] = [1, 2, 4, 10];
+//! Thin wrapper over the `fig5_intra` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig5_intra.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in REAL_WORKLOADS {
-        let mut rows = Vec::new();
-        let mut baseline: Option<SimTime> = None;
-        for &threads in &THREADS {
-            let ops_per_thread = TOTAL_OPS / threads as u64;
-            let cfg = RunConfig {
-                ops_per_thread,
-                warmup_ops_per_thread: ops_per_thread / 2,
-                threads_per_blade: threads,
-                think_time: SimTime::from_nanos(100),
-                interleave: false,
-            };
-            let mut cells = vec![threads.to_string()];
-            for sys_name in ["MIND", "FastSwap", "GAM"] {
-                let mut wl = real_workload(wl_name, threads);
-                let regions = wl.regions();
-                let report = match sys_name {
-                    "MIND" => {
-                        let mut sys = mind_for(&regions, 1, ConsistencyModel::Tso);
-                        run(&mut sys, &mut *wl, cfg)
-                    }
-                    "FastSwap" => {
-                        let mut sys = fastswap_for(&regions);
-                        run(&mut sys, &mut *wl, cfg)
-                    }
-                    _ => {
-                        let mut sys = gam_for(&regions, 1, threads);
-                        run(&mut sys, &mut *wl, cfg)
-                    }
-                };
-                if sys_name == "MIND" && threads == 1 {
-                    baseline = Some(report.runtime);
-                }
-                let base = baseline.expect("MIND@1 thread runs first");
-                let norm = base.as_nanos() as f64 / report.runtime.as_nanos() as f64;
-                cells.push(format!("{norm:.3}"));
-            }
-            rows.push(cells);
-        }
-        print_table(
-            &format!("Figure 5 (left) — {wl_name}: normalized perf vs #threads, 1 blade"),
-            &["threads", "MIND", "FastSwap", "GAM"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig5_intra");
 }

@@ -1,100 +1,9 @@
-//! Figure 5 (right): Native-KVS throughput (MOPS) under YCSB-A and YCSB-C.
-//!
-//! Single-blade scaling (1–10 threads) for MIND and FastSwap, then
-//! multi-blade scaling (20–80 threads at 10/blade) for MIND only —
-//! FastSwap cannot share state across blades.
-//!
-//! Expected shape (paper): near-linear intra-blade scaling for both;
-//! YCSB-A stops scaling past one blade (read-write contention) while
-//! YCSB-C keeps scaling linearly (read-only ⇒ no invalidations); the
-//! partitioned native store scales better than memcached's M_A.
-
-use mind_bench::{cache_pages_for, dir_capacity_for, fastswap_for, print_table};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::kvs::{KvsConfig, KvsWorkload};
-use mind_workloads::runner::{run, RunConfig};
-use mind_workloads::trace::Workload;
-
-const OPS_PER_THREAD: u64 = 20_000;
-
-fn mind_sized(regions: &[u64], blades: u16) -> MindCluster {
-    let mut cfg = MindConfig {
-        n_compute: blades,
-        cache_pages: cache_pages_for(regions),
-        dir_capacity: dir_capacity_for(regions),
-        ..Default::default()
-    }
-    .consistency(ConsistencyModel::Tso);
-    cfg.split.epoch_len = SimTime::from_millis(2);
-    MindCluster::new(cfg)
-}
-
-fn mops_for(mix: &str, threads: u16, blades: u16, system: &str) -> f64 {
-    let kcfg = match mix {
-        "A" => KvsConfig::ycsb_a(threads),
-        _ => KvsConfig::ycsb_c(threads),
-    };
-    let mut wl = KvsWorkload::new(kcfg);
-    let regions = wl.regions();
-    let threads_per_blade = threads.div_ceil(blades);
-    let cfg = RunConfig {
-        ops_per_thread: OPS_PER_THREAD,
-        warmup_ops_per_thread: OPS_PER_THREAD / 2,
-        threads_per_blade,
-        think_time: SimTime::from_nanos(100),
-        interleave: false,
-    };
-    match system {
-        "MIND" => {
-            let mut sys = mind_sized(&regions, blades);
-            run(&mut sys, &mut wl, cfg).mops
-        }
-        _ => {
-            let mut sys = fastswap_for(&regions);
-            run(&mut sys, &mut wl, cfg).mops
-        }
-    }
-}
+//! Thin wrapper over the `fig5_kvs` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig5_kvs.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    // Single blade: 1–10 threads, MIND + FastSwap.
-    for mix in ["A", "C"] {
-        let rows: Vec<Vec<String>> = [1u16, 2, 4, 10]
-            .iter()
-            .map(|&threads| {
-                vec![
-                    threads.to_string(),
-                    format!("{:.3}", mops_for(mix, threads, 1, "MIND")),
-                    format!("{:.3}", mops_for(mix, threads, 1, "FastSwap")),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("Figure 5 (right) — Native-KVS YCSB-{mix}, single blade (MOPS)"),
-            &["threads", "MIND", "FastSwap"],
-            &rows,
-        );
-    }
-
-    // Multiple blades: 20–80 threads at 10/blade, MIND only.
-    for mix in ["A", "C"] {
-        let rows: Vec<Vec<String>> = [20u16, 40, 80]
-            .iter()
-            .map(|&threads| {
-                let blades = threads / 10;
-                vec![
-                    threads.to_string(),
-                    blades.to_string(),
-                    format!("{:.3}", mops_for(mix, threads, blades, "MIND")),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("Figure 5 (right) — Native-KVS YCSB-{mix}, multiple blades (MOPS, MIND)"),
-            &["threads", "blades", "MIND"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig5_kvs");
 }

@@ -1,52 +1,9 @@
-//! Figure 6: invalidation overhead of MIND per workload and blade count.
-//!
-//! Reports remote accesses, invalidation requests, and flushed pages as a
-//! fraction of total memory accesses for TF / GC / MA / MC at 1–8 compute
-//! blades.
-//!
-//! Expected shape (paper): all three rates grow with blade count; GC's
-//! growth is much steeper than TF's; MA and MC trigger over 10× more
-//! invalidations and page flushes than either.
-
-use mind_bench::{mind_for, print_table, real_workload, REAL_WORKLOADS};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const THREADS_PER_BLADE: u16 = 10;
-const TOTAL_OPS: u64 = 400_000;
+//! Thin wrapper over the `fig6_invalidation` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig6_invalidation.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in REAL_WORKLOADS {
-        let mut rows = Vec::new();
-        for blades in [1u16, 2, 4, 8] {
-            let n_threads = blades * THREADS_PER_BLADE;
-            let ops_per_thread = TOTAL_OPS / n_threads as u64;
-            let mut wl = real_workload(wl_name, n_threads);
-            let regions = wl.regions();
-            let mut sys = mind_for(&regions, blades, ConsistencyModel::Tso);
-            let report = run(
-                &mut sys,
-                &mut *wl,
-                RunConfig {
-                    ops_per_thread,
-                    warmup_ops_per_thread: ops_per_thread / 2,
-                    threads_per_blade: THREADS_PER_BLADE,
-                    think_time: SimTime::from_nanos(100),
-                    interleave: false,
-                },
-            );
-            rows.push(vec![
-                blades.to_string(),
-                format!("{:.2e}", report.remote_per_op),
-                format!("{:.2e}", report.invalidations_per_op),
-                format!("{:.2e}", report.flushed_per_op),
-            ]);
-        }
-        print_table(
-            &format!("Figure 6 — {wl_name}: occurrence per access vs #blades"),
-            &["blades", "remote", "invalidations", "flushed"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig6_invalidation");
 }

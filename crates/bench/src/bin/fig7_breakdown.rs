@@ -1,87 +1,9 @@
-//! Figure 7 (right): end-to-end latency breakdown at sharing ratio 1.
-//!
-//! Mean per-remote-access latency decomposed into page-fault handling,
-//! network (fetch + pipeline), invalidation queueing, and TLB shootdowns,
-//! for read ratios {0, 0.5, 1} at 1–8 compute blades.
-//!
-//! Expected shape (paper): at R=1 latency stays near the S→S round trip
-//! (~10 µs) regardless of blade count; at R=0.5 and R=0 it grows with
-//! blade count, the growth coming from the two *extra* overhead sources —
-//! invalidation queueing delay and synchronous TLB shootdowns. Paper values
-//! at 8 blades: R=0 31.6 µs, R=0.5 20.5 µs, R=1 15.1 µs (their R=1 point
-//! includes capacity effects).
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::micro::{MicroConfig, MicroWorkload};
-use mind_workloads::runner::{run, RunConfig};
-use mind_workloads::trace::Workload;
-
-const OPS_PER_THREAD: u64 = 40_000;
-const SHARED_PAGES: u64 = 100_000;
+//! Thin wrapper over the `fig7_breakdown` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig7_breakdown.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for read_ratio in [0.0, 0.5, 1.0] {
-        let mut rows = Vec::new();
-        for blades in [1u16, 2, 4, 8] {
-            let mut wl = MicroWorkload::new(MicroConfig {
-                n_threads: blades,
-                read_ratio,
-                sharing_ratio: 1.0,
-                shared_pages: SHARED_PAGES,
-                private_pages: 1,
-                seed: 42,
-            });
-            let regions = wl.regions();
-            let mut cfg = MindConfig {
-                n_compute: blades,
-                cache_pages: cache_pages_for(&regions),
-                dir_capacity: dir_capacity_for(&regions),
-                ..Default::default()
-            }
-            .consistency(ConsistencyModel::Tso);
-            cfg.split.epoch_len = SimTime::from_millis(2);
-            let mut sys = MindCluster::new(cfg);
-            let report = run(
-                &mut sys,
-                &mut wl,
-                RunConfig {
-                    ops_per_thread: OPS_PER_THREAD,
-                    warmup_ops_per_thread: OPS_PER_THREAD / 2,
-                    threads_per_blade: 1,
-                    think_time: SimTime::from_nanos(100),
-                    interleave: false,
-                },
-            );
-            let remotes = (report.remote_per_op * report.total_ops as f64).max(1.0);
-            let us = |ns: u128| ns as f64 / remotes / 1000.0;
-            let fault = us(report.sum_fault_ns);
-            let net = us(report.sum_network_ns);
-            let invq = us(report.sum_inv_queue_ns);
-            let invtlb = us(report.sum_inv_tlb_ns);
-            rows.push(vec![
-                blades.to_string(),
-                format!("{fault:.2}"),
-                format!("{net:.2}"),
-                format!("{invq:.2}"),
-                format!("{invtlb:.2}"),
-                format!("{:.2}", fault + net + invq + invtlb),
-            ]);
-        }
-        print_table(
-            &format!("Figure 7 (right) — latency breakdown per remote access (us), R={read_ratio}"),
-            &[
-                "blades",
-                "PgFault",
-                "Network",
-                "Inv(queue)",
-                "Inv(TLB)",
-                "total",
-            ],
-            &rows,
-        );
-    }
-    println!("\npaper totals at 8 blades: R=0 31.6  R=0.5 20.5  R=1 15.1 (us)");
+    mind_bench::figures::run_main("fig7_breakdown");
 }

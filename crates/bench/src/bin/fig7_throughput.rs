@@ -1,73 +1,9 @@
-//! Figure 7 (center): 4 KB IOPS vs sharing ratio for read ratios
-//! {0, 0.25, 0.5, 0.75, 1}.
-//!
-//! 8 compute blades × 1 thread over the §7.2 microbenchmark (uniform random
-//! over a 400 k-page working set; the harness scales the set down 4× with
-//! the cache scaled proportionally).
-//!
-//! Expected shape (paper): throughput is high (~10⁶ IOPS) at read ratio 1
-//! for every sharing ratio, and at sharing ratio 0 for every read ratio;
-//! raising both the write fraction and the sharing ratio collapses it by
-//! ~10× (invalidation storms leave few local accesses).
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::micro::{MicroConfig, MicroWorkload};
-use mind_workloads::runner::{run, RunConfig};
-use mind_workloads::trace::Workload;
-
-const BLADES: u16 = 8;
-const OPS_PER_THREAD: u64 = 40_000;
-const SHARED_PAGES: u64 = 100_000;
-const PRIVATE_PAGES: u64 = 12_500;
+//! Thin wrapper over the `fig7_throughput` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig7_throughput.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    let sharing_ratios = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let read_ratios = [1.0, 0.75, 0.5, 0.25, 0.0];
-
-    let mut rows = Vec::new();
-    for &sharing in &sharing_ratios {
-        let mut cells = vec![format!("{sharing:.2}")];
-        for &read in &read_ratios {
-            let mut wl = MicroWorkload::new(MicroConfig {
-                n_threads: BLADES,
-                read_ratio: read,
-                sharing_ratio: sharing,
-                shared_pages: SHARED_PAGES,
-                private_pages: PRIVATE_PAGES,
-                seed: 42,
-            });
-            let regions = wl.regions();
-            let mut cfg = MindConfig {
-                n_compute: BLADES,
-                cache_pages: cache_pages_for(&regions),
-                dir_capacity: dir_capacity_for(&regions),
-                ..Default::default()
-            }
-            .consistency(ConsistencyModel::Tso);
-            cfg.split.epoch_len = SimTime::from_millis(2);
-            let mut sys = MindCluster::new(cfg);
-            let report = run(
-                &mut sys,
-                &mut wl,
-                RunConfig {
-                    ops_per_thread: OPS_PER_THREAD,
-                    warmup_ops_per_thread: OPS_PER_THREAD / 2,
-                    threads_per_blade: 1,
-                    think_time: SimTime::from_nanos(100),
-                    interleave: false,
-                },
-            );
-            // 4 KB IOPS: page-granularity operations per second.
-            cells.push(format!("{:.2e}", report.mops * 1e6));
-        }
-        rows.push(cells);
-    }
-    print_table(
-        "Figure 7 (center) — 4KB IOPS, sharing ratio (rows) x read ratio (cols)",
-        &["sharing", "R=1.0", "R=0.75", "R=0.5", "R=0.25", "R=0.0"],
-        &rows,
-    );
+    mind_bench::figures::run_main("fig7_throughput");
 }

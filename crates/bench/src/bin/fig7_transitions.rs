@@ -1,134 +1,9 @@
-//! Figure 7 (left): end-to-end latency of every MSI state transition.
-//!
-//! Orchestrates each transition on fresh pages and measures the requester's
-//! access latency, for 2, 4, and 8 compute blades requesting the same page.
-//!
-//! Expected shape (paper): transitions without invalidations (S→S, I→S/M)
-//! cost one RDMA round trip (~8.5–9.4 µs); S→M overlaps its invalidation
-//! with the data path (~8.6 µs, flat in the sharer count thanks to switch
-//! multicast); transitions out of M are two sequential round trips
-//! (~18 µs).
-
-use mind_bench::print_table;
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::AccessKind;
-use mind_sim::SimTime;
-
-const ITERS: u64 = 200;
-const PAGE: u64 = 4096;
-
-/// Measures the mean latency (µs) of `measure` after running `setup` on a
-/// fresh page, across `ITERS` pages in a rack of `blades` compute blades.
-fn measure_transition(
-    blades: u16,
-    setup: impl Fn(&mut MindCluster, u64, u64, SimTime),
-    measure: impl Fn(&mut MindCluster, u64, u64, SimTime) -> SimTime,
-) -> f64 {
-    let mut cluster = MindCluster::new(MindConfig {
-        n_compute: blades,
-        ..Default::default()
-    });
-    let pid = cluster.exec().unwrap();
-    let base = cluster.mmap(pid, ITERS * PAGE).unwrap();
-    let mut total = SimTime::ZERO;
-    for i in 0..ITERS {
-        let vaddr = base + i * PAGE;
-        // Generous spacing so iterations never queue behind each other.
-        let t0 = SimTime::from_micros(1 + i * 500);
-        setup(&mut cluster, pid, vaddr, t0);
-        total += measure(&mut cluster, pid, vaddr, t0 + SimTime::from_micros(200));
-    }
-    total.as_micros_f64() / ITERS as f64
-}
-
-fn read(c: &mut MindCluster, pid: u64, vaddr: u64, at: SimTime, blade: u16) -> SimTime {
-    c.access_as(at, blade, pid, vaddr, AccessKind::Read)
-        .expect("read")
-        .latency
-        .total()
-}
-
-fn write(c: &mut MindCluster, pid: u64, vaddr: u64, at: SimTime, blade: u16) -> SimTime {
-    c.access_as(at, blade, pid, vaddr, AccessKind::Write)
-        .expect("write")
-        .latency
-        .total()
-}
+//! Thin wrapper over the `fig7_transitions` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig7_transitions.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    let mut rows = Vec::new();
-    for blades in [2u16, 4, 8] {
-        // S→S: blades 1..k-1 share the page; blade 0 reads.
-        let s_s = measure_transition(
-            blades,
-            |c, pid, v, t| {
-                for b in 1..blades {
-                    read(c, pid, v, t + SimTime::from_micros(20 * b as u64), b);
-                }
-            },
-            |c, pid, v, t| read(c, pid, v, t, 0),
-        );
-        // I→S: fresh page read (row reported once per rack size).
-        let i_s = measure_transition(
-            blades,
-            |_, _, _, _| {},
-            |c, pid, v, t| read(c, pid, v, t, 0),
-        );
-        // I→M: fresh page write.
-        let i_m = measure_transition(
-            blades,
-            |_, _, _, _| {},
-            |c, pid, v, t| write(c, pid, v, t, 0),
-        );
-        // S→M: blades 1..k share; blade 0 write-misses — the invalidation
-        // multicast overlaps the data fetch (§7.2).
-        let s_m = measure_transition(
-            blades,
-            |c, pid, v, t| {
-                for b in 1..blades {
-                    read(c, pid, v, t + SimTime::from_micros(20 * b as u64), b);
-                }
-            },
-            |c, pid, v, t| write(c, pid, v, t, 0),
-        );
-        // M→S: blade 1 owns dirty; blade 0 reads.
-        let m_s = measure_transition(
-            blades,
-            |c, pid, v, t| {
-                write(c, pid, v, t, 1);
-            },
-            |c, pid, v, t| read(c, pid, v, t, 0),
-        );
-        // M→M: blade 1 owns dirty; blade 0 writes.
-        let m_m = measure_transition(
-            blades,
-            |c, pid, v, t| {
-                write(c, pid, v, t, 1);
-            },
-            |c, pid, v, t| write(c, pid, v, t, 0),
-        );
-        rows.push(vec![
-            format!("{blades}C"),
-            format!("{s_s:.1}"),
-            format!("{i_s:.1}"),
-            format!("{i_m:.1}"),
-            format!("{s_m:.1}"),
-            format!("{m_s:.1}"),
-            format!("{m_m:.1}"),
-        ]);
-    }
-    print_table(
-        "Figure 7 (left) — MSI transition latency (us)",
-        &[
-            "rack",
-            "S->S",
-            "I->S",
-            "I->M",
-            "S->M (inval)",
-            "M->S (inval)",
-            "M->M (inval)",
-        ],
-        &rows,
-    );
-    println!("\npaper (2C): S->S 8.5  I->S/M 9.3-9.4  S->M 8.6  M->S/M 18.0");
+    mind_bench::figures::run_main("fig7_transitions");
 }

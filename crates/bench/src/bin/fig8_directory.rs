@@ -1,64 +1,9 @@
-//! Figure 8 (left): cache-directory entries over time vs the SRAM limit.
-//!
-//! Runs each workload at 8 blades × 10 threads and samples the number of
-//! directory entries at every bounded-splitting epoch.
-//!
-//! Expected shape (paper): TF and GC stay well below the limit; MA and MC
-//! have so many actively shared regions that they sit pinned at the
-//! capacity limit for the whole run (the capacity pressure behind their
-//! poor scaling).
-
-use mind_bench::{dir_capacity_for, mind_for, print_table, real_workload, REAL_WORKLOADS};
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const THREADS_PER_BLADE: u16 = 10;
-const BLADES: u16 = 8;
-const TOTAL_OPS: u64 = 600_000;
+//! Thin wrapper over the `fig8_directory` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig8_directory.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in REAL_WORKLOADS {
-        let n_threads = BLADES * THREADS_PER_BLADE;
-        let mut wl = real_workload(wl_name, n_threads);
-        let regions = wl.regions();
-        let capacity = dir_capacity_for(&regions);
-        let mut sys = mind_for(&regions, BLADES, ConsistencyModel::Tso);
-        let report = run(
-            &mut sys,
-            &mut *wl,
-            RunConfig {
-                ops_per_thread: TOTAL_OPS / n_threads as u64,
-                warmup_ops_per_thread: 0,
-                threads_per_blade: THREADS_PER_BLADE,
-                think_time: SimTime::from_nanos(100),
-                interleave: false,
-            },
-        );
-        let series = sys.directory_series();
-        let points = series.points();
-        let mut rows = Vec::new();
-        // Sample up to 12 evenly spaced epochs.
-        let step = (points.len() / 12).max(1);
-        for (t, v) in points.iter().step_by(step) {
-            rows.push(vec![
-                format!("{:.1}", t.as_millis_f64()),
-                format!("{:.0}", v),
-                format!("{:.0}%", v / capacity as f64 * 100.0),
-            ]);
-        }
-        print_table(
-            &format!(
-                "Figure 8 (left) — {wl_name}: directory entries over time (limit = {capacity})"
-            ),
-            &["t(ms)", "entries", "of limit"],
-            &rows,
-        );
-        println!(
-            "  watermark={}  forced_merges={}  runtime={}",
-            report.metrics.get("directory_watermark"),
-            report.metrics.get("forced_merges"),
-            report.runtime
-        );
-    }
+    mind_bench::figures::run_main("fig8_directory");
 }

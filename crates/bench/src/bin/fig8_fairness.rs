@@ -1,102 +1,9 @@
-//! Figure 8 (right): memory-allocation load balance across memory blades.
-//!
-//! Jain's fairness index of bytes allocated per memory blade, for MIND's
-//! least-loaded vma placement vs page-granularity placement at 2 MB and
-//! 1 GB, as the rack grows.
-//!
-//! Expected shape (paper): MIND ≈ 1.0 everywhere; 2 MB pages also balance
-//! well (fine granularity) but at the cost of the rule explosion shown in
-//! Figure 8 (center); 1 GB pages balance poorly for allocation-intensive
-//! workloads (MA/MC's many small vmas each pin a whole huge page).
-
-use mind_bench::{print_table, real_workload};
-use mind_core::galloc::GlobalAllocator;
-use mind_sim::stats::jains_index;
-
-/// Places `vmas` on `n` blades with `chunk`-granularity pages.
-///
-/// A page lives wholly on one blade, and new vmas *pack into* the open
-/// partially-filled page before a fresh page is opened on the least-loaded
-/// blade — the standard huge-page allocation behaviour. With 1 GB pages,
-/// many small vmas pile onto a single blade before the next page opens;
-/// this is exactly the imbalance the paper shows for allocation-intensive
-/// workloads.
-fn paged_fairness(vmas: &[u64], n: u16, chunk: u64) -> f64 {
-    let mut load = vec![0u64; n as usize]; // Bytes resident per blade.
-    let mut open: Option<(usize, u64)> = None; // (blade, bytes left in page).
-    for &len in vmas {
-        let mut remaining = len;
-        while remaining > 0 {
-            let (blade, left) = match open {
-                Some((b, l)) if l > 0 => (b, l),
-                _ => {
-                    let (idx, _) = load
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(i, &l)| (l, i))
-                        .expect("non-empty");
-                    (idx, chunk)
-                }
-            };
-            let piece = remaining.min(left);
-            load[blade] += piece;
-            remaining -= piece;
-            open = Some((blade, left - piece));
-        }
-    }
-    jains_index(&load.iter().map(|&x| x as f64).collect::<Vec<_>>())
-}
-
-fn mind_fairness(vmas: &[u64], n: u16) -> f64 {
-    let mut galloc = GlobalAllocator::new(n, 1 << 34);
-    for &len in vmas {
-        galloc.alloc(len).expect("fits");
-    }
-    jains_index(
-        &galloc
-            .allocated_per_blade()
-            .iter()
-            .map(|&x| x as f64)
-            .collect::<Vec<_>>(),
-    )
-}
+//! Thin wrapper over the `fig8_fairness` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig8_fairness.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    let groups: [(&str, &str); 3] = [("TF", "TF"), ("GC", "GC"), ("MA&C", "MA")];
-    for (label, wl_name) in groups {
-        let mut rows = Vec::new();
-        for blades in [1u16, 2, 4, 8] {
-            // The allocation-request stream: one workload instance per
-            // memory blade (dataset scales with the rack), with MA/MC's
-            // allocation-intensive pattern of many smaller slab requests.
-            let wl = real_workload(wl_name, 8);
-            let mut vmas: Vec<u64> = Vec::new();
-            for _ in 0..blades {
-                for &len in &wl.regions() {
-                    if label == "MA&C" {
-                        // memcached grows its slab arena in 1 MB chunks.
-                        let mut left = len;
-                        while left > 0 {
-                            let piece = left.min(1 << 20);
-                            vmas.push(piece);
-                            left -= piece;
-                        }
-                    } else {
-                        vmas.push(len);
-                    }
-                }
-            }
-            rows.push(vec![
-                blades.to_string(),
-                format!("{:.3}", mind_fairness(&vmas, blades)),
-                format!("{:.3}", paged_fairness(&vmas, blades, 2 << 20)),
-                format!("{:.3}", paged_fairness(&vmas, blades, 1 << 30)),
-            ]);
-        }
-        print_table(
-            &format!("Figure 8 (right) — {label}: Jain's fairness of blade load"),
-            &["blades", "MIND", "2MB pages", "1GB pages"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig8_fairness");
 }

@@ -1,75 +1,9 @@
-//! Figure 8 (center): match-action rules for the heap vs rack size.
-//!
-//! Compares MIND's translation+protection rule count against page-table
-//! approaches that would install one match-action rule per 2 MB or 1 GB
-//! page, as the dataset scales with the number of memory blades. The
-//! switch's rule capacity is ~45 k.
-//!
-//! Expected shape (paper): MIND's count is nearly constant (one range rule
-//! per memory blade plus one protection entry per vma — vma counts for
-//! datacenter applications are well under 1–2 k); page-granularity rules
-//! grow linearly with dataset size, crossing the 45 k limit for 2 MB pages.
-
-use mind_bench::{print_table, real_workload};
-use mind_core::cluster::{MindCluster, MindConfig};
-
-const RULE_LIMIT: u64 = 45_000;
+//! Thin wrapper over the `fig8_rules` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig8_rules.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    // MA and MC share allocations; group them as the paper does.
-    let groups: [(&str, &str); 3] = [("TF", "TF"), ("GC", "GC"), ("MA&C", "MA")];
-    // Each memory blade contributes ~12 GB of heap (the dataset grows with
-    // the rack; workload instances are allocated until the blade's memory
-    // is consumed, as in the paper's scaling of the heap with blades).
-    const HEAP_PER_BLADE: u64 = 12 << 30;
-    for (label, wl_name) in groups {
-        let mut rows = Vec::new();
-        for blades in [1u16, 2, 4, 8] {
-            let wl = real_workload(wl_name, 8);
-            let regions = wl.regions();
-            let instance_bytes: u64 = regions.iter().sum();
-            let instances = (HEAP_PER_BLADE * blades as u64) / instance_bytes;
-            let mut cluster = MindCluster::new(MindConfig {
-                n_memory: blades,
-                blade_span: 1 << 44,
-                memory_blade_bytes: 1 << 44,
-                ..Default::default()
-            });
-            let pid = cluster.exec().unwrap();
-            let mut total_bytes = 0u64;
-            let mut vma_count = 0u64;
-            for _ in 0..instances {
-                for &len in &regions {
-                    cluster.mmap(pid, len).expect("fits");
-                    total_bytes += len;
-                    vma_count += 1;
-                }
-            }
-            let mind_rules = cluster.match_action_rules() as u64;
-            let rules_2mb = total_bytes.div_ceil(2 << 20);
-            // 1 GB pages: a page cannot span allocation groups; count pages
-            // needed per instance, summed.
-            let rules_1gb: u64 =
-                instances * regions.iter().map(|l| l.div_ceil(1 << 30)).sum::<u64>();
-            rows.push(vec![
-                blades.to_string(),
-                format!("{mind_rules} ({vma_count} vmas)"),
-                rules_2mb.to_string(),
-                rules_1gb.to_string(),
-                if rules_2mb > RULE_LIMIT {
-                    "2MB over"
-                } else {
-                    "ok"
-                }
-                .to_string(),
-            ]);
-        }
-        print_table(
-            &format!(
-                "Figure 8 (center) — {label}: match-action rules vs #blades (limit {RULE_LIMIT})"
-            ),
-            &["blades", "MIND", "2MB pages", "1GB pages", "capacity"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig8_rules");
 }

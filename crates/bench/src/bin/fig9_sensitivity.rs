@@ -1,120 +1,9 @@
-//! Figure 9 (right): bounded splitting's sensitivity to epoch length and
-//! initial region size.
-//!
-//! TF and GC at 8 blades × 10 threads, sweeping (a) the epoch length and
-//! (b) the initial region size, reporting total false invalidations
-//! normalized to the default configuration (and the stable-state entry
-//! count, which the paper notes is insensitive to both).
-//!
-//! Expected shape (paper): epoch length barely matters across two orders
-//! of magnitude (too-short epochs under-sample and destabilize); smaller
-//! initial regions give fewer false invalidations because large ones pay
-//! several lossy epochs of splitting before stabilizing. The paper's
-//! defaults (100 ms, 16 KB) are the sweet spot; the harness sweeps the
-//! same ratios around its scaled 2 ms default.
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table, real_workload};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::split::SplitConfig;
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const THREADS_PER_BLADE: u16 = 10;
-const BLADES: u16 = 8;
-const TOTAL_OPS: u64 = 400_000;
-
-fn false_inv(wl_name: &str, split: SplitConfig) -> (u64, u64) {
-    let n_threads = BLADES * THREADS_PER_BLADE;
-    let mut wl = real_workload(wl_name, n_threads);
-    let regions = wl.regions();
-    let cfg = MindConfig {
-        n_compute: BLADES,
-        cache_pages: cache_pages_for(&regions),
-        dir_capacity: dir_capacity_for(&regions),
-        split,
-        ..Default::default()
-    }
-    .consistency(ConsistencyModel::Tso);
-    let mut sys = MindCluster::new(cfg);
-    let report = run(
-        &mut sys,
-        &mut *wl,
-        RunConfig {
-            ops_per_thread: TOTAL_OPS / n_threads as u64,
-            warmup_ops_per_thread: 0,
-            threads_per_blade: THREADS_PER_BLADE,
-            think_time: SimTime::from_nanos(100),
-            interleave: false,
-        },
-    );
-    (
-        report.metrics.get("false_invalidations"),
-        report.metrics.get("directory_entries"),
-    )
-}
+//! Thin wrapper over the `fig9_sensitivity` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig9_sensitivity.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in ["TF", "GC"] {
-        // Epoch sweep (paper: 1/10/100 ms on a 100+ s run; scaled here to
-        // the same run-length ratios).
-        let (base_f, _) = false_inv(
-            wl_name,
-            SplitConfig {
-                epoch_len: SimTime::from_millis(2),
-                ..Default::default()
-            },
-        );
-        let mut rows = Vec::new();
-        for (label, us) in [("0.02ms", 20u64), ("0.2ms", 200), ("2ms", 2_000)] {
-            let (f, entries) = false_inv(
-                wl_name,
-                SplitConfig {
-                    epoch_len: SimTime::from_micros(us),
-                    ..Default::default()
-                },
-            );
-            rows.push(vec![
-                label.to_string(),
-                f.to_string(),
-                format!("{:.3}", f as f64 / base_f.max(1) as f64),
-                entries.to_string(),
-            ]);
-        }
-        print_table(
-            &format!("Figure 9 (right, a) — {wl_name}: epoch-size sensitivity"),
-            &["epoch", "false inv", "norm (vs 2ms)", "entries@end"],
-            &rows,
-        );
-
-        // Initial-region-size sweep.
-        let mut rows = Vec::new();
-        for (label, k) in [
-            ("2MB", 21u8),
-            ("1MB", 20),
-            ("256KB", 18),
-            ("64KB", 16),
-            ("16KB", 14),
-        ] {
-            let (f, entries) = false_inv(
-                wl_name,
-                SplitConfig {
-                    initial_region_log2: k,
-                    epoch_len: SimTime::from_millis(2),
-                    ..Default::default()
-                },
-            );
-            rows.push(vec![
-                label.to_string(),
-                f.to_string(),
-                format!("{:.3}", f as f64 / base_f.max(1) as f64),
-                entries.to_string(),
-            ]);
-        }
-        print_table(
-            &format!("Figure 9 (right, b) — {wl_name}: initial-region-size sensitivity"),
-            &["initial", "false inv", "norm (vs 16KB)", "entries@end"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig9_sensitivity");
 }

@@ -1,107 +1,9 @@
-//! Figure 9 (left): the storage-vs-performance tradeoff that bounded
-//! splitting navigates.
-//!
-//! For TF and GC at 8 blades × 10 threads: false invalidations and
-//! directory entries under *fixed* region granularities (2 MB … 16 KB,
-//! splitting disabled, unbounded SRAM so the granularity is actually held)
-//! and under Bounded Splitting ("BS", default capacity).
-//!
-//! Expected shape (paper): small fixed regions → few false invalidations
-//! but many directory entries; large fixed regions → the opposite; BS
-//! lands near the small-region false-invalidation count with far fewer
-//! entries. False invalidations are normalized to the 2 MB value.
-
-use mind_bench::{cache_pages_for, dir_capacity_for, print_table, real_workload};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::split::SplitConfig;
-use mind_core::system::ConsistencyModel;
-use mind_sim::SimTime;
-use mind_workloads::runner::{run, RunConfig};
-
-const THREADS_PER_BLADE: u16 = 10;
-const BLADES: u16 = 8;
-const TOTAL_OPS: u64 = 400_000;
-
-struct Point {
-    label: String,
-    false_inv: u64,
-    entries: u64,
-}
-
-fn run_one(wl_name: &str, split: SplitConfig, dir_capacity: usize) -> Point {
-    let n_threads = BLADES * THREADS_PER_BLADE;
-    let mut wl = real_workload(wl_name, n_threads);
-    let regions = wl.regions();
-    let cfg = MindConfig {
-        n_compute: BLADES,
-        cache_pages: cache_pages_for(&regions),
-        dir_capacity,
-        split,
-        ..Default::default()
-    }
-    .consistency(ConsistencyModel::Tso);
-    let mut sys = MindCluster::new(cfg);
-    let report = run(
-        &mut sys,
-        &mut *wl,
-        RunConfig {
-            ops_per_thread: TOTAL_OPS / n_threads as u64,
-            warmup_ops_per_thread: 0,
-            threads_per_blade: THREADS_PER_BLADE,
-            think_time: SimTime::from_nanos(100),
-            interleave: false,
-        },
-    );
-    Point {
-        label: String::new(),
-        false_inv: report.metrics.get("false_invalidations"),
-        entries: report.metrics.get("directory_watermark"),
-    }
-}
+//! Thin wrapper over the `fig9_tradeoff` scenario table (see
+//! `mind_bench::figures`): builds the table, executes it on the
+//! environment-sized engine (`MIND_THREADS`), prints the paper-style
+//! rows, and writes `BENCH_fig9_tradeoff.json`. Pass `--quick` for the
+//! CI-sized variant.
 
 fn main() {
-    for wl_name in ["TF", "GC"] {
-        let regions = real_workload(wl_name, 8).regions();
-        let scaled_cap = dir_capacity_for(&regions);
-        let mut points = Vec::new();
-        for (label, k) in [
-            ("2MB", 21u8),
-            ("1MB", 20),
-            ("256KB", 18),
-            ("64KB", 16),
-            ("16KB", 14),
-        ] {
-            let mut p = run_one(wl_name, SplitConfig::fixed(k), usize::MAX / 2);
-            p.label = label.to_string();
-            points.push(p);
-        }
-        let mut bs = run_one(
-            wl_name,
-            SplitConfig {
-                epoch_len: SimTime::from_millis(2),
-                ..Default::default()
-            },
-            scaled_cap,
-        );
-        bs.label = "BS".to_string();
-        points.push(bs);
-
-        let norm = points[0].false_inv.max(1) as f64;
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                vec![
-                    p.label.clone(),
-                    p.false_inv.to_string(),
-                    format!("{:.3}", p.false_inv as f64 / norm),
-                    p.entries.to_string(),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("Figure 9 (left) — {wl_name}: region granularity tradeoff"),
-            &["region", "false inv", "norm (vs 2MB)", "dir entries"],
-            &rows,
-        );
-    }
+    mind_bench::figures::run_main("fig9_tradeoff");
 }

@@ -1,0 +1,44 @@
+//! The whole evaluation in one parallel invocation.
+//!
+//! Concatenates every figure's scenario table (see
+//! `mind_bench::figures::all`), fans the combined table across the
+//! engine's workers (`MIND_THREADS`, default `available_parallelism`),
+//! prints each figure's paper-style rows, and writes the combined
+//! `BENCH_suite.json` perf report — per-scenario metrics plus the
+//! `Metrics::merge` suite aggregate. Output is byte-identical for any
+//! worker count. Pass `--quick` for the CI-sized variant.
+
+use mind_harness::{report, Engine};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let figures = mind_bench::figures::all();
+
+    let mut table = Vec::new();
+    let mut spans = Vec::new();
+    for figure in &figures {
+        let scenarios = (figure.build)(quick);
+        spans.push(scenarios.len());
+        table.extend(scenarios);
+    }
+
+    let engine = Engine::from_env();
+    eprintln!(
+        "suite: {} scenarios across {} figures on {} worker(s){}",
+        table.len(),
+        figures.len(),
+        engine.threads(),
+        if quick { " (quick)" } else { "" },
+    );
+    let results = engine.run(table);
+
+    let mut offset = 0;
+    for (figure, span) in figures.iter().zip(spans) {
+        println!("\n#### {} — {}", figure.name, figure.title);
+        (figure.present)(&results[offset..offset + span]);
+        offset += span;
+    }
+
+    let path = report::write_suite("suite", &results).expect("write BENCH json");
+    println!("\nwrote {}", path.display());
+}

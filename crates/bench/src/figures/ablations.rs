@@ -1,0 +1,170 @@
+//! §8 ablations: coherence protocols beyond MSI, and sharer-aware thread
+//! placement.
+
+use mind_core::cluster::MindConfig;
+use mind_core::stt::{Protocol, SttTable};
+use mind_core::system::ConsistencyModel;
+use mind_harness::{footprint_pages, Scenario, ScenarioResult, SystemSpec, WorkloadSpec, REAL_WORKLOADS};
+use mind_workloads::kvs::KvsConfig;
+use mind_workloads::runner::RunConfig;
+
+use super::scaled_ops;
+use crate::print_table;
+
+// ---- Coherence protocols: MSI vs MESI vs MOESI ----
+//
+// The paper implements MSI and conjectures MOESI "may offer better
+// scalability by reducing broadcasts and write-backs" at the cost of a
+// larger state-transition table. Quantified here at 4 blades × 10
+// threads: MESI removes the S→M upgrade fault for private
+// read-then-write patterns; MOESI additionally removes the write-back on
+// M→S downgrades.
+
+const PROTO_BLADES: u16 = 4;
+const PROTO_TPB: u16 = 10;
+const PROTO_TOTAL_OPS: u64 = 400_000;
+const PROTOCOLS: [Protocol; 3] = [Protocol::Msi, Protocol::Mesi, Protocol::Moesi];
+
+/// Scenario table for the protocol ablation.
+pub fn protocols_build(quick: bool) -> Vec<Scenario> {
+    let total = scaled_ops(PROTO_TOTAL_OPS, quick);
+    let mut table = Vec::new();
+    for wl_name in REAL_WORKLOADS {
+        for protocol in PROTOCOLS {
+            let n_threads = PROTO_BLADES * PROTO_TPB;
+            let workload = WorkloadSpec::real(wl_name, n_threads);
+            let regions = workload.regions();
+            let cfg = MindConfig::scaled_to(footprint_pages(&regions), PROTO_BLADES)
+                .consistency(ConsistencyModel::Tso)
+                .protocol(protocol);
+            let ops_per_thread = total / n_threads as u64;
+            table.push(Scenario::replay(
+                format!("ablation_protocols/{wl_name}/{}", protocol.name()),
+                SystemSpec::Mind(cfg),
+                workload,
+                RunConfig {
+                    ops_per_thread,
+                    warmup_ops_per_thread: ops_per_thread / 2,
+                    threads_per_blade: PROTO_TPB,
+                    ..Default::default()
+                },
+            ));
+        }
+    }
+    table
+}
+
+/// Prints the protocol ablation.
+pub fn protocols_present(results: &[ScenarioResult]) {
+    let mut next = results.iter();
+    for wl_name in REAL_WORKLOADS {
+        let mut msi_runtime = None;
+        let rows: Vec<Vec<String>> = PROTOCOLS
+            .iter()
+            .map(|&protocol| {
+                let report = next.next().expect("table shape").report();
+                let base = *msi_runtime.get_or_insert(report.runtime);
+                vec![
+                    protocol.name().to_string(),
+                    format!(
+                        "{:.3}",
+                        base.as_nanos() as f64 / report.runtime.as_nanos() as f64
+                    ),
+                    report.metrics.get("upgrades").to_string(),
+                    report.metrics.get("flushed_pages").to_string(),
+                    report.metrics.get("invalidation_rounds").to_string(),
+                    SttTable::new(protocol).rows().to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("§8 ablation — {wl_name}: coherence protocol (perf normalized to MSI)"),
+            &[
+                "protocol",
+                "perf",
+                "upgrades",
+                "flushed",
+                "inv rounds",
+                "STT rows",
+            ],
+            &rows,
+        );
+    }
+}
+
+// ---- Thread placement: sharers split vs co-located ----
+//
+// A partitioned KVS under YCSB-A where threads `t` and `t + n/2` share a
+// partition. Grouped placement (`t / threads_per_blade`) puts the two
+// sharers of every partition on *different* blades — every shared write
+// ping-pongs; interleaved placement (`t % n_blades`) co-locates them —
+// shared writes become local cache hits.
+
+const PLACE_BLADES: u16 = 2;
+const PLACE_THREADS: u16 = 20;
+const PLACE_OPS_PER_THREAD: u64 = 15_000;
+
+/// Scenario table for the placement ablation: grouped, then co-located.
+pub fn placement_build(quick: bool) -> Vec<Scenario> {
+    let ops_per_thread = scaled_ops(PLACE_OPS_PER_THREAD, quick);
+    [("sharers-split", false), ("sharers-colocated", true)]
+        .into_iter()
+        .map(|(label, interleave)| {
+            let workload = WorkloadSpec::Kvs(KvsConfig {
+                n_partitions: PLACE_THREADS / 2,
+                locality: 1.0,
+                ..KvsConfig::ycsb_a(PLACE_THREADS)
+            });
+            let regions = workload.regions();
+            Scenario::replay(
+                format!("ablation_placement/{label}"),
+                SystemSpec::mind_scaled(&regions, PLACE_BLADES, ConsistencyModel::Tso),
+                workload,
+                RunConfig {
+                    ops_per_thread,
+                    warmup_ops_per_thread: ops_per_thread / 2,
+                    threads_per_blade: PLACE_THREADS / PLACE_BLADES,
+                    interleave,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Prints the placement ablation.
+pub fn placement_present(results: &[ScenarioResult]) {
+    let stat = |r: &ScenarioResult| {
+        let report = r.report();
+        (
+            report.mops,
+            report.window_metrics.get("invalidation_rounds"),
+            report.window_metrics.get("flushed_pages"),
+        )
+    };
+    let (g_mops, g_inv, g_flush) = stat(&results[0]);
+    let (c_mops, c_inv, c_flush) = stat(&results[1]);
+    print_table(
+        "§8 ablation — thread placement (KVS YCSB-A, sharers in pairs, 2 blades)",
+        &["placement", "MOPS", "inv rounds", "flushed"],
+        &[
+            vec![
+                "sharers split".into(),
+                format!("{g_mops:.3}"),
+                g_inv.to_string(),
+                g_flush.to_string(),
+            ],
+            vec![
+                "sharers co-located".into(),
+                format!("{c_mops:.3}"),
+                c_inv.to_string(),
+                c_flush.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nco-location speedup: {:.2}x — invalidations between co-located\n\
+         threads never leave the blade (§8 'Thread management')",
+        c_mops / g_mops
+    );
+}

@@ -1,116 +1,26 @@
-//! Shared support for the figure-regeneration harness.
+//! The figure-regeneration suite, as declarative scenario tables.
 //!
-//! Every table and figure in the paper's evaluation (§7) has a binary in
-//! `src/bin/` that prints the corresponding rows; this library holds the
-//! system factories (building MIND/GAM/FastSwap at a consistent *scale*)
-//! and the report formatting.
+//! Every table and figure in the paper's evaluation (§7–§8) is described
+//! in [`figures`] as a *scenario table* — pure data (system spec +
+//! workload spec + run parameters) executed by the
+//! [`mind_harness::Engine`] — plus a presentation function that prints the
+//! corresponding rows. Each `src/bin/` binary is a thin wrapper over one
+//! table; the `suite` binary runs every figure in a single parallel
+//! invocation and emits `BENCH_suite.json`.
 //!
 //! ## Scaling
 //!
 //! The paper's testbed workloads have ~2 GB footprints with 512 MB caches
 //! (25 %) and a 30 k-entry switch directory. Simulating a full run of that
-//! size per figure point would take hours, so the harness scales footprints
-//! down while holding the *ratios* fixed: cache = 25 % of footprint,
-//! directory entries ≈ 6 % of footprint pages (30 k / 500 k). Shapes — who
-//! wins, by what factor, where scaling breaks — are preserved; absolute
-//! seconds are not comparable to the paper's testbed (and are not meant to
-//! be).
+//! size per figure point would take hours, so the factories
+//! ([`mind_core::cluster::MindConfig::scaled_to`] and friends) scale
+//! footprints down while holding the *ratios* fixed: cache = 25 % of
+//! footprint, directory entries ≈ 6 % of footprint pages (30 k / 500 k).
+//! Shapes — who wins, by what factor, where scaling breaks — are
+//! preserved; absolute seconds are not comparable to the paper's testbed
+//! (and are not meant to be).
 
-use mind_baselines::{FastSwapConfig, FastSwapSystem, GamConfig, GamSystem};
-use mind_core::cluster::{MindCluster, MindConfig};
-use mind_core::system::ConsistencyModel;
-use mind_workloads::gc::{GcConfig, GcWorkload};
-use mind_workloads::memcached::{MemcachedConfig, MemcachedWorkload};
-use mind_workloads::tf::{TfConfig, TfWorkload};
-use mind_workloads::trace::Workload;
-
-/// The four real-world workloads of §7.1, by paper name.
-pub const REAL_WORKLOADS: [&str; 4] = ["TF", "GC", "MA", "MC"];
-
-/// Builds a real-world workload generator by paper name for `n_threads`.
-///
-/// # Panics
-///
-/// Panics on an unknown name.
-pub fn real_workload(name: &str, n_threads: u16) -> Box<dyn Workload> {
-    match name {
-        "TF" => Box::new(TfWorkload::new(TfConfig {
-            n_threads,
-            ..Default::default()
-        })),
-        "GC" => Box::new(GcWorkload::new(GcConfig {
-            n_threads,
-            ..Default::default()
-        })),
-        "MA" => Box::new(MemcachedWorkload::new(MemcachedConfig {
-            n_threads,
-            ..MemcachedConfig::workload_a()
-        })),
-        "MC" => Box::new(MemcachedWorkload::new(MemcachedConfig {
-            n_threads,
-            ..MemcachedConfig::workload_c()
-        })),
-        other => panic!("unknown workload {other}"),
-    }
-}
-
-/// Paper constants the scaling preserves as ratios.
-pub const CACHE_FRACTION: f64 = 0.25;
-/// Directory entries per footprint page (30 k entries / ~500 k pages).
-pub const DIR_ENTRIES_PER_PAGE: f64 = 0.06;
-
-/// Footprint in pages of a region list.
-pub fn footprint_pages(regions: &[u64]) -> u64 {
-    regions.iter().map(|len| len.div_ceil(4096)).sum()
-}
-
-/// Per-blade cache size (pages) for a workload footprint: 25 % of the
-/// total, floored so tiny workloads still have a working cache.
-pub fn cache_pages_for(regions: &[u64]) -> u32 {
-    ((footprint_pages(regions) as f64 * CACHE_FRACTION) as u32).max(256)
-}
-
-/// Scaled directory capacity for a workload footprint.
-pub fn dir_capacity_for(regions: &[u64]) -> usize {
-    ((footprint_pages(regions) as f64 * DIR_ENTRIES_PER_PAGE) as usize).max(512)
-}
-
-/// Builds a MIND rack sized for `regions` with `n_compute` blades.
-///
-/// The bounded-splitting epoch is scaled from the paper's 100 ms to 2 ms:
-/// harness runs simulate ~0.1–1 s of rack time instead of the testbed's
-/// 60–300 s, and the algorithm needs tens of epochs to stabilize region
-/// sizes (its O(log M) convergence, §5).
-pub fn mind_for(regions: &[u64], n_compute: u16, consistency: ConsistencyModel) -> MindCluster {
-    let mut cfg = MindConfig {
-        n_compute,
-        cache_pages: cache_pages_for(regions),
-        dir_capacity: dir_capacity_for(regions),
-        ..Default::default()
-    }
-    .consistency(consistency);
-    cfg.split.epoch_len = mind_sim::SimTime::from_millis(2);
-    MindCluster::new(cfg)
-}
-
-/// Builds a GAM system sized for `regions`.
-pub fn gam_for(regions: &[u64], n_compute: u16, threads_per_blade: u16) -> GamSystem {
-    GamSystem::new(GamConfig {
-        n_compute,
-        cache_pages: cache_pages_for(regions),
-        threads_per_blade,
-        ..Default::default()
-    })
-}
-
-/// Builds a FastSwap system sized for `regions` (single blade).
-pub fn fastswap_for(regions: &[u64]) -> FastSwapSystem {
-    FastSwapSystem::new(FastSwapConfig {
-        n_compute: 1,
-        cache_pages: cache_pages_for(regions),
-        ..Default::default()
-    })
-}
+pub mod figures;
 
 /// Prints a header row followed by aligned columns.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -131,32 +41,5 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     for row in rows {
         line(row);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn footprint_and_scaling_helpers() {
-        let regions = vec![4096 * 100, 4096 * 300];
-        assert_eq!(footprint_pages(&regions), 400);
-        assert_eq!(cache_pages_for(&regions), 256, "floored");
-        assert_eq!(dir_capacity_for(&regions), 512, "floored");
-        let big = vec![4096 * 100_000];
-        assert_eq!(cache_pages_for(&big), 25_000);
-        assert_eq!(dir_capacity_for(&big), 6_000);
-    }
-
-    #[test]
-    fn factories_build() {
-        let regions = vec![1 << 24];
-        let mind = mind_for(&regions, 2, ConsistencyModel::Tso);
-        assert_eq!(mind.config().n_compute, 2);
-        let gam = gam_for(&regions, 2, 10);
-        let _ = gam;
-        let fs = fastswap_for(&regions);
-        let _ = fs;
     }
 }

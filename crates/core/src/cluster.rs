@@ -19,6 +19,27 @@ use crate::protect::PermClass;
 use crate::split::{BoundedSplitting, SplitConfig};
 use crate::system::{AccessKind, AccessOutcome, ConsistencyModel, MemorySystem};
 
+/// Fraction of a workload footprint held in the compute-blade cache when
+/// scaling a rack down (the paper's 512 MB cache / ~2 GB footprint, §7).
+pub const CACHE_FRACTION: f64 = 0.25;
+
+/// Directory entries per footprint page when scaling a rack down (the
+/// paper's 30 k entries / ~500 k pages, Figure 8 left).
+pub const DIR_ENTRIES_PER_PAGE: f64 = 0.06;
+
+/// Compute-blade cache size (pages) for a workload of `footprint_pages`,
+/// holding [`CACHE_FRACTION`] and floored so tiny workloads still have a
+/// working cache.
+pub fn scaled_cache_pages(footprint_pages: u64) -> u32 {
+    ((footprint_pages as f64 * CACHE_FRACTION) as u32).max(256)
+}
+
+/// Switch-directory capacity for a workload of `footprint_pages`, holding
+/// [`DIR_ENTRIES_PER_PAGE`] with a floor.
+pub fn scaled_dir_capacity(footprint_pages: u64) -> usize {
+    ((footprint_pages as f64 * DIR_ENTRIES_PER_PAGE) as usize).max(512)
+}
+
 /// Configuration of a simulated MIND rack.
 #[derive(Debug, Clone, Copy)]
 pub struct MindConfig {
@@ -88,6 +109,25 @@ impl MindConfig {
             },
             ..Default::default()
         }
+    }
+
+    /// A rack scaled for a workload of `footprint_pages` with `n_compute`
+    /// compute blades, holding the paper's testbed *ratios* fixed rather
+    /// than its absolute sizes: cache = 25 % of footprint, directory ≈ 6 %
+    /// of footprint pages, and the bounded-splitting epoch scaled from the
+    /// testbed's 100 ms to 2 ms (harness runs simulate ~0.1–1 s of rack
+    /// time instead of 60–300 s, and the algorithm needs tens of epochs to
+    /// stabilize region sizes, §5). Shapes — who wins, by what factor,
+    /// where scaling breaks — are preserved; absolute seconds are not.
+    pub fn scaled_to(footprint_pages: u64, n_compute: u16) -> Self {
+        let mut cfg = MindConfig {
+            n_compute,
+            cache_pages: scaled_cache_pages(footprint_pages),
+            dir_capacity: scaled_dir_capacity(footprint_pages),
+            ..Default::default()
+        };
+        cfg.split.epoch_len = SimTime::from_millis(2);
+        cfg
     }
 
     /// The default rack resized to `n_compute` compute blades (Figure 5
@@ -445,6 +485,19 @@ impl MemorySystem for MindCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaled_to_holds_testbed_ratios() {
+        assert_eq!(scaled_cache_pages(100_000), 25_000);
+        assert_eq!(scaled_dir_capacity(100_000), 6_000);
+        assert_eq!(scaled_cache_pages(400), 256, "floored");
+        assert_eq!(scaled_dir_capacity(400), 512, "floored");
+        let cfg = MindConfig::scaled_to(100_000, 4);
+        assert_eq!(cfg.n_compute, 4);
+        assert_eq!(cfg.cache_pages, 25_000);
+        assert_eq!(cfg.dir_capacity, 6_000);
+        assert_eq!(cfg.split.epoch_len, SimTime::from_millis(2));
+    }
 
     fn functional_cluster() -> (MindCluster, Pid, u64) {
         let mut c = MindCluster::new(MindConfig::small());

@@ -1,0 +1,191 @@
+//! Serializing scenario results into `BENCH_<suite>.json` perf reports.
+//!
+//! Schema (stable, hand-rolled — see `crates/harness/src/json.rs`):
+//!
+//! ```json
+//! {
+//!   "suite": "fig5_intra",
+//!   "scenarios": [
+//!     {
+//!       "name": "fig5_intra/TF/MIND/t1",
+//!       "workload": "TF",            // replay scenarios only
+//!       "runtime_ns": 123,
+//!       "total_ops": 400000,
+//!       "mops": 1.5,
+//!       "remote_per_op": 0.01,
+//!       "invalidations_per_op": 0.0,
+//!       "flushed_per_op": 0.0,
+//!       "mean_remote_ns": 9100.0,
+//!       "latency_ns": { "fault": 1, "network": 2, "inv_queue": 3,
+//!                        "inv_tlb": 4, "software": 5 },
+//!       "window_metrics": { "...": 0 },
+//!       "metrics": { "...": 0 },
+//!       "values": { "...": 0.0 },    // custom scenarios
+//!       "series": { "name": [[x, y], ...] }
+//!     }
+//!   ],
+//!   "aggregate": {                    // Metrics::merge over all replays
+//!     "replayed_scenarios": 3,
+//!     "total_ops": 1200000,
+//!     "runtime_ns_sum": 456,
+//!     "window_metrics": { "...": 0 }
+//!   }
+//! }
+//! ```
+
+use std::path::PathBuf;
+
+use mind_sim::stats::Metrics;
+
+use crate::json::Json;
+use crate::scenario::ScenarioResult;
+
+fn metrics_json(m: &Metrics) -> Json {
+    Json::Obj(
+        m.iter()
+            .map(|(k, v)| (k.to_string(), Json::Int(v as i128)))
+            .collect(),
+    )
+}
+
+/// One scenario result as JSON.
+pub fn result_json(result: &ScenarioResult) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![("name".into(), Json::str(&result.name))];
+    if let Some(report) = &result.output.report {
+        pairs.push(("workload".into(), Json::str(&report.name)));
+        pairs.push(("runtime_ns".into(), Json::Int(report.runtime.as_nanos() as i128)));
+        pairs.push(("total_ops".into(), Json::Int(report.total_ops as i128)));
+        pairs.push(("mops".into(), Json::Num(report.mops)));
+        pairs.push(("remote_per_op".into(), Json::Num(report.remote_per_op)));
+        pairs.push((
+            "invalidations_per_op".into(),
+            Json::Num(report.invalidations_per_op),
+        ));
+        pairs.push(("flushed_per_op".into(), Json::Num(report.flushed_per_op)));
+        pairs.push(("mean_remote_ns".into(), Json::Num(report.mean_remote_ns)));
+        pairs.push((
+            "latency_ns".into(),
+            Json::obj([
+                ("fault", Json::Int(report.sum_fault_ns as i128)),
+                ("network", Json::Int(report.sum_network_ns as i128)),
+                ("inv_queue", Json::Int(report.sum_inv_queue_ns as i128)),
+                ("inv_tlb", Json::Int(report.sum_inv_tlb_ns as i128)),
+                ("software", Json::Int(report.sum_software_ns as i128)),
+            ]),
+        ));
+        pairs.push(("window_metrics".into(), metrics_json(&report.window_metrics)));
+        pairs.push(("metrics".into(), metrics_json(&report.metrics)));
+    }
+    if !result.output.values.is_empty() {
+        pairs.push((
+            "values".into(),
+            Json::Obj(
+                result
+                    .output
+                    .values
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !result.output.series.is_empty() {
+        pairs.push((
+            "series".into(),
+            Json::Obj(
+                result
+                    .output
+                    .series
+                    .iter()
+                    .map(|(k, points)| {
+                        (
+                            k.clone(),
+                            Json::Arr(
+                                points
+                                    .iter()
+                                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Suite-level aggregation over every replay result, built with
+/// [`Metrics::merge`] — the rack-wide totals a perf trajectory tracks.
+pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
+    let mut merged = Metrics::new();
+    let mut replayed = 0i128;
+    let mut total_ops = 0i128;
+    let mut runtime_ns_sum = 0i128;
+    for result in results {
+        if let Some(report) = &result.output.report {
+            merged.merge(&report.window_metrics);
+            replayed += 1;
+            total_ops += report.total_ops as i128;
+            runtime_ns_sum += report.runtime.as_nanos() as i128;
+        }
+    }
+    Json::obj([
+        ("replayed_scenarios", Json::Int(replayed)),
+        ("total_ops", Json::Int(total_ops)),
+        ("runtime_ns_sum", Json::Int(runtime_ns_sum)),
+        ("window_metrics", metrics_json(&merged)),
+    ])
+}
+
+/// The whole suite as one JSON document.
+pub fn suite_json(suite: &str, results: &[ScenarioResult]) -> Json {
+    Json::obj([
+        ("suite", Json::str(suite)),
+        (
+            "scenarios",
+            Json::Arr(results.iter().map(result_json).collect()),
+        ),
+        ("aggregate", aggregate_json(results)),
+    ])
+}
+
+/// Renders and writes `BENCH_<suite>.json` into the current directory (or
+/// `$MIND_BENCH_DIR` if set), returning the path written.
+pub fn write_suite(suite: &str, results: &[ScenarioResult]) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(std::env::var("MIND_BENCH_DIR").unwrap_or_else(|_| ".".to_string()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{suite}.json"));
+    std::fs::write(&path, suite_json(suite, results).render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOutput;
+
+    fn custom_result() -> ScenarioResult {
+        ScenarioResult {
+            name: "c".into(),
+            output: ScenarioOutput::default()
+                .value("x", 1.25)
+                .with_series("ts", vec![(0.0, 2.0)]),
+        }
+    }
+
+    #[test]
+    fn custom_result_serializes_values_and_series() {
+        let text = result_json(&custom_result()).render();
+        assert!(text.contains("\"x\": 1.25"));
+        assert!(text.contains("\"ts\""));
+        assert!(!text.contains("runtime_ns"), "no replay fields");
+    }
+
+    #[test]
+    fn suite_json_has_aggregate() {
+        let doc = suite_json("t", &[custom_result()]).render();
+        assert!(doc.contains("\"suite\": \"t\""));
+        assert!(doc.contains("\"replayed_scenarios\": 0"));
+    }
+}

@@ -401,4 +401,43 @@ mod tests {
         let names: Vec<_> = m.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["invalidations", "remote_accesses"]);
     }
+
+    #[test]
+    fn metrics_merge_diff_round_trip() {
+        // diff is merge's inverse: (a ∪ b) − b == a whenever every key of
+        // b also appears in the merge (which merge guarantees), so a
+        // windowed measurement (merge during, diff after) recovers exactly
+        // the window's contribution.
+        let mut a = Metrics::new();
+        a.add("remote_accesses", 7);
+        a.add("invalidations", 3);
+        let mut b = Metrics::new();
+        b.add("remote_accesses", 5);
+        b.add("flushed_pages", 2);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.get("remote_accesses"), 12);
+        assert_eq!(merged.get("flushed_pages"), 2);
+
+        let recovered = merged.diff(&b);
+        assert_eq!(recovered.get("remote_accesses"), a.get("remote_accesses"));
+        assert_eq!(recovered.get("invalidations"), a.get("invalidations"));
+        // Keys only in b diff away to zero (but stay present).
+        assert_eq!(recovered.get("flushed_pages"), 0);
+
+        // And merging the baseline back restores the merged totals.
+        let mut round = recovered;
+        round.merge(&b);
+        assert_eq!(round, merged);
+    }
+
+    #[test]
+    fn metrics_diff_saturates_at_zero() {
+        let mut a = Metrics::new();
+        a.add("x", 2);
+        let mut b = Metrics::new();
+        b.add("x", 5);
+        assert_eq!(a.diff(&b).get("x"), 0, "never underflows");
+    }
 }

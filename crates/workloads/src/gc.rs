@@ -83,8 +83,8 @@ impl GcWorkload {
 }
 
 impl Workload for GcWorkload {
-    fn name(&self) -> &'static str {
-        "GC"
+    fn name(&self) -> String {
+        "GC".to_string()
     }
 
     fn regions(&self) -> Vec<u64> {

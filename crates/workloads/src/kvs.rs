@@ -80,11 +80,15 @@ impl KvsWorkload {
 }
 
 impl Workload for KvsWorkload {
-    fn name(&self) -> &'static str {
-        match self.cfg.mix {
-            YcsbMix::A => "KVS-A",
-            YcsbMix::C => "KVS-C",
-        }
+    fn name(&self) -> String {
+        format!(
+            "KVS-{}(p={})",
+            match self.cfg.mix {
+                YcsbMix::A => "A",
+                YcsbMix::C => "C",
+            },
+            self.cfg.n_partitions
+        )
     }
 
     fn regions(&self) -> Vec<u64> {

@@ -118,11 +118,12 @@ impl MemcachedWorkload {
 }
 
 impl Workload for MemcachedWorkload {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> String {
         match self.cfg.mix {
             YcsbMix::A => "MA",
             YcsbMix::C => "MC",
         }
+        .to_string()
     }
 
     fn regions(&self) -> Vec<u64> {

@@ -65,8 +65,11 @@ impl MicroWorkload {
 }
 
 impl Workload for MicroWorkload {
-    fn name(&self) -> &'static str {
-        "micro"
+    fn name(&self) -> String {
+        format!(
+            "micro(r={},s={})",
+            self.cfg.read_ratio, self.cfg.sharing_ratio
+        )
     }
 
     fn regions(&self) -> Vec<u64> {

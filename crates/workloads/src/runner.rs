@@ -52,8 +52,8 @@ impl Default for RunConfig {
 /// Aggregated results of one replay.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Workload name.
-    pub name: &'static str,
+    /// Workload name; owned so swept scenarios carry their parameters.
+    pub name: String,
     /// Max thread clock at completion.
     pub runtime: SimTime,
     /// Total operations executed.
@@ -241,8 +241,8 @@ mod tests {
     }
 
     impl Workload for PingPong {
-        fn name(&self) -> &'static str {
-            "pingpong"
+        fn name(&self) -> String {
+            "pingpong".to_string()
         }
         fn regions(&self) -> Vec<u64> {
             vec![1 << 20]

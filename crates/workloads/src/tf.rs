@@ -76,8 +76,8 @@ impl TfWorkload {
 }
 
 impl Workload for TfWorkload {
-    fn name(&self) -> &'static str {
-        "TF"
+    fn name(&self) -> String {
+        "TF".to_string()
     }
 
     fn regions(&self) -> Vec<u64> {

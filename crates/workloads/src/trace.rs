@@ -22,8 +22,10 @@ pub struct TraceOp {
 /// stream of a thread is independent of global interleaving — the property
 /// that makes cross-system comparisons exact.
 pub trait Workload {
-    /// Short name for reports ("TF", "GC", "MA", "MC", ...).
-    fn name(&self) -> &'static str;
+    /// Name for reports ("TF", "GC", "MA", "MC", ...). Owned so
+    /// parameterized workloads can carry their sweep parameters (e.g.
+    /// `micro(r=0.5,s=1)`) into the report instead of a shared static label.
+    fn name(&self) -> String;
 
     /// Region sizes in bytes, allocated once by the runner before replay.
     fn regions(&self) -> Vec<u64>;

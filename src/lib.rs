@@ -14,10 +14,12 @@
 //! | [`core`] | §4–§6 | translation, protection, coherence, splitting |
 //! | [`baselines`] | §7 | GAM and FastSwap comparison systems |
 //! | [`workloads`] | §7.1 | TF / GC / MA / MC generators, trace runner |
-//! | [`bench`] | §7 | figure-regeneration harness |
+//! | [`harness`] | §7–§8 | declarative experiment engine: scenario tables, parallel execution, JSON reports |
+//! | [`bench`] | §7 | figure scenario tables and binaries |
 
 pub use mind_baselines as baselines;
 pub use mind_bench as bench;
+pub use mind_harness as harness;
 pub use mind_blade as blade;
 pub use mind_core as core;
 pub use mind_net as net;

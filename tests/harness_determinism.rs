@@ -1,0 +1,101 @@
+//! The engine's core guarantee: a scenario table executed across any
+//! number of worker threads produces output byte-identical to a serial
+//! run — thread scheduling decides only *when* a scenario runs, never
+//! *what* it computes.
+
+use mind::core::system::ConsistencyModel;
+use mind::harness::{report, Engine, Scenario, ScenarioOutput, SystemSpec, WorkloadSpec};
+use mind::workloads::kvs::KvsConfig;
+use mind::workloads::micro::MicroConfig;
+use mind::workloads::runner::RunConfig;
+
+/// A small but representative table: all three system kinds, two workload
+/// families, plus a custom scenario — and uneven per-scenario costs so a
+/// parallel run genuinely completes out of table order.
+fn table() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    let micro = WorkloadSpec::Micro(MicroConfig {
+        n_threads: 4,
+        shared_pages: 2_048,
+        private_pages: 256,
+        ..Default::default()
+    });
+    let regions = micro.regions();
+    let run = RunConfig {
+        ops_per_thread: 1_500,
+        warmup_ops_per_thread: 250,
+        threads_per_blade: 2,
+        ..Default::default()
+    };
+    for (i, system) in [
+        SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso),
+        SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Pso),
+        SystemSpec::gam_scaled(&regions, 2, 2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        scenarios.push(Scenario::replay(
+            format!("det/micro/{}/{i}", system.label()),
+            system,
+            micro,
+            run,
+        ));
+    }
+    let fs_run = RunConfig {
+        threads_per_blade: 4,
+        ..run
+    };
+    scenarios.push(Scenario::replay(
+        "det/micro/FastSwap",
+        SystemSpec::fastswap_scaled(&regions),
+        micro,
+        fs_run,
+    ));
+
+    let kvs = WorkloadSpec::Kvs(KvsConfig {
+        partition_pages: 64,
+        ..KvsConfig::ycsb_a(4)
+    });
+    let kvs_regions = kvs.regions();
+    scenarios.push(Scenario::replay(
+        "det/kvs/MIND",
+        SystemSpec::mind_scaled(&kvs_regions, 2, ConsistencyModel::Tso),
+        kvs,
+        run,
+    ));
+
+    scenarios.push(Scenario::custom("det/custom", || {
+        ScenarioOutput::default()
+            .value("answer", 42.0)
+            .with_series("ts", vec![(0.0, 1.0), (1.0, 0.5)])
+    }));
+    scenarios
+}
+
+#[test]
+fn parallel_suite_json_is_byte_identical_to_serial() {
+    let serial = Engine::new(1).run(table());
+    let reference = report::suite_json("determinism", &serial).render();
+    assert!(reference.contains("\"det/kvs/MIND\""));
+
+    for threads in [2, 4, 7] {
+        let parallel = Engine::new(threads).run(table());
+        let rendered = report::suite_json("determinism", &parallel).render();
+        assert_eq!(
+            rendered, reference,
+            "JSON diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn scenario_names_carry_sweep_parameters() {
+    let results = Engine::new(2).run(table());
+    assert_eq!(results[0].name, "det/micro/MIND/0");
+    assert_eq!(results[1].name, "det/micro/MIND-PSO/1");
+    // The workload-level report name is parameterized too (satellite:
+    // owned names instead of a shared static label).
+    assert_eq!(results[0].report().name, "micro(r=0.5,s=0.5)");
+    assert!(results[4].report().name.starts_with("KVS-A(p="));
+}
