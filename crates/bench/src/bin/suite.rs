@@ -6,39 +6,43 @@
 //! prints each figure's paper-style rows, and writes the combined
 //! `BENCH_suite.json` perf report — per-scenario metrics plus the
 //! `Metrics::merge` suite aggregate. Output is byte-identical for any
-//! worker count. Pass `--quick` for the CI-sized variant.
-
-use mind_harness::{report, Engine};
+//! worker count.
+//!
+//! Flags:
+//! - `--quick`: the CI-sized variant (smaller op budgets, shorter spans);
+//! - `--list`: print every figure name and title, run nothing;
+//! - `--filter <substr>`: run only figures whose name contains the
+//!   substring (e.g. `--filter service_qos` for a single figure, or
+//!   `--filter fig5` for a family). Unfiltered output is unaffected.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let figures = mind_bench::figures::all();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
 
-    let mut table = Vec::new();
-    let mut spans = Vec::new();
-    for figure in &figures {
-        let scenarios = (figure.build)(quick);
-        spans.push(scenarios.len());
-        table.extend(scenarios);
+    if args.iter().any(|a| a == "--list") {
+        for figure in mind_bench::figures::all() {
+            println!("{:<20} {}", figure.name, figure.title);
+        }
+        return;
     }
 
-    let engine = Engine::from_env();
-    eprintln!(
-        "suite: {} scenarios across {} figures on {} worker(s){}",
-        table.len(),
-        figures.len(),
-        engine.threads(),
-        if quick { " (quick)" } else { "" },
-    );
-    let results = engine.run(table);
-
-    let mut offset = 0;
-    for (figure, span) in figures.iter().zip(spans) {
-        println!("\n#### {} — {}", figure.name, figure.title);
-        (figure.present)(&results[offset..offset + span]);
-        offset += span;
+    let filter = args.iter().position(|a| a == "--filter").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--filter requires a substring argument (see --list)");
+            std::process::exit(2);
+        })
+    });
+    let figures = match &filter {
+        Some(substr) => mind_bench::figures::matching(substr),
+        None => mind_bench::figures::all(),
+    };
+    if figures.is_empty() {
+        eprintln!(
+            "no figure matches {:?} (see --list)",
+            filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
     }
 
-    let path = report::write_suite("suite", &results).expect("write BENCH json");
-    println!("\nwrote {}", path.display());
+    mind_bench::figures::run_suite("suite", &figures, quick);
 }

@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod service;
 
 /// One figure: a named scenario table plus its presentation.
 pub struct Figure {
@@ -117,7 +118,32 @@ pub fn all() -> Vec<Figure> {
             build: ablations::placement_build,
             present: ablations::placement_present,
         },
+        Figure {
+            name: "service_qos",
+            title: "service: per-class SLOs (p50/p99/p99.9) vs offered load",
+            build: service::qos_build,
+            present: service::qos_present,
+        },
+        Figure {
+            name: "service_churn",
+            title: "service: tenant churn, admission control, and TCAM reclamation",
+            build: service::churn_build,
+            present: service::churn_present,
+        },
+        Figure {
+            name: "service_elastic",
+            title: "service: elastic blade assignment vs per-tenant load",
+            build: service::elastic_build,
+            present: service::elastic_present,
+        },
     ]
+}
+
+/// The figure registry filtered to a name substring (the `--filter` flag
+/// of the `suite` binary; the `service` binary uses the `"service"`
+/// prefix).
+pub fn matching(filter: &str) -> Vec<Figure> {
+    all().into_iter().filter(|f| f.name.contains(filter)).collect()
 }
 
 /// Operation-count scaling: the quick (CI) variant divides op budgets by
@@ -144,5 +170,39 @@ pub fn run_main(name: &str) {
     let results = engine.run((figure.build)(quick));
     (figure.present)(&results);
     let path = report::write_suite(figure.name, &results).expect("write BENCH json");
+    println!("\nwrote {}", path.display());
+}
+
+/// Entry point shared by the multi-figure binaries (`suite`, `service`):
+/// concatenates the given figures' tables, fans the combined table across
+/// the engine's workers, prints each figure's rows, and writes
+/// `BENCH_<suite>.json`. Output is byte-identical for any worker count.
+pub fn run_suite(suite: &str, figures: &[Figure], quick: bool) {
+    let mut table = Vec::new();
+    let mut spans = Vec::new();
+    for figure in figures {
+        let scenarios = (figure.build)(quick);
+        spans.push(scenarios.len());
+        table.extend(scenarios);
+    }
+
+    let engine = Engine::from_env();
+    eprintln!(
+        "{suite}: {} scenarios across {} figures on {} worker(s){}",
+        table.len(),
+        figures.len(),
+        engine.threads(),
+        if quick { " (quick)" } else { "" },
+    );
+    let results = engine.run(table);
+
+    let mut offset = 0;
+    for (figure, span) in figures.iter().zip(spans) {
+        println!("\n#### {} — {}", figure.name, figure.title);
+        (figure.present)(&results[offset..offset + span]);
+        offset += span;
+    }
+
+    let path = report::write_suite(suite, &results).expect("write BENCH json");
     println!("\nwrote {}", path.display());
 }

@@ -1,0 +1,208 @@
+//! The `service` figure family: the multi-tenant serving layer
+//! (`mind_service`) swept along its three new axes — offered load vs QoS
+//! class, tenant churn, and per-tenant elasticity.
+//!
+//! These figures go beyond the paper: §4.2's protection domains and the
+//! controller's round-robin placement exist there as *mechanisms*; here
+//! they are driven the way a shared rack is driven — many tenants
+//! arriving, leaving, and contending at once — and judged by the numbers
+//! an operator owes each tenant (p50/p99/p99.9, throughput, rejects).
+
+use mind_harness::{Scenario, ScenarioResult, ServiceSpec};
+use mind_service::ServiceConfig;
+use mind_sim::SimTime;
+
+use crate::print_table;
+
+/// Simulated span per scenario; the quick (CI) variant shortens the run
+/// but keeps every sweep point.
+fn span(quick: bool) -> SimTime {
+    if quick {
+        SimTime::from_millis(60)
+    } else {
+        SimTime::from_millis(250)
+    }
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+// ---- service_qos: per-class SLOs vs offered load ----
+//
+// The same tenant mix offered at 1x / 2x / 3x the dispatcher's capacity.
+// Expected shape: at 1x every class meets a tight tail; at 2x Gold's
+// weighted share still covers its demand (short p99) while Silver backs
+// up and BestEffort starts starving; at 3x BestEffort serves almost
+// nothing and absorbs nearly all rejected requests.
+
+const QOS_LOADS: [f64; 3] = [1.0, 2.0, 3.0];
+
+/// Scenario table for the QoS figure.
+pub fn qos_build(quick: bool) -> Vec<Scenario> {
+    QOS_LOADS
+        .iter()
+        .map(|&factor| {
+            let cfg = ServiceConfig {
+                duration: span(quick),
+                ..Default::default()
+            }
+            .load_scaled(factor);
+            Scenario::service(
+                format!("service_qos/load{factor}"),
+                ServiceSpec::new(cfg),
+            )
+        })
+        .collect()
+}
+
+/// Prints the QoS figure.
+pub fn qos_present(results: &[ScenarioResult]) {
+    for (result, &factor) in results.iter().zip(&QOS_LOADS) {
+        let report = result.service();
+        let rows: Vec<Vec<String>> = report
+            .classes
+            .iter()
+            .map(|c| {
+                vec![
+                    c.qos.label().to_string(),
+                    c.tenants_admitted.to_string(),
+                    c.ops.to_string(),
+                    format!("{:.3}", c.mops),
+                    us(c.p50_ns),
+                    us(c.p99_ns),
+                    us(c.p999_ns),
+                    c.rejected_requests.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "service — QoS classes at {factor}x load ({} tenants, {} ops)",
+                report.tenants_admitted, report.total_ops
+            ),
+            &[
+                "class", "tenants", "ops", "MOPS", "p50(us)", "p99(us)", "p99.9(us)", "rejected",
+            ],
+            &rows,
+        );
+    }
+}
+
+// ---- service_churn: tenant lifecycle under increasing arrival rates ----
+//
+// Short-lived tenants arriving ever faster. Expected shape: admissions
+// scale with the arrival rate until memory pressure engages (BestEffort
+// refused first); departures track admissions (no tenant leaks); the
+// match-action rule count at the end stays bounded because departed
+// tenants' TCAM entries are reclaimed.
+
+const CHURN_ARRIVALS: [f64; 3] = [200.0, 800.0, 3_200.0];
+
+/// Scenario table for the churn figure.
+pub fn churn_build(quick: bool) -> Vec<Scenario> {
+    CHURN_ARRIVALS
+        .iter()
+        .map(|&rate| {
+            let cfg = ServiceConfig {
+                duration: span(quick),
+                arrival_rate_hz: rate,
+                mean_lifetime: SimTime::from_millis(20),
+                ..Default::default()
+            };
+            Scenario::service(
+                format!("service_churn/arrivals{rate}"),
+                ServiceSpec::new(cfg),
+            )
+        })
+        .collect()
+}
+
+/// Prints the churn figure.
+pub fn churn_present(results: &[ScenarioResult]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(&CHURN_ARRIVALS)
+        .map(|(result, &rate)| {
+            let r = result.service();
+            vec![
+                format!("{rate}"),
+                r.tenants_admitted.to_string(),
+                r.tenants_rejected.to_string(),
+                r.tenants_departed.to_string(),
+                r.tenants_live.to_string(),
+                r.peak_live_tenants.to_string(),
+                format!("{:.3}", r.memory_utilization),
+                r.match_action_rules.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "service — tenant churn vs arrival rate (20 ms mean lifetime)",
+        &[
+            "arrivals/s", "admitted", "refused", "departed", "live", "peak", "mem util", "rules",
+        ],
+        &rows,
+    );
+}
+
+// ---- service_elastic: blade footprint vs offered load ----
+//
+// A few long-lived tenants, swept over per-tenant offered load with a
+// fixed per-blade capacity. Expected shape: light tenants stay on one
+// blade; heavier tenants grow toward the rack's four compute blades
+// (peak blade count rises with the rate), and served throughput rises
+// with the extra compute until dispatch capacity caps it.
+
+const ELASTIC_RATES: [f64; 3] = [2_000.0, 20_000.0, 80_000.0];
+
+/// Scenario table for the elasticity figure.
+pub fn elastic_build(quick: bool) -> Vec<Scenario> {
+    ELASTIC_RATES
+        .iter()
+        .map(|&rate| {
+            let cfg = ServiceConfig {
+                duration: span(quick),
+                arrival_rate_hz: 100.0,
+                mean_lifetime: SimTime::from_millis(80),
+                min_rate_hz: rate,
+                max_rate_hz: rate,
+                blade_capacity_hz: 20_000.0,
+                ..Default::default()
+            };
+            Scenario::service(
+                format!("service_elastic/rate{rate}"),
+                ServiceSpec::new(cfg),
+            )
+        })
+        .collect()
+}
+
+/// Prints the elasticity figure.
+pub fn elastic_present(results: &[ScenarioResult]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(&ELASTIC_RATES)
+        .map(|(result, &rate)| {
+            let r = result.service();
+            let n = r.tenants.len().max(1) as f64;
+            let mean_peak: f64 = r.tenants.iter().map(|t| t.blades_peak as f64).sum::<f64>() / n;
+            let max_peak = r.tenants.iter().map(|t| t.blades_peak).max().unwrap_or(0);
+            vec![
+                format!("{rate}"),
+                r.tenants_admitted.to_string(),
+                format!("{mean_peak:.2}"),
+                max_peak.to_string(),
+                r.total_ops.to_string(),
+                format!("{:.3}", r.total_ops as f64 / r.duration.as_secs_f64() / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "service — elastic blade assignment vs per-tenant offered load (20 k/s per blade)",
+        &[
+            "req/s/tenant", "tenants", "mean peak blades", "max peak", "ops", "MOPS",
+        ],
+        &rows,
+    );
+}

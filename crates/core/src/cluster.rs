@@ -260,6 +260,16 @@ impl MindCluster {
         self.controller.place_thread(pid)
     }
 
+    /// Retires one thread of `pid` from `blade` (elastic shrink).
+    pub fn unplace_thread(&mut self, pid: Pid, blade: u16) -> Result<bool, SysError> {
+        self.controller.unplace_thread(pid, blade)
+    }
+
+    /// The control program (process/thread roster inspection).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
     // ----- Memory access -----
 
     /// One LOAD/STORE by a thread of `pid` on `blade` at time `now`.
@@ -434,6 +444,22 @@ impl MindCluster {
     /// Bytes allocated per memory blade (Figure 8 right).
     pub fn allocated_per_blade(&self) -> Vec<u64> {
         self.controller.allocator().allocated_per_blade()
+    }
+
+    /// Fraction of the rack's disaggregated memory currently allocated,
+    /// in `[0, 1]` — the pressure signal a serving layer's admission
+    /// control reads before admitting a tenant.
+    pub fn memory_utilization(&self) -> f64 {
+        let allocated: u64 = self.allocated_per_blade().iter().sum();
+        let capacity = self.cfg.n_memory as u64 * self.cfg.memory_blade_bytes;
+        allocated as f64 / capacity as f64
+    }
+
+    /// Protection TCAM entries installed for one protection domain
+    /// (tenant-isolation accounting: must return to zero after the
+    /// domain's owner exits).
+    pub fn protection_entries_for(&self, pdid: crate::protect::Pdid) -> usize {
+        self.engine.protection_entries_for(pdid)
     }
 
     /// The bounded-splitting driver (reporting).
@@ -620,6 +646,29 @@ mod tests {
             .unwrap();
         assert!(out.remote);
         assert!(c.match_action_rules() > 0);
+    }
+
+    #[test]
+    fn memory_utilization_tracks_allocation() {
+        let mut c = MindCluster::new(MindConfig::small());
+        assert_eq!(c.memory_utilization(), 0.0);
+        let pid = c.exec().unwrap();
+        // Small config: 2 blades x 64 MB; a 32 MB vma is 1/4 of capacity.
+        let base = c.mmap(pid, 1 << 25).unwrap();
+        assert!((c.memory_utilization() - 0.25).abs() < 1e-9);
+        c.munmap(SimTime::ZERO, pid, base).unwrap();
+        assert_eq!(c.memory_utilization(), 0.0);
+    }
+
+    #[test]
+    fn protection_entries_reclaimed_on_exit() {
+        let mut c = MindCluster::new(MindConfig::small());
+        let pid = c.exec().unwrap();
+        c.mmap(pid, 1 << 16).unwrap();
+        c.mmap(pid, 1 << 20).unwrap();
+        assert!(c.protection_entries_for(pid) >= 2);
+        c.exit(SimTime::ZERO, pid).unwrap();
+        assert_eq!(c.protection_entries_for(pid), 0, "TCAM reclaimed");
     }
 
     #[test]

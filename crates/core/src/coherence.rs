@@ -882,4 +882,9 @@ impl CoherenceEngine {
     pub fn rule_count(&self) -> usize {
         self.translation.rule_count() + self.protection.rule_count()
     }
+
+    /// Protection TCAM entries installed for one protection domain.
+    pub fn protection_entries_for(&self, pdid: crate::protect::Pdid) -> usize {
+        self.protection.entries_for(pdid)
+    }
 }

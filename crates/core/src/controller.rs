@@ -128,6 +128,19 @@ impl Controller {
         Ok(blade)
     }
 
+    /// Retires one thread of `pid` from `blade` (elastic shrink): removes
+    /// one matching registration. Returns whether one was found.
+    pub fn unplace_thread(&mut self, pid: Pid, blade: u16) -> Result<bool, SysError> {
+        let p = self.processes.get_mut(&pid).ok_or(SysError::NoProcess)?;
+        match p.blades.iter().position(|&b| b == blade) {
+            Some(idx) => {
+                p.blades.remove(idx);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// `mmap`: allocates a vma on the least-loaded memory blade and installs
     /// the `<PDID, vma> → PC` protection entry.
     pub fn mmap(
@@ -356,6 +369,20 @@ mod tests {
         let blades: Vec<u16> = (0..6).map(|_| ctl.place_thread(pid).unwrap()).collect();
         assert_eq!(blades, vec![0, 1, 2, 3, 0, 1]);
         assert!(ctl.place_thread(999).is_err());
+    }
+
+    #[test]
+    fn unplace_thread_retires_one_registration() {
+        let (mut ctl, _) = setup();
+        let pid = ctl.exec();
+        for _ in 0..5 {
+            ctl.place_thread(pid).unwrap(); // Blades 0,1,2,3,0.
+        }
+        assert_eq!(ctl.unplace_thread(pid, 0), Ok(true));
+        assert_eq!(ctl.process(pid).unwrap().blades, vec![1, 2, 3, 0]);
+        assert_eq!(ctl.unplace_thread(pid, 0), Ok(true));
+        assert_eq!(ctl.unplace_thread(pid, 0), Ok(false), "none left");
+        assert_eq!(ctl.unplace_thread(999, 0), Err(SysError::NoProcess));
     }
 
     #[test]

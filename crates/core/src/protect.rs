@@ -175,6 +175,13 @@ impl ProtectionTable {
         self.tcam.used()
     }
 
+    /// Installed TCAM entries belonging to one protection domain — the
+    /// quantity a multi-tenant control plane must drive back to zero when
+    /// the domain's owner departs.
+    pub fn entries_for(&self, pdid: Pdid) -> usize {
+        self.tcam.iter().filter(|(e, _)| e.ctx == pdid).count()
+    }
+
     /// Checks performed.
     pub fn checks(&self) -> u64 {
         self.checks

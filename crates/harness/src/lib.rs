@@ -46,4 +46,4 @@ pub mod spec;
 pub use engine::Engine;
 pub use json::Json;
 pub use scenario::{ReplaySpec, Scenario, ScenarioKind, ScenarioOutput, ScenarioResult};
-pub use spec::{footprint_pages, SystemSpec, WorkloadSpec, REAL_WORKLOADS};
+pub use spec::{footprint_pages, ServiceSpec, SystemSpec, WorkloadSpec, REAL_WORKLOADS};

@@ -18,8 +18,11 @@
 //!       "mean_remote_ns": 9100.0,
 //!       "latency_ns": { "fault": 1, "network": 2, "inv_queue": 3,
 //!                        "inv_tlb": 4, "software": 5 },
+//!       "latency_percentiles_ns": { "p50": 1, "p99": 2, "p999": 3 },
 //!       "window_metrics": { "...": 0 },
 //!       "metrics": { "...": 0 },
+//!       "service": { "...": 0 },     // service scenarios: churn totals,
+//!                                    // per-class and per-tenant SLOs
 //!       "values": { "...": 0.0 },    // custom scenarios
 //!       "series": { "name": [[x, y], ...] }
 //!     }
@@ -35,7 +38,8 @@
 
 use std::path::PathBuf;
 
-use mind_sim::stats::Metrics;
+use mind_service::{ServiceReport, TenantSlo};
+use mind_sim::stats::{Histogram, Metrics};
 
 use crate::json::Json;
 use crate::scenario::ScenarioResult;
@@ -46,6 +50,75 @@ fn metrics_json(m: &Metrics) -> Json {
             .map(|(k, v)| (k.to_string(), Json::Int(v as i128)))
             .collect(),
     )
+}
+
+/// The latency-percentile block: p50, p99, and the deep-tail p99.9 that
+/// per-tenant SLOs are written against.
+fn percentiles_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("p50", Json::Int(h.quantile(0.5) as i128)),
+        ("p99", Json::Int(h.quantile(0.99) as i128)),
+        ("p999", Json::Int(h.quantile(0.999) as i128)),
+    ])
+}
+
+fn tenant_json(t: &TenantSlo) -> Json {
+    Json::obj([
+        ("tenant", Json::Int(t.tenant as i128)),
+        ("class", Json::str(t.qos.label())),
+        ("pages", Json::Int(t.pages as i128)),
+        ("arrived_at_ns", Json::Int(t.arrived_at.as_nanos() as i128)),
+        ("departed", Json::Bool(t.departed)),
+        ("ops", Json::Int(t.ops as i128)),
+        ("rejected", Json::Int(t.rejected as i128)),
+        ("mops", Json::Num(t.mops)),
+        ("p50_ns", Json::Int(t.p50_ns as i128)),
+        ("p99_ns", Json::Int(t.p99_ns as i128)),
+        ("p999_ns", Json::Int(t.p999_ns as i128)),
+        ("mean_ns", Json::Num(t.mean_ns)),
+        ("blades_peak", Json::Int(t.blades_peak as i128)),
+    ])
+}
+
+/// A service scenario's report as JSON: churn totals, per-class SLO
+/// aggregates, and the per-tenant records.
+pub fn service_json(s: &ServiceReport) -> Json {
+    Json::obj([
+        ("duration_ns", Json::Int(s.duration.as_nanos() as i128)),
+        ("tenants_admitted", Json::Int(s.tenants_admitted as i128)),
+        ("tenants_rejected", Json::Int(s.tenants_rejected as i128)),
+        ("tenants_departed", Json::Int(s.tenants_departed as i128)),
+        ("tenants_live", Json::Int(s.tenants_live as i128)),
+        ("peak_live_tenants", Json::Int(s.peak_live_tenants as i128)),
+        ("total_ops", Json::Int(s.total_ops as i128)),
+        ("rejected_requests", Json::Int(s.rejected_requests as i128)),
+        ("memory_utilization", Json::Num(s.memory_utilization)),
+        ("match_action_rules", Json::Int(s.match_action_rules as i128)),
+        (
+            "classes",
+            Json::Arr(
+                s.classes
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("class", Json::str(c.qos.label())),
+                            ("tenants_admitted", Json::Int(c.tenants_admitted as i128)),
+                            ("tenants_rejected", Json::Int(c.tenants_rejected as i128)),
+                            ("ops", Json::Int(c.ops as i128)),
+                            ("rejected_requests", Json::Int(c.rejected_requests as i128)),
+                            ("mops", Json::Num(c.mops)),
+                            ("p50_ns", Json::Int(c.p50_ns as i128)),
+                            ("p99_ns", Json::Int(c.p99_ns as i128)),
+                            ("p999_ns", Json::Int(c.p999_ns as i128)),
+                            ("mean_ns", Json::Num(c.mean_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("tenants", Json::Arr(s.tenants.iter().map(tenant_json).collect())),
+        ("metrics", metrics_json(&s.metrics)),
+    ])
 }
 
 /// One scenario result as JSON.
@@ -64,6 +137,10 @@ pub fn result_json(result: &ScenarioResult) -> Json {
         pairs.push(("flushed_per_op".into(), Json::Num(report.flushed_per_op)));
         pairs.push(("mean_remote_ns".into(), Json::Num(report.mean_remote_ns)));
         pairs.push((
+            "latency_percentiles_ns".into(),
+            percentiles_json(&report.latency),
+        ));
+        pairs.push((
             "latency_ns".into(),
             Json::obj([
                 ("fault", Json::Int(report.sum_fault_ns as i128)),
@@ -75,6 +152,9 @@ pub fn result_json(result: &ScenarioResult) -> Json {
         ));
         pairs.push(("window_metrics".into(), metrics_json(&report.window_metrics)));
         pairs.push(("metrics".into(), metrics_json(&report.metrics)));
+    }
+    if let Some(service) = &result.output.service {
+        pairs.push(("service".into(), service_json(service)));
     }
     if !result.output.values.is_empty() {
         pairs.push((
@@ -122,6 +202,8 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
     let mut replayed = 0i128;
     let mut total_ops = 0i128;
     let mut runtime_ns_sum = 0i128;
+    let mut service_scenarios = 0i128;
+    let mut service_ops = 0i128;
     for result in results {
         if let Some(report) = &result.output.report {
             merged.merge(&report.window_metrics);
@@ -129,11 +211,17 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
             total_ops += report.total_ops as i128;
             runtime_ns_sum += report.runtime.as_nanos() as i128;
         }
+        if let Some(service) = &result.output.service {
+            service_scenarios += 1;
+            service_ops += service.total_ops as i128;
+        }
     }
     Json::obj([
         ("replayed_scenarios", Json::Int(replayed)),
         ("total_ops", Json::Int(total_ops)),
         ("runtime_ns_sum", Json::Int(runtime_ns_sum)),
+        ("service_scenarios", Json::Int(service_scenarios)),
+        ("service_ops", Json::Int(service_ops)),
         ("window_metrics", metrics_json(&merged)),
     ])
 }
@@ -187,5 +275,73 @@ mod tests {
         let doc = suite_json("t", &[custom_result()]).render();
         assert!(doc.contains("\"suite\": \"t\""));
         assert!(doc.contains("\"replayed_scenarios\": 0"));
+        assert!(doc.contains("\"service_scenarios\": 0"));
+    }
+
+    fn replay_result() -> ScenarioResult {
+        use crate::spec::{SystemSpec, WorkloadSpec};
+        use mind_core::system::ConsistencyModel;
+        use mind_workloads::micro::MicroConfig;
+        use mind_workloads::runner::RunConfig;
+
+        let wl = WorkloadSpec::Micro(MicroConfig {
+            n_threads: 2,
+            shared_pages: 64,
+            private_pages: 8,
+            ..Default::default()
+        });
+        let regions = wl.regions();
+        crate::Scenario::replay(
+            "r",
+            SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso),
+            wl,
+            RunConfig {
+                ops_per_thread: 200,
+                ..Default::default()
+            },
+        )
+        .execute()
+    }
+
+    #[test]
+    fn replay_result_serializes_latency_percentiles() {
+        let result = replay_result();
+        let text = result_json(&result).render();
+        assert!(text.contains("\"latency_percentiles_ns\""));
+        assert!(text.contains("\"p999\""));
+        // Round-trip: the serialized integers are the histogram's cuts.
+        let report = result.report();
+        for (key, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+            let expect = format!("\"{key}\": {}", report.latency.quantile(q));
+            assert!(text.contains(&expect), "missing {expect}");
+        }
+    }
+
+    fn service_result() -> ScenarioResult {
+        use crate::spec::ServiceSpec;
+        crate::Scenario::service(
+            "s",
+            ServiceSpec::new(mind_service::ServiceConfig {
+                duration: mind_sim::SimTime::from_millis(10),
+                ..Default::default()
+            }),
+        )
+        .execute()
+    }
+
+    #[test]
+    fn service_result_serializes_slo_report() {
+        let result = service_result();
+        let text = result_json(&result).render();
+        assert!(text.contains("\"service\""));
+        assert!(text.contains("\"tenants_admitted\""));
+        assert!(text.contains("\"class\": \"Gold\""));
+        assert!(text.contains("\"p999_ns\""));
+        assert!(!text.contains("\"runtime_ns\""), "no replay fields");
+        // The aggregate counts service work.
+        let doc = suite_json("svc", &[service_result()]).render();
+        assert!(doc.contains("\"service_scenarios\": 1"));
+        let ops = service_result().service().total_ops;
+        assert!(doc.contains(&format!("\"service_ops\": {ops}")));
     }
 }

@@ -1,8 +1,9 @@
 //! Scenarios: one experiment point as data, plus its execution result.
 
+use mind_service::ServiceReport;
 use mind_workloads::runner::{self, RunConfig, RunReport};
 
-use crate::spec::{SystemSpec, WorkloadSpec};
+use crate::spec::{ServiceSpec, SystemSpec, WorkloadSpec};
 
 /// A replay scenario's data: what to build and how to run it.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +23,10 @@ pub enum ScenarioKind {
     /// from their specs, so execution is identical regardless of which
     /// thread runs it or when.
     Replay(Box<ReplaySpec>),
+    /// A multi-tenant serving run (`mind_service`): the worker builds the
+    /// whole service (rack included) from the spec and runs its
+    /// deterministic event loop.
+    Service(Box<ServiceSpec>),
     /// An arbitrary deterministic experiment (e.g. Figure 7's orchestrated
     /// MSI transitions, Figure 8's rule counting) — must be a pure function
     /// of its captured configuration for the engine's determinism guarantee
@@ -57,6 +62,14 @@ impl Scenario {
         }
     }
 
+    /// A multi-tenant serving scenario.
+    pub fn service(name: impl Into<String>, spec: ServiceSpec) -> Self {
+        Scenario {
+            name: name.into(),
+            kind: ScenarioKind::Service(Box::new(spec)),
+        }
+    }
+
     /// A custom deterministic scenario.
     pub fn custom(name: impl Into<String>, f: impl Fn() -> ScenarioOutput + Send + 'static) -> Self {
         Scenario {
@@ -73,6 +86,7 @@ impl Scenario {
                 let mut wl = spec.workload.build();
                 ScenarioOutput::from_report(runner::run(sys.as_mut(), wl.as_mut(), spec.run))
             }
+            ScenarioKind::Service(spec) => ScenarioOutput::from_service(spec.run()),
             ScenarioKind::Custom(f) => f(),
         };
         ScenarioResult {
@@ -89,6 +103,8 @@ impl Scenario {
 pub struct ScenarioOutput {
     /// Full replay report, when the scenario ran the trace runner.
     pub report: Option<RunReport>,
+    /// Full service report, when the scenario ran a multi-tenant service.
+    pub service: Option<ServiceReport>,
     /// Named scalar results, in insertion order (serialized as-is).
     pub values: Vec<(String, f64)>,
     /// Named `(x, y)` series, e.g. directory entries over time.
@@ -100,6 +116,14 @@ impl ScenarioOutput {
     pub fn from_report(report: RunReport) -> Self {
         ScenarioOutput {
             report: Some(report),
+            ..Default::default()
+        }
+    }
+
+    /// Output wrapping a service report.
+    pub fn from_service(report: ServiceReport) -> Self {
+        ScenarioOutput {
+            service: Some(report),
             ..Default::default()
         }
     }
@@ -138,6 +162,18 @@ impl ScenarioResult {
             .report
             .as_ref()
             .unwrap_or_else(|| panic!("scenario {} has no replay report", self.name))
+    }
+
+    /// The service report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this was not a service scenario.
+    pub fn service(&self) -> &ServiceReport {
+        self.output
+            .service
+            .as_ref()
+            .unwrap_or_else(|| panic!("scenario {} has no service report", self.name))
     }
 
     /// A named scalar produced by a custom scenario.
@@ -187,6 +223,19 @@ mod tests {
         let report = result.report();
         assert_eq!(report.total_ops, 400);
         assert!(report.name.starts_with("micro("), "parameterized name");
+    }
+
+    #[test]
+    fn service_scenario_produces_service_report() {
+        let spec = ServiceSpec::new(mind_service::ServiceConfig {
+            duration: mind_sim::SimTime::from_millis(10),
+            ..Default::default()
+        });
+        let result = Scenario::service("svc", spec).execute();
+        assert_eq!(result.name, "svc");
+        let report = result.service();
+        assert!(report.tenants_admitted > 0);
+        assert!(result.output.report.is_none(), "not a replay");
     }
 
     #[test]

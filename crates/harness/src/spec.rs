@@ -9,6 +9,7 @@
 use mind_baselines::{FastSwapConfig, FastSwapSystem, GamConfig, GamSystem};
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::system::{ConsistencyModel, MemorySystem};
+use mind_service::{MemoryService, ServiceConfig, ServiceReport};
 use mind_workloads::gc::{GcConfig, GcWorkload};
 use mind_workloads::kvs::{KvsConfig, KvsWorkload};
 use mind_workloads::memcached::{MemcachedConfig, MemcachedWorkload};
@@ -77,6 +78,28 @@ impl SystemSpec {
             SystemSpec::Gam(cfg) => Box::new(GamSystem::new(cfg)),
             SystemSpec::FastSwap(cfg) => Box::new(FastSwapSystem::new(cfg)),
         }
+    }
+}
+
+/// A multi-tenant serving scenario, as configuration data: the whole
+/// churn × QoS × elasticity axis of `mind_service`, fanned out by the
+/// engine like any other scenario (a service run is a pure function of
+/// its config, so workers rebuild it identically).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSpec {
+    /// Full service configuration (rack + churn + QoS + load model).
+    pub cfg: ServiceConfig,
+}
+
+impl ServiceSpec {
+    /// Wraps a service configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        ServiceSpec { cfg }
+    }
+
+    /// Builds and runs the service. Called inside engine workers.
+    pub fn run(&self) -> ServiceReport {
+        MemoryService::new(self.cfg).run()
     }
 }
 
@@ -173,6 +196,19 @@ mod tests {
             let op = wl.next_op(0);
             assert!((op.region as usize) < spec.regions().len());
         }
+    }
+
+    #[test]
+    fn service_spec_runs_deterministically() {
+        let cfg = ServiceConfig {
+            duration: mind_sim::SimTime::from_millis(10),
+            ..Default::default()
+        };
+        let a = ServiceSpec::new(cfg).run();
+        let b = ServiceSpec::new(cfg).run();
+        assert!(a.tenants_admitted > 0);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Admission control and the weighted round-robin slot planner.
+//!
+//! Two pure decision procedures, kept free of simulation state so they are
+//! unit-testable and the service loop stays a thin driver:
+//!
+//! - [`admit`]: may a tenant of a given class join, given current memory
+//!   pressure? Each QoS class has a utilization ceiling (see
+//!   [`QosClass::admit_ceiling`]): BestEffort arrivals are refused first
+//!   as the rack fills, Gold last.
+//! - [`wrr_shares`]: how many of a dispatch quantum's slots does each
+//!   class receive? Slots are split by class weight, capped by demand, and
+//!   leftover capacity spills to the highest-priority class with unmet
+//!   demand (work-conserving: no slot idles while any queue is non-empty).
+
+use crate::qos::QosClass;
+
+/// Why an arrival was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Projected memory utilization exceeds the class ceiling.
+    MemoryPressure,
+    /// The rack itself refused the allocation (out of memory or TCAM).
+    RackFull,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::MemoryPressure => write!(f, "memory pressure"),
+            AdmitError::RackFull => write!(f, "rack full"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Admission check: a tenant of `qos` asking for `footprint_frac` of the
+/// rack's memory may join only if the projected utilization stays under
+/// its class ceiling.
+pub fn admit(utilization: f64, footprint_frac: f64, qos: QosClass) -> Result<(), AdmitError> {
+    if utilization + footprint_frac <= qos.admit_ceiling() {
+        Ok(())
+    } else {
+        Err(AdmitError::MemoryPressure)
+    }
+}
+
+/// Splits `slots` dispatch slots across the three QoS classes given each
+/// class's queued demand (requests waiting).
+///
+/// First pass allots `slots × weight / Σweights` per class (capped by its
+/// demand); the remainder spills in priority order. The result never
+/// exceeds demand and sums to `min(slots, Σdemand)`.
+pub fn wrr_shares(slots: u32, demand: [u64; 3]) -> [u64; 3] {
+    let total_w = QosClass::total_weight() as u64;
+    let slots = slots as u64;
+    let mut share = [0u64; 3];
+    let mut left = slots;
+    for class in QosClass::ALL {
+        let i = class.index();
+        let weighted = (slots * class.weight() as u64 / total_w).min(demand[i]).min(left);
+        share[i] = weighted;
+        left -= weighted;
+    }
+    for class in QosClass::ALL {
+        let i = class.index();
+        let extra = (demand[i] - share[i]).min(left);
+        share[i] += extra;
+        left -= extra;
+    }
+    share
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_respects_class_ceilings() {
+        // 0.75 utilization: over BestEffort's 0.70 ceiling, under the rest.
+        assert!(admit(0.72, 0.03, QosClass::Gold).is_ok());
+        assert!(admit(0.72, 0.03, QosClass::Silver).is_ok());
+        assert_eq!(
+            admit(0.72, 0.03, QosClass::BestEffort),
+            Err(AdmitError::MemoryPressure)
+        );
+        // Nobody gets past a full rack.
+        assert!(admit(0.96, 0.01, QosClass::Gold).is_err());
+    }
+
+    #[test]
+    fn wrr_shares_follow_weights_under_saturation() {
+        // All classes have unbounded demand: 14 slots split 4:2:1 -> 8/4/2.
+        let s = wrr_shares(14, [100, 100, 100]);
+        assert_eq!(s, [8, 4, 2]);
+    }
+
+    #[test]
+    fn wrr_shares_spill_to_priority_when_demand_is_short() {
+        // Gold has nothing queued: its slots go to Silver first.
+        let s = wrr_shares(14, [0, 100, 100]);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[1] + s[2], 14);
+        assert!(s[1] > s[2], "priority spill favors Silver");
+    }
+
+    #[test]
+    fn wrr_shares_never_exceed_demand_or_slots() {
+        let s = wrr_shares(10, [2, 1, 1]);
+        assert_eq!(s, [2, 1, 1], "total demand below slots");
+        let s = wrr_shares(3, [100, 100, 100]);
+        assert_eq!(s.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn wrr_small_quantum_starves_best_effort_last() {
+        // 4 slots, everyone hungry: weighted pass gives BE 4*1/7 = 0 and
+        // the spill is claimed by Gold — BestEffort waits.
+        let s = wrr_shares(4, [100, 100, 100]);
+        assert_eq!(s[2], 0);
+        assert_eq!(s[0] + s[1], 4);
+    }
+}

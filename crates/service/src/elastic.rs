@@ -1,0 +1,58 @@
+//! Elastic compute-blade assignment.
+//!
+//! The property the paper's §2.2 argues disaggregation should deliver —
+//! compute elasticity without giving up shared memory — becomes a policy
+//! here: every elasticity epoch the service re-sizes each tenant's blade
+//! footprint to its *measured* throughput, growing busy tenants onto more
+//! compute blades (via the controller's round-robin [`place_thread`]
+//! primitive) and shrinking idle ones back down to one.
+//!
+//! [`place_thread`]: mind_core::cluster::MindCluster::place_thread
+
+use mind_sim::SimTime;
+
+/// Blades a tenant should hold, given `ops` served in the last `epoch`
+/// and a per-blade service capacity of `blade_capacity_hz` requests/s.
+///
+/// Always at least 1 (a live tenant keeps a foothold), at most `max`.
+pub fn target_blades(ops: u64, epoch: SimTime, blade_capacity_hz: f64, max: u16) -> u16 {
+    let secs = epoch.as_secs_f64();
+    if secs <= 0.0 || blade_capacity_hz <= 0.0 {
+        return 1;
+    }
+    let rate = ops as f64 / secs;
+    ((rate / blade_capacity_hz).ceil() as u16).clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_tenant_keeps_one_blade() {
+        assert_eq!(target_blades(0, SimTime::from_millis(5), 50_000.0, 8), 1);
+    }
+
+    #[test]
+    fn target_scales_with_measured_rate() {
+        let epoch = SimTime::from_millis(10);
+        // 1000 ops in 10 ms = 100 k/s; at 50 k/s per blade -> 2 blades.
+        assert_eq!(target_blades(1_000, epoch, 50_000.0, 8), 2);
+        // 4x the load -> 8 blades.
+        assert_eq!(target_blades(4_000, epoch, 50_000.0, 8), 8);
+    }
+
+    #[test]
+    fn target_clamps_to_rack_size() {
+        assert_eq!(
+            target_blades(1_000_000, SimTime::from_millis(1), 1_000.0, 4),
+            4
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_one() {
+        assert_eq!(target_blades(100, SimTime::ZERO, 50_000.0, 8), 1);
+        assert_eq!(target_blades(100, SimTime::from_millis(1), 0.0, 8), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Quality-of-service classes.
+//!
+//! Every tenant is admitted into one of three classes. The class decides
+//! (1) the tenant's weight in the dispatcher's weighted round-robin —
+//! Gold requests drain 4× faster than BestEffort under contention — and
+//! (2) how much memory pressure the admission controller tolerates before
+//! turning the tenant away: Gold tenants may push the rack to 95 %
+//! utilization, BestEffort arrivals are refused beyond 70 % so paying
+//! classes keep headroom.
+
+/// A tenant's service class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QosClass {
+    /// Highest priority; largest dispatch weight and admission headroom.
+    Gold,
+    /// Mid-tier.
+    Silver,
+    /// Scavenger class: admitted only into slack capacity, served last.
+    BestEffort,
+}
+
+impl QosClass {
+    /// All classes, in dispatch-priority order (highest first).
+    pub const ALL: [QosClass; 3] = [QosClass::Gold, QosClass::Silver, QosClass::BestEffort];
+
+    /// Weight in the weighted round-robin dispatcher.
+    pub fn weight(self) -> u32 {
+        match self {
+            QosClass::Gold => 4,
+            QosClass::Silver => 2,
+            QosClass::BestEffort => 1,
+        }
+    }
+
+    /// Memory-utilization ceiling for admitting a tenant of this class.
+    pub fn admit_ceiling(self) -> f64 {
+        match self {
+            QosClass::Gold => 0.95,
+            QosClass::Silver => 0.85,
+            QosClass::BestEffort => 0.70,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Gold => "Gold",
+            QosClass::Silver => "Silver",
+            QosClass::BestEffort => "BestEffort",
+        }
+    }
+
+    /// Index into [`QosClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Gold => 0,
+            QosClass::Silver => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    /// Sum of all class weights.
+    pub fn total_weight() -> u32 {
+        QosClass::ALL.iter().map(|c| c.weight()).sum()
+    }
+
+    /// Picks a class from a unit sample against a `[gold, silver]` prefix
+    /// of a probability mix (the remainder is BestEffort).
+    pub fn from_mix(u: f64, mix: [f64; 2]) -> QosClass {
+        if u < mix[0] {
+            QosClass::Gold
+        } else if u < mix[0] + mix[1] {
+            QosClass::Silver
+        } else {
+            QosClass::BestEffort
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_strictly_ordered() {
+        assert!(QosClass::Gold.weight() > QosClass::Silver.weight());
+        assert!(QosClass::Silver.weight() > QosClass::BestEffort.weight());
+        assert_eq!(QosClass::total_weight(), 7);
+    }
+
+    #[test]
+    fn ceilings_are_strictly_ordered() {
+        assert!(QosClass::Gold.admit_ceiling() > QosClass::Silver.admit_ceiling());
+        assert!(QosClass::Silver.admit_ceiling() > QosClass::BestEffort.admit_ceiling());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in QosClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_mix_partitions_the_unit_interval() {
+        let mix = [0.2, 0.3];
+        assert_eq!(QosClass::from_mix(0.1, mix), QosClass::Gold);
+        assert_eq!(QosClass::from_mix(0.35, mix), QosClass::Silver);
+        assert_eq!(QosClass::from_mix(0.9, mix), QosClass::BestEffort);
+    }
+}

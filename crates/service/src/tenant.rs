@@ -1,0 +1,256 @@
+//! Tenant state: identity, protection domain, footprint, request
+//! generator, and per-tenant SLO accounting.
+//!
+//! Each admitted tenant owns one protection domain (its PID on the rack),
+//! one contiguous vma, a private fork of the service's seeded RNG (so a
+//! run is deterministic regardless of how tenants interleave), and a
+//! latency histogram from which its SLO report (p50/p99/p99.9,
+//! throughput, rejects) is cut when it departs.
+
+use std::collections::VecDeque;
+
+use mind_core::controller::Pid;
+use mind_core::system::AccessKind;
+use mind_sim::stats::Histogram;
+use mind_sim::{SimRng, SimTime};
+use mind_workloads::trace::{TraceOp, Workload};
+
+use crate::qos::QosClass;
+
+/// Service-level tenant identifier (distinct from the rack PID).
+pub type TenantId = u64;
+
+/// The tenant-scoped request generator: single-logical-thread uniform
+/// random reads/writes over the tenant's own region — the [`Workload`]
+/// trait reused at per-tenant granularity, so the service's traffic is
+/// built from the same abstraction the replay harness uses.
+#[derive(Debug)]
+pub struct TenantWorkload {
+    pages: u64,
+    read_ratio: f64,
+    rng: SimRng,
+}
+
+impl TenantWorkload {
+    /// A generator over `pages` 4 KB pages with the given read fraction.
+    pub fn new(pages: u64, read_ratio: f64, rng: SimRng) -> Self {
+        TenantWorkload {
+            pages,
+            read_ratio,
+            rng,
+        }
+    }
+}
+
+impl Workload for TenantWorkload {
+    fn name(&self) -> String {
+        format!("tenant(p={},r={})", self.pages, self.read_ratio)
+    }
+
+    fn regions(&self) -> Vec<u64> {
+        vec![self.pages << 12]
+    }
+
+    fn n_threads(&self) -> u16 {
+        1
+    }
+
+    fn next_op(&mut self, _thread: u16) -> TraceOp {
+        let page = self.rng.gen_below(self.pages);
+        let kind = if self.rng.gen_bool(self.read_ratio) {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
+        TraceOp {
+            region: 0,
+            offset: page << 12,
+            kind,
+        }
+    }
+}
+
+/// A queued request: when it entered the tenant's queue and what it asks.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRequest {
+    /// Open-loop arrival time.
+    pub enqueued_at: SimTime,
+    /// The memory operation.
+    pub op: TraceOp,
+}
+
+/// A live tenant.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Service-level id.
+    pub id: TenantId,
+    /// Rack PID — also the tenant's protection domain (PDID).
+    pub pid: Pid,
+    /// Service class.
+    pub qos: QosClass,
+    /// Base of the tenant's vma on the rack.
+    pub region_base: u64,
+    /// Footprint in 4 KB pages.
+    pub pages: u64,
+    /// Offered load, requests per simulated second.
+    pub rate_hz: f64,
+    /// Arrival time.
+    pub arrived_at: SimTime,
+    /// Request generator (private RNG fork).
+    pub workload: TenantWorkload,
+    /// Open-loop queue awaiting dispatch.
+    pub queue: VecDeque<PendingRequest>,
+    /// Compute blades currently assigned (at least one).
+    pub blades: Vec<u16>,
+    /// Peak blade-count watermark.
+    pub blades_peak: u16,
+    /// Round-robin cursor over `blades`.
+    pub next_blade: usize,
+    /// End-to-end request latency (queueing + memory access), ns.
+    pub latency: Histogram,
+    /// Requests served.
+    pub ops: u64,
+    /// Requests rejected (queue overflow) or dropped at departure.
+    pub rejected: u64,
+    /// Requests served since the last elasticity epoch.
+    pub ops_this_epoch: u64,
+}
+
+impl Tenant {
+    /// The blade the next dispatched request runs on (round-robin over the
+    /// tenant's assigned blades).
+    pub fn pick_blade(&mut self) -> u16 {
+        let blade = self.blades[self.next_blade % self.blades.len()];
+        self.next_blade = (self.next_blade + 1) % self.blades.len();
+        blade
+    }
+
+    /// Cuts the tenant's SLO record at time `now`.
+    pub fn slo(&self, now: SimTime, departed: bool) -> TenantSlo {
+        let span = now.saturating_sub(self.arrived_at).as_secs_f64().max(1e-12);
+        TenantSlo {
+            tenant: self.id,
+            qos: self.qos,
+            pages: self.pages,
+            arrived_at: self.arrived_at,
+            departed,
+            ops: self.ops,
+            rejected: self.rejected,
+            mops: self.ops as f64 / span / 1e6,
+            p50_ns: self.latency.quantile(0.5),
+            p99_ns: self.latency.quantile(0.99),
+            p999_ns: self.latency.quantile(0.999),
+            mean_ns: self.latency.mean(),
+            blades_peak: self.blades_peak,
+        }
+    }
+}
+
+/// Per-tenant SLO report: what the serving layer owes each customer.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantSlo {
+    /// Service-level id.
+    pub tenant: TenantId,
+    /// Service class.
+    pub qos: QosClass,
+    /// Footprint in pages.
+    pub pages: u64,
+    /// Arrival time.
+    pub arrived_at: SimTime,
+    /// Whether the tenant departed before the run ended.
+    pub departed: bool,
+    /// Requests served.
+    pub ops: u64,
+    /// Requests rejected or dropped.
+    pub rejected: u64,
+    /// Served throughput in MOPS over the tenant's lifetime.
+    pub mops: f64,
+    /// Median end-to-end latency (ns).
+    pub p50_ns: u64,
+    /// Tail latency (ns).
+    pub p99_ns: u64,
+    /// Deep-tail latency (ns) — the SLO class the p99.9 satellite exists
+    /// for.
+    pub p999_ns: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Peak concurrent blade assignment.
+    pub blades_peak: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_workload_stays_in_bounds() {
+        let mut wl = TenantWorkload::new(64, 0.5, SimRng::new(9));
+        assert_eq!(wl.regions(), vec![64 << 12]);
+        assert_eq!(wl.n_threads(), 1);
+        for _ in 0..1000 {
+            let op = wl.next_op(0);
+            assert_eq!(op.region, 0);
+            assert!(op.offset < 64 << 12);
+        }
+    }
+
+    #[test]
+    fn tenant_workload_read_ratio_respected() {
+        let mut wl = TenantWorkload::new(1024, 0.8, SimRng::new(3));
+        let reads = (0..20_000)
+            .filter(|_| !wl.next_op(0).kind.is_write())
+            .count();
+        let frac = reads as f64 / 20_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn tenant_workload_is_deterministic() {
+        let mut a = TenantWorkload::new(128, 0.5, SimRng::new(11));
+        let mut b = TenantWorkload::new(128, 0.5, SimRng::new(11));
+        for _ in 0..100 {
+            assert_eq!(a.next_op(0), b.next_op(0));
+        }
+    }
+
+    fn tenant_with_blades(blades: Vec<u16>) -> Tenant {
+        Tenant {
+            id: 1,
+            pid: 10,
+            qos: QosClass::Gold,
+            region_base: 0,
+            pages: 16,
+            rate_hz: 1000.0,
+            arrived_at: SimTime::ZERO,
+            workload: TenantWorkload::new(16, 0.5, SimRng::new(1)),
+            queue: VecDeque::new(),
+            blades_peak: blades.len() as u16,
+            blades,
+            next_blade: 0,
+            latency: Histogram::new(),
+            ops: 0,
+            rejected: 0,
+            ops_this_epoch: 0,
+        }
+    }
+
+    #[test]
+    fn pick_blade_round_robins() {
+        let mut t = tenant_with_blades(vec![0, 2, 3]);
+        let picks: Vec<u16> = (0..6).map(|_| t.pick_blade()).collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn slo_reports_throughput_over_lifetime() {
+        let mut t = tenant_with_blades(vec![0]);
+        t.ops = 2_000_000;
+        for v in [100u64, 200, 400] {
+            t.latency.record(v);
+        }
+        let slo = t.slo(SimTime::from_secs(2), true);
+        assert!((slo.mops - 1.0).abs() < 1e-9);
+        assert!(slo.departed);
+        assert!(slo.p50_ns <= slo.p99_ns && slo.p99_ns <= slo.p999_ns);
+    }
+}

@@ -337,6 +337,30 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_round_trips_deep_tail() {
+        // The p99.9 cut of a merged histogram equals the cut over the
+        // combined samples — partial (per-worker) histograms can be merged
+        // without losing the deep tail the SLO reports are written
+        // against.
+        let mut combined = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for v in 1..=30_000u64 {
+            combined.record(v);
+            parts[(v % 3) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), combined.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.count(), combined.count());
+        let p999 = merged.quantile(0.999) as f64;
+        assert!((p999 - 29_970.0).abs() / 29_970.0 < 0.10, "p999 = {p999}");
+    }
+
+    #[test]
     fn histogram_empty_is_zeroes() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

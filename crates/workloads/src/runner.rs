@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mind_core::system::MemorySystem;
-use mind_sim::stats::Metrics;
+use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::SimTime;
 
 use crate::trace::Workload;
@@ -78,6 +78,9 @@ pub struct RunReport {
     pub sum_software_ns: u128,
     /// Mean latency of *remote* accesses only (ns).
     pub mean_remote_ns: f64,
+    /// Per-operation latency distribution over the measured window; tail
+    /// SLOs (p99, p99.9) are cut from it in the perf reports.
+    pub latency: Histogram,
     /// System metrics snapshot at completion (lifetime, includes warmup).
     pub metrics: Metrics,
     /// Metrics accumulated during the measured window only.
@@ -169,6 +172,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
     let mut sum_inv_tlb = 0u128;
     let mut sum_software = 0u128;
     let mut sum_remote_lat = 0u128;
+    let mut latency = Histogram::new();
     let mut runtime = SimTime::ZERO;
 
     while let Some(Reverse((clock, thread))) = heap.pop() {
@@ -183,6 +187,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
             remote += 1;
             sum_remote_lat += outcome.latency.total().as_nanos() as u128;
         }
+        latency.record(outcome.latency.total().as_nanos());
         invals += outcome.invalidations as u64;
         flushed += outcome.flushed_pages as u64;
         sum_fault += outcome.latency.fault.as_nanos() as u128;
@@ -220,6 +225,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         } else {
             0.0
         },
+        latency,
         window_metrics: system.metrics().diff(&baseline_metrics),
         metrics: system.metrics(),
     }
@@ -290,6 +296,18 @@ mod tests {
             report.invalidations_per_op > 0.0,
             "write contention invalidates"
         );
+        assert_eq!(
+            report.latency.count(),
+            report.total_ops,
+            "one latency sample per measured op"
+        );
+        let (p50, p99, p999) = (
+            report.latency.quantile(0.5),
+            report.latency.quantile(0.99),
+            report.latency.quantile(0.999),
+        );
+        assert!(p50 <= p99 && p99 <= p999, "percentiles ordered");
+        assert!(p999 > 0);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Multi-tenant serving on a disaggregated rack (`mind_service`).
+//!
+//! Tenants arrive and depart Poisson-style, each sealed in its own
+//! protection domain (§4.2) on the shared rack. A QoS-weighted dispatcher
+//! (Gold/Silver/BestEffort) drains their request queues, admission
+//! control turns arrivals away under memory pressure, and an elasticity
+//! driver grows busy tenants across compute blades. The run ends with the
+//! numbers an operator owes each class: p50/p99/p99.9, throughput, and
+//! rejects.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use mind_service::{MemoryService, ServiceConfig};
+use mind_sim::SimTime;
+
+fn main() {
+    let cfg = ServiceConfig {
+        duration: SimTime::from_millis(150),
+        ..Default::default()
+    }
+    .load_scaled(2.0); // 2x the dispatcher's capacity: QoS classes separate.
+
+    println!(
+        "serving {} ms of simulated rack time at 2x dispatch capacity...\n",
+        cfg.duration.as_millis_f64()
+    );
+    let report = MemoryService::new(cfg).run();
+
+    println!(
+        "tenants: {} admitted, {} refused by admission control, {} departed, {} live (peak {})",
+        report.tenants_admitted,
+        report.tenants_rejected,
+        report.tenants_departed,
+        report.tenants_live,
+        report.peak_live_tenants,
+    );
+    println!(
+        "requests: {} served, {} rejected; final memory utilization {:.1}%, {} match-action rules\n",
+        report.total_ops,
+        report.rejected_requests,
+        report.memory_utilization * 100.0,
+        report.match_action_rules,
+    );
+
+    println!(
+        "{:>11} {:>8} {:>8} {:>9} {:>10} {:>10} {:>11} {:>9}",
+        "class", "tenants", "ops", "MOPS", "p50(us)", "p99(us)", "p99.9(us)", "rejected"
+    );
+    for c in report.classes {
+        println!(
+            "{:>11} {:>8} {:>8} {:>9.3} {:>10.1} {:>10.1} {:>11.1} {:>9}",
+            c.qos.label(),
+            c.tenants_admitted,
+            c.ops,
+            c.mops,
+            c.p50_ns as f64 / 1e3,
+            c.p99_ns as f64 / 1e3,
+            c.p999_ns as f64 / 1e3,
+            c.rejected_requests,
+        );
+    }
+
+    // The busiest tenants, to show elasticity at work.
+    let mut tenants = report.tenants.clone();
+    tenants.sort_by_key(|t| std::cmp::Reverse(t.ops));
+    println!(
+        "\nbusiest tenants:\n{:>7} {:>11} {:>7} {:>8} {:>12} {:>11}",
+        "tenant", "class", "pages", "ops", "p99.9(us)", "peak blades"
+    );
+    for t in tenants.iter().take(5) {
+        println!(
+            "{:>7} {:>11} {:>7} {:>8} {:>12.1} {:>11}",
+            t.tenant,
+            t.qos.label(),
+            t.pages,
+            t.ops,
+            t.p999_ns as f64 / 1e3,
+            t.blades_peak,
+        );
+    }
+
+    println!(
+        "\nEvery tenant ran inside its own protection domain on one shared\n\
+         address space; departures reclaimed their TCAM entries and memory.\n\
+         Weighted round-robin kept Gold's tail short while BestEffort\n\
+         absorbed the overload — isolation and QoS from the switch, not\n\
+         from per-tenant machines."
+    );
+}

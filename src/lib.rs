@@ -14,6 +14,7 @@
 //! | [`core`] | §4–§6 | translation, protection, coherence, splitting |
 //! | [`baselines`] | §7 | GAM and FastSwap comparison systems |
 //! | [`workloads`] | §7.1 | TF / GC / MA / MC generators, trace runner |
+//! | [`service`] | beyond the paper | multi-tenant serving: churn, QoS classes, elastic blades, per-tenant SLOs |
 //! | [`harness`] | §7–§8 | declarative experiment engine: scenario tables, parallel execution, JSON reports |
 //! | [`bench`] | §7 | figure scenario tables and binaries |
 
@@ -23,6 +24,7 @@ pub use mind_harness as harness;
 pub use mind_blade as blade;
 pub use mind_core as core;
 pub use mind_net as net;
+pub use mind_service as service;
 pub use mind_sim as sim;
 pub use mind_switch as switch;
 pub use mind_workloads as workloads;

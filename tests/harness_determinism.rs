@@ -4,7 +4,9 @@
 //! *what* it computes.
 
 use mind::core::system::ConsistencyModel;
-use mind::harness::{report, Engine, Scenario, ScenarioOutput, SystemSpec, WorkloadSpec};
+use mind::harness::{report, Engine, Scenario, ScenarioOutput, ServiceSpec, SystemSpec, WorkloadSpec};
+use mind::service::ServiceConfig;
+use mind::sim::SimTime;
 use mind::workloads::kvs::KvsConfig;
 use mind::workloads::micro::MicroConfig;
 use mind::workloads::runner::RunConfig;
@@ -65,6 +67,14 @@ fn table() -> Vec<Scenario> {
         run,
     ));
 
+    scenarios.push(Scenario::service(
+        "det/service",
+        ServiceSpec::new(ServiceConfig {
+            duration: SimTime::from_millis(20),
+            ..Default::default()
+        }),
+    ));
+
     scenarios.push(Scenario::custom("det/custom", || {
         ScenarioOutput::default()
             .value("answer", 42.0)
@@ -98,4 +108,34 @@ fn scenario_names_carry_sweep_parameters() {
     // owned names instead of a shared static label).
     assert_eq!(results[0].report().name, "micro(r=0.5,s=0.5)");
     assert!(results[4].report().name.starts_with("KVS-A(p="));
+    assert!(results[5].service().tenants_admitted > 0, "service ran");
+}
+
+/// The new-subsystem acceptance bar: the `service` suite's quick tables
+/// (exactly what the `service --quick` binary runs) render to
+/// byte-identical `BENCH_service.json` at 1, 2, and 4 workers.
+#[test]
+fn service_suite_json_is_byte_identical_across_workers() {
+    let build = || {
+        let mut table = Vec::new();
+        for figure in mind::bench::figures::matching("service") {
+            table.extend((figure.build)(true));
+        }
+        table
+    };
+    let serial = Engine::new(1).run(build());
+    let reference = report::suite_json("service", &serial).render();
+    assert!(reference.contains("\"service_qos/load1\""));
+    assert!(reference.contains("\"service_churn/arrivals3200\""));
+    assert!(reference.contains("\"service_elastic/rate80000\""));
+    assert!(reference.contains("\"p999_ns\""));
+
+    for threads in [2, 4] {
+        let parallel = Engine::new(threads).run(build());
+        let rendered = report::suite_json("service", &parallel).render();
+        assert_eq!(
+            rendered, reference,
+            "BENCH_service.json diverged at {threads} worker threads"
+        );
+    }
 }
