@@ -133,6 +133,7 @@ fn bench_trace_replay(c: &mut Criterion) {
                         threads_per_blade: 1,
                         think_time: SimTime::from_nanos(100),
                         interleave: false,
+                        batch_ops: 1,
                     },
                 )
             },

@@ -1,0 +1,70 @@
+//! Criterion benchmark for the op-batch datapath: host-side cost of the
+//! replay hot path at batch sizes 1 (the scalar per-op discipline) vs
+//! 8/64, on fault-dominated and cache-resident micro regimes. These
+//! measure *simulator* nanoseconds per replayed run — the budget the
+//! batched pipeline exists to shrink — and make the speedup measurable
+//! locally (`cargo bench --bench datapath`); `BENCH_datapath.json` (the
+//! `datapath` bin) reports the same sweep as ops/sec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mind_core::system::ConsistencyModel;
+use mind_harness::{SystemSpec, WorkloadSpec};
+use mind_workloads::micro::MicroConfig;
+use mind_workloads::runner::{self, RunConfig};
+
+const OPS_PER_THREAD: u64 = 1_500;
+
+fn bench_regime(c: &mut Criterion, label: &str, micro: MicroConfig) {
+    let mut group = c.benchmark_group(&format!("datapath/{label}"));
+    for batch_ops in [1u64, 8, 64] {
+        let workload = WorkloadSpec::Micro(micro);
+        let regions = workload.regions();
+        let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
+        let cfg = RunConfig {
+            ops_per_thread: OPS_PER_THREAD,
+            warmup_ops_per_thread: OPS_PER_THREAD / 2,
+            threads_per_blade: 2,
+            ..Default::default()
+        }
+        .with_batch_ops(batch_ops);
+        group.bench_function(&format!("b{batch_ops}"), |b| {
+            b.iter_batched(
+                || (system.build(), workload.build()),
+                |(mut sys, mut wl)| runner::run(sys.as_mut(), wl.as_mut(), cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    bench_regime(
+        c,
+        "remote",
+        MicroConfig {
+            n_threads: 4,
+            read_ratio: 0.5,
+            sharing_ratio: 1.0,
+            shared_pages: 40_000,
+            private_pages: 2_000,
+            seed: 42,
+        },
+    );
+    bench_regime(
+        c,
+        "resident",
+        MicroConfig {
+            n_threads: 4,
+            read_ratio: 0.9,
+            sharing_ratio: 0.2,
+            shared_pages: 64,
+            private_pages: 64,
+            seed: 42,
+        },
+    );
+}
+
+criterion_group!(datapath, bench_datapath);
+criterion_main!(datapath);

@@ -1,0 +1,8 @@
+//! The `datapath` figure: scalar vs op-batch pipeline replay throughput
+//! over batch sizes 1/8/64/256, writing `BENCH_datapath.json`. Pass
+//! `--quick` for the CI-sized variant. The `wall_*` values measure the
+//! host and vary run to run; the `sim_*` values are deterministic.
+
+fn main() {
+    mind_bench::figures::run_main("datapath");
+}

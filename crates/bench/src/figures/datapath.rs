@@ -1,0 +1,253 @@
+//! The `datapath` figure: scalar vs op-batch pipeline throughput.
+//!
+//! MIND's premise is that the switch datapath runs at line rate, so the
+//! *simulator's* ops/sec on the access hot path bounds every experiment
+//! in this repo (275 suite scenarios, the service's tenant quanta). This
+//! figure sweeps the trace runner's `batch_ops` over three micro-workload
+//! regimes and reports, per batch size:
+//!
+//! - `sim_mops_b<N>` / `runtime_ns_b<N>` — *simulated* results, fully
+//!   deterministic (and independent of the scalar/batched datapath choice:
+//!   the equivalence suite asserts byte-identical reports);
+//! - `wall_kops_b<N>` — host-side replay throughput (thousand simulated
+//!   ops per wall-clock second), the quantity batching exists to raise;
+//! - `wall_speedup_b<N>` — `wall_kops_b<N> / wall_kops_b1`.
+//!
+//! Unlike every other figure, the `wall_*` values measure the host and are
+//! **not** run-to-run deterministic; the `sim_*` values are. Measurements
+//! are paired (both pipelines run inside one scenario, best of
+//! [`MEASURE_PASSES`]) so engine-level parallelism mostly cancels out.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mind_core::system::{ConsistencyModel, ScalarLoop};
+use mind_harness::{Scenario, ScenarioOutput, ScenarioResult, SystemSpec, WorkloadSpec};
+use mind_workloads::micro::MicroConfig;
+use mind_workloads::runner::{self, RunConfig};
+
+use super::scaled_ops;
+use crate::print_table;
+
+/// Batch sizes swept (1 = the scalar per-op discipline).
+pub const BATCH_SIZES: [u64; 4] = [1, 8, 64, 256];
+
+/// Wall-clock passes per point; the fastest is reported.
+const MEASURE_PASSES: u32 = 5;
+
+const OPS_PER_THREAD: u64 = 30_000;
+
+/// Serializes the wall-clock sections across this figure's scenarios, so
+/// a parallel engine does not run two measurements on sibling cores at
+/// once (they would distort each other). Other figures' scenarios can
+/// still interfere when the whole `suite` runs; the dedicated `datapath`
+/// bin is the clean measurement path.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// One hot-path regime of the sweep.
+#[derive(Clone, Copy)]
+struct Regime {
+    /// Short key used in scenario names and the report table.
+    key: &'static str,
+    /// What the regime stresses.
+    title: &'static str,
+    micro: MicroConfig,
+    n_compute: u16,
+    threads_per_blade: u16,
+}
+
+/// The three regimes the access hot path decomposes into: fault-dominated
+/// (TCAM walk + directory transition per op), cache-resident (local-hit
+/// bookkeeping per op), and invalidation-heavy (multicast rounds per op).
+fn regimes() -> [Regime; 3] {
+    [
+        Regime {
+            key: "remote",
+            title: "fault-dominated (footprint >> cache)",
+            micro: MicroConfig {
+                n_threads: 4,
+                read_ratio: 0.5,
+                sharing_ratio: 1.0,
+                shared_pages: 40_000,
+                private_pages: 2_000,
+                seed: 42,
+            },
+            n_compute: 2,
+            threads_per_blade: 2,
+        },
+        Regime {
+            key: "resident",
+            title: "cache-resident (local hits)",
+            micro: MicroConfig {
+                n_threads: 8,
+                read_ratio: 0.9,
+                sharing_ratio: 0.2,
+                shared_pages: 64,
+                private_pages: 64,
+                seed: 42,
+            },
+            n_compute: 4,
+            threads_per_blade: 2,
+        },
+        Regime {
+            key: "contended",
+            title: "invalidation-heavy (small hot shared region)",
+            micro: MicroConfig {
+                n_threads: 8,
+                read_ratio: 0.3,
+                sharing_ratio: 1.0,
+                shared_pages: 64,
+                private_pages: 32,
+                seed: 42,
+            },
+            n_compute: 4,
+            threads_per_blade: 2,
+        },
+    ]
+}
+
+/// One measured point: host kops/s plus the deterministic sim results.
+struct Point {
+    kops: f64,
+    sim_mops: f64,
+    runtime_ns: u128,
+}
+
+/// Runs one regime at one batch size through either pipeline (`scalar`
+/// wraps the rack in [`ScalarLoop`], keeping the trait's per-op loop),
+/// returning the best wall-clock pass.
+fn run_point(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool) -> Point {
+    let workload = WorkloadSpec::Micro(regime.micro);
+    let regions = workload.regions();
+    let run_cfg = RunConfig {
+        ops_per_thread: ops,
+        warmup_ops_per_thread: ops / 2,
+        threads_per_blade: regime.threads_per_blade,
+        ..Default::default()
+    }
+    .with_batch_ops(batch_ops);
+
+    let mut best_secs = f64::INFINITY;
+    let mut sim_mops = 0.0;
+    let mut runtime_ns = 0u128;
+    let mut executed = 0u64;
+    for _ in 0..MEASURE_PASSES {
+        let system = SystemSpec::mind_scaled(&regions, regime.n_compute, ConsistencyModel::Tso);
+        let mut wl = workload.build();
+        let report;
+        let start;
+        if scalar {
+            let mut sys = ScalarLoop(system.build());
+            start = Instant::now();
+            report = runner::run(&mut sys, wl.as_mut(), run_cfg);
+        } else {
+            let mut sys = system.build();
+            start = Instant::now();
+            report = runner::run(sys.as_mut(), wl.as_mut(), run_cfg);
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best_secs = best_secs.min(secs);
+        // Warmup ops run through the datapath too; count them as work done.
+        executed =
+            report.total_ops + run_cfg.warmup_ops_per_thread * regime.micro.n_threads as u64;
+        sim_mops = report.mops;
+        runtime_ns = report.runtime.as_nanos() as u128;
+    }
+    Point {
+        kops: executed as f64 / best_secs / 1e3,
+        sim_mops,
+        runtime_ns,
+    }
+}
+
+/// Scenario table: one paired-measurement scenario per regime. At every
+/// batch size both pipelines replay the *identical* schedule, so
+/// `pipe_speedup` isolates the datapath amortization; `wall_speedup`
+/// additionally includes the effect of coarser issue quanta on the
+/// simulated workload itself.
+pub fn build(quick: bool) -> Vec<Scenario> {
+    let ops = scaled_ops(OPS_PER_THREAD, quick) / 4;
+    regimes()
+        .into_iter()
+        .map(|regime| {
+            Scenario::custom(format!("datapath/{}", regime.key), move || {
+                let _serial = MEASURE_LOCK.lock().expect("measure lock");
+                let mut out = ScenarioOutput::default();
+                let mut base_kops = 0.0;
+                for &batch in &BATCH_SIZES {
+                    let batched = run_point(&regime, batch, ops, false);
+                    let scalar = run_point(&regime, batch, ops, true);
+                    // The equivalence guarantee, enforced in-figure: both
+                    // pipelines simulated the exact same run.
+                    assert_eq!(
+                        batched.runtime_ns, scalar.runtime_ns,
+                        "scalar/batched divergence: {} b{batch}",
+                        regime.key
+                    );
+                    out = out
+                        .value(format!("sim_mops_b{batch}"), batched.sim_mops)
+                        .value(format!("runtime_ns_b{batch}"), batched.runtime_ns as f64)
+                        .value(format!("wall_kops_b{batch}"), batched.kops)
+                        .value(format!("scalar_kops_b{batch}"), scalar.kops)
+                        .value(
+                            format!("pipe_speedup_b{batch}"),
+                            batched.kops / scalar.kops.max(1e-12),
+                        );
+                    if batch == 1 {
+                        base_kops = batched.kops;
+                    } else {
+                        out = out.value(
+                            format!("wall_speedup_b{batch}"),
+                            batched.kops / base_kops.max(1e-12),
+                        );
+                    }
+                }
+                out
+            })
+        })
+        .collect()
+}
+
+/// Prints the datapath sweep tables.
+pub fn present(results: &[ScenarioResult]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(regimes())
+        .map(|(r, regime)| {
+            let mut cells = vec![regime.key.to_string()];
+            for &batch in &BATCH_SIZES {
+                cells.push(format!("{:.0}", r.value(&format!("wall_kops_b{batch}"))));
+            }
+            cells.push(format!("{:.2}x", r.value("wall_speedup_b64")));
+            cells.push(format!("{:.3}", r.value("sim_mops_b1")));
+            cells
+        })
+        .collect();
+    print_table(
+        "datapath — batched-pipeline throughput (host kops/s) vs batch_ops",
+        &["regime", "b=1", "b=8", "b=64", "b=256", "speedup64", "sim MOPS (b=1)"],
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(regimes())
+        .map(|(r, regime)| {
+            let mut cells = vec![regime.key.to_string()];
+            for &batch in &BATCH_SIZES {
+                cells.push(format!(
+                    "{:.2}x",
+                    r.value(&format!("pipe_speedup_b{batch}"))
+                ));
+            }
+            cells
+        })
+        .collect();
+    print_table(
+        "datapath — batched vs scalar-loop pipeline on the identical schedule",
+        &["regime", "b=1", "b=8", "b=64", "b=256"],
+        &rows,
+    );
+    for regime in regimes() {
+        println!("   {:<10} {}", regime.key, regime.title);
+    }
+}

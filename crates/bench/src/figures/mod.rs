@@ -11,6 +11,7 @@
 use mind_harness::{report, Engine, Scenario, ScenarioResult};
 
 pub mod ablations;
+pub mod datapath;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
@@ -135,6 +136,12 @@ pub fn all() -> Vec<Figure> {
             title: "service: elastic blade assignment vs per-tenant load",
             build: service::elastic_build,
             present: service::elastic_present,
+        },
+        Figure {
+            name: "datapath",
+            title: "datapath: scalar vs op-batch pipeline replay throughput",
+            build: datapath::build,
+            present: datapath::present,
         },
     ]
 }

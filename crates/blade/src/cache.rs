@@ -7,7 +7,7 @@
 //! back to memory blades), and — on receiving an invalidation for a region —
 //! flushes all dirty pages in the region and unmaps the rest (§6.1).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use crate::page::{PageData, PAGE_SIZE};
 use crate::pagetable::PageTable;
@@ -21,6 +21,25 @@ pub enum CacheLookup {
     Miss,
     /// Present but read-only and the access is a store; page fault triggers
     /// a coherence upgrade (S→M) without re-fetching data.
+    NeedUpgrade,
+}
+
+/// [`CacheLookup`] with the hit frame and its owner tag, so callers that
+/// track per-page ownership (the per-domain local page tables of MIND's
+/// coherence engine) read and update it in O(1) through the frame slab
+/// instead of a second page-keyed map lookup per access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaggedLookup {
+    /// Present with sufficient permission.
+    Hit {
+        /// Frame holding the page (for [`DramCache::set_frame_tag`]).
+        frame: u32,
+        /// The frame's owner tag (0 until first set).
+        tag: u64,
+    },
+    /// Not present.
+    Miss,
+    /// Present read-only, store requested.
     NeedUpgrade,
 }
 
@@ -46,21 +65,57 @@ pub struct InvalidationOutcome {
     pub downgraded: u32,
 }
 
+/// Sentinel for "no frame" in the intrusive LRU list.
+const NO_FRAME: u32 = u32::MAX;
+
+/// Per-frame metadata: the cached page occupying a local DRAM frame plus
+/// its links in the intrusive LRU list. Keeping this in a frame-indexed
+/// slab (instead of page-keyed maps) makes the hit path a single page-
+/// table lookup followed by O(1) pointer updates — the dominant cost of
+/// the access hot path before this layout.
 #[derive(Debug, Clone)]
-struct Entry {
+struct Frame {
+    page: u64,
     dirty: bool,
-    tick: u64,
+    /// Opaque owner tag (e.g. the protection domain the page is mapped
+    /// for); 0 until set, wiped on eviction/unmap with the frame.
+    tag: u64,
     data: Option<PageData>,
+    /// Toward the LRU end.
+    prev: u32,
+    /// Toward the MRU end.
+    next: u32,
+}
+
+impl Frame {
+    fn vacant() -> Self {
+        Frame {
+            page: 0,
+            dirty: false,
+            tag: 0,
+            data: None,
+            prev: NO_FRAME,
+            next: NO_FRAME,
+        }
+    }
 }
 
 /// The LRU DRAM page cache.
+///
+/// Layout: the page table maps page → frame id; `frames` holds per-frame
+/// state indexed by frame id (grown lazily as frames are first used); the
+/// frames form an intrusive doubly-linked LRU list (`lru_head` = next
+/// victim, `lru_tail` = most recently used). `resident` mirrors the
+/// resident page set in address order for region-range invalidations.
+/// Eviction order is exactly least-recently-touched, as before the slab
+/// layout.
 #[derive(Debug, Clone)]
 pub struct DramCache {
     pt: PageTable,
-    entries: HashMap<u64, Entry>,
+    frames: Vec<Frame>,
     resident: BTreeSet<u64>,
-    lru: BTreeMap<u64, u64>,
-    tick: u64,
+    lru_head: u32,
+    lru_tail: u32,
     hits: u64,
     misses: u64,
     upgrades: u64,
@@ -74,10 +129,10 @@ impl DramCache {
     pub fn new(capacity_pages: u32) -> Self {
         DramCache {
             pt: PageTable::new(capacity_pages),
-            entries: HashMap::new(),
+            frames: Vec::new(),
             resident: BTreeSet::new(),
-            lru: BTreeMap::new(),
-            tick: 0,
+            lru_head: NO_FRAME,
+            lru_tail: NO_FRAME,
             hits: 0,
             misses: 0,
             upgrades: 0,
@@ -94,15 +149,45 @@ impl DramCache {
 
     /// Pages currently resident.
     pub fn resident_pages(&self) -> usize {
-        self.entries.len()
+        self.resident.len()
     }
 
-    fn touch(&mut self, page: u64) {
-        let entry = self.entries.get_mut(&page).expect("touching resident page");
-        self.lru.remove(&entry.tick);
-        self.tick += 1;
-        entry.tick = self.tick;
-        self.lru.insert(self.tick, page);
+    /// Detaches frame `f` from the LRU list.
+    fn unlink(&mut self, f: u32) {
+        let Frame { prev, next, .. } = self.frames[f as usize];
+        if prev == NO_FRAME {
+            self.lru_head = next;
+        } else {
+            self.frames[prev as usize].next = next;
+        }
+        if next == NO_FRAME {
+            self.lru_tail = prev;
+        } else {
+            self.frames[next as usize].prev = prev;
+        }
+    }
+
+    /// Appends frame `f` at the MRU end of the LRU list.
+    fn push_mru(&mut self, f: u32) {
+        let tail = self.lru_tail;
+        {
+            let frame = &mut self.frames[f as usize];
+            frame.prev = tail;
+            frame.next = NO_FRAME;
+        }
+        if tail == NO_FRAME {
+            self.lru_head = f;
+        } else {
+            self.frames[tail as usize].next = f;
+        }
+        self.lru_tail = f;
+    }
+
+    fn touch(&mut self, f: u32) {
+        if self.lru_tail != f {
+            self.unlink(f);
+            self.push_mru(f);
+        }
     }
 
     /// Probes the cache for an access to `page` (page-aligned VA).
@@ -120,18 +205,66 @@ impl DramCache {
                 self.upgrades += 1;
                 CacheLookup::NeedUpgrade
             }
-            Some(_) => {
+            Some(pte) => {
                 self.hits += 1;
                 if is_write {
-                    self.entries
-                        .get_mut(&page)
-                        .expect("mapped page has entry")
-                        .dirty = true;
+                    self.frames[pte.frame as usize].dirty = true;
                 }
-                self.touch(page);
+                self.touch(pte.frame);
                 CacheLookup::Hit
             }
         }
+    }
+
+    /// [`DramCache::access`] that also returns the hit frame's id and
+    /// owner tag (one page-table lookup for probe + ownership together).
+    pub fn access_tagged(&mut self, page: u64, is_write: bool) -> TaggedLookup {
+        debug_assert_eq!(page % PAGE_SIZE, 0, "page-aligned address expected");
+        match self.pt.lookup(page) {
+            None => {
+                self.misses += 1;
+                TaggedLookup::Miss
+            }
+            Some(pte) if is_write && !pte.writable => {
+                self.upgrades += 1;
+                TaggedLookup::NeedUpgrade
+            }
+            Some(pte) => {
+                self.hits += 1;
+                let frame = &mut self.frames[pte.frame as usize];
+                if is_write {
+                    frame.dirty = true;
+                }
+                let tag = frame.tag;
+                self.touch(pte.frame);
+                TaggedLookup::Hit {
+                    frame: pte.frame,
+                    tag,
+                }
+            }
+        }
+    }
+
+    /// Sets the owner tag of a frame returned by
+    /// [`DramCache::access_tagged`].
+    pub fn set_frame_tag(&mut self, frame: u32, tag: u64) {
+        self.frames[frame as usize].tag = tag;
+    }
+
+    /// Sets the owner tag of a resident page (fault-insert path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn set_page_tag(&mut self, page: u64, tag: u64) {
+        let pte = self.pt.lookup(page).expect("tagging a resident page");
+        self.frames[pte.frame as usize].tag = tag;
+    }
+
+    /// The owner tag of a resident page (0 until set).
+    pub fn page_tag(&self, page: u64) -> Option<u64> {
+        let pte = self.pt.lookup(page)?;
+        Some(self.frames[pte.frame as usize].tag)
     }
 
     /// Inserts a fetched page, evicting the LRU victim if the cache is full.
@@ -166,20 +299,27 @@ impl DramCache {
         } else {
             None
         };
-        self.pt
+        let pte = self
+            .pt
             .map(page, writable)
             .expect("frame freed by eviction");
-        self.tick += 1;
-        self.entries.insert(
+        let f = pte.frame as usize;
+        if f >= self.frames.len() {
+            // Fresh frame ids are handed out in ascending order, so the
+            // slab grows by exactly one slot at a time.
+            debug_assert_eq!(f, self.frames.len());
+            self.frames.push(Frame::vacant());
+        }
+        self.frames[f] = Frame {
             page,
-            Entry {
-                dirty,
-                tick: self.tick,
-                data,
-            },
-        );
+            dirty,
+            tag: 0,
+            data,
+            prev: NO_FRAME,
+            next: NO_FRAME,
+        };
+        self.push_mru(pte.frame);
         self.resident.insert(page);
-        self.lru.insert(self.tick, page);
         evicted
     }
 
@@ -208,19 +348,22 @@ impl DramCache {
     }
 
     fn evict_lru(&mut self) -> Option<Evicted> {
-        let (&tick, &page) = self.lru.iter().next()?;
-        self.lru.remove(&tick);
-        let entry = self.entries.remove(&page).expect("LRU page resident");
-        self.resident.remove(&page);
-        self.pt.unmap(page);
+        let f = self.lru_head;
+        if f == NO_FRAME {
+            return None;
+        }
+        self.unlink(f);
+        let frame = std::mem::replace(&mut self.frames[f as usize], Frame::vacant());
+        self.resident.remove(&frame.page);
+        self.pt.unmap(frame.page);
         self.evictions += 1;
-        if entry.dirty {
+        if frame.dirty {
             self.dirty_evictions += 1;
         }
         Some(Evicted {
-            page,
-            dirty: entry.dirty,
-            data: entry.data,
+            page: frame.page,
+            dirty: frame.dirty,
+            data: frame.data,
         })
     }
 
@@ -231,12 +374,9 @@ impl DramCache {
     ///
     /// Panics if the page is not resident.
     pub fn grant_write(&mut self, page: u64) {
-        self.pt.upgrade(page).expect("upgrading resident page");
-        self.entries
-            .get_mut(&page)
-            .expect("resident page has entry")
-            .dirty = true;
-        self.touch(page);
+        let pte = self.pt.upgrade(page).expect("upgrading resident page");
+        self.frames[pte.frame as usize].dirty = true;
+        self.touch(pte.frame);
     }
 
     /// Applies an invalidation to every cached page in
@@ -256,10 +396,11 @@ impl DramCache {
         let mut out = InvalidationOutcome::default();
         for page in pages {
             let pte = self.pt.lookup(page).expect("resident page mapped");
-            let entry = self.entries.get_mut(&page).expect("resident entry");
-            if entry.dirty {
-                out.flushed.push((page, entry.data.clone()));
-                entry.dirty = false;
+            let f = pte.frame;
+            let frame = &mut self.frames[f as usize];
+            if frame.dirty {
+                out.flushed.push((page, frame.data.clone()));
+                frame.dirty = false;
                 self.flushed_pages += 1;
             }
             if downgrade_to_shared {
@@ -268,8 +409,8 @@ impl DramCache {
                     out.downgraded += 1;
                 }
             } else {
-                let entry = self.entries.remove(&page).expect("resident entry");
-                self.lru.remove(&entry.tick);
+                self.unlink(f);
+                self.frames[f as usize] = Frame::vacant();
                 self.resident.remove(&page);
                 self.pt.unmap(page);
                 out.unmapped += 1;
@@ -290,13 +431,16 @@ impl DramCache {
         let end = region_base.saturating_add(1u64 << size_log2);
         self.resident
             .range(region_base..end)
-            .filter(|p| self.entries[p].dirty)
+            .filter(|&&p| {
+                let pte = self.pt.lookup(p).expect("resident page mapped");
+                self.frames[pte.frame as usize].dirty
+            })
             .count()
     }
 
     /// Whether `page` is resident.
     pub fn contains(&self, page: u64) -> bool {
-        self.entries.contains_key(&page)
+        self.pt.lookup(page).is_some()
     }
 
     /// Whether `page` is resident and writable.
@@ -306,12 +450,16 @@ impl DramCache {
 
     /// Clones the full contents of a resident page (cache-to-cache supply).
     pub fn page_data(&self, page: u64) -> Option<PageData> {
-        self.entries.get(&page).and_then(|e| e.data.clone())
+        let pte = self.pt.lookup(page)?;
+        self.frames[pte.frame as usize].data.clone()
     }
 
     /// Reads bytes from a resident page.
     pub fn read_data(&self, page: u64, offset: usize, buf: &mut [u8]) -> bool {
-        match self.entries.get(&page).and_then(|e| e.data.as_ref()) {
+        let Some(pte) = self.pt.lookup(page) else {
+            return false;
+        };
+        match self.frames[pte.frame as usize].data.as_ref() {
             Some(data) => {
                 data.read(offset, buf);
                 true
@@ -322,15 +470,16 @@ impl DramCache {
 
     /// Writes bytes into a resident page (caller must hold write permission).
     pub fn write_data(&mut self, page: u64, offset: usize, buf: &[u8]) -> bool {
-        match self.entries.get_mut(&page) {
-            Some(entry) => match entry.data.as_mut() {
-                Some(data) => {
-                    data.write(offset, buf);
-                    entry.dirty = true;
-                    true
-                }
-                None => false,
-            },
+        let Some(pte) = self.pt.lookup(page) else {
+            return false;
+        };
+        let frame = &mut self.frames[pte.frame as usize];
+        match frame.data.as_mut() {
+            Some(data) => {
+                data.write(offset, buf);
+                frame.dirty = true;
+                true
+            }
             None => false,
         }
     }
@@ -374,6 +523,29 @@ impl DramCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_tags_track_ownership_and_reset_on_eviction() {
+        let mut c = DramCache::new(1);
+        c.insert(0x1000, false, None);
+        assert_eq!(c.page_tag(0x1000), Some(0), "untagged at insert");
+        c.set_page_tag(0x1000, 7);
+        match c.access_tagged(0x1000, false) {
+            TaggedLookup::Hit { frame, tag } => {
+                assert_eq!(tag, 7);
+                c.set_frame_tag(frame, 9);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.page_tag(0x1000), Some(9));
+        // Eviction recycles the frame with a clean tag.
+        c.insert(0x2000, false, None);
+        assert_eq!(c.page_tag(0x1000), None, "evicted");
+        assert_eq!(c.page_tag(0x2000), Some(0), "fresh frame untagged");
+        // Tagged probe mirrors the plain probe's misses and upgrades.
+        assert_eq!(c.access_tagged(0x3000, false), TaggedLookup::Miss);
+        assert_eq!(c.access_tagged(0x2000, true), TaggedLookup::NeedUpgrade);
+    }
 
     #[test]
     fn miss_then_insert_then_hit() {

@@ -6,7 +6,7 @@
 //! is therefore just a bounded page store with traffic counters — any
 //! latency is charged by the fabric and the NIC service constant.
 
-use std::collections::HashMap;
+use mind_sim::hash::FastMap;
 
 use crate::page::{PageData, PAGE_SHIFT};
 
@@ -35,7 +35,7 @@ impl std::error::Error for OutOfRange {}
 #[derive(Debug, Clone)]
 pub struct MemoryBlade {
     capacity_pages: u64,
-    pages: HashMap<u64, PageData>,
+    pages: FastMap<u64, PageData>,
     reads: u64,
     writes: u64,
 }
@@ -45,7 +45,7 @@ impl MemoryBlade {
     pub fn new(capacity_bytes: u64) -> Self {
         MemoryBlade {
             capacity_pages: capacity_bytes >> PAGE_SHIFT,
-            pages: HashMap::new(),
+            pages: FastMap::default(),
             reads: 0,
             writes: 0,
         }

@@ -7,7 +7,7 @@
 //! invalidation forces a synchronous TLB shootdown — one of the two extra
 //! overhead sources in Figure 7 (right).
 
-use std::collections::HashMap;
+use mind_sim::hash::FastMap;
 
 /// A page-table entry: the local frame plus permission bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +21,7 @@ pub struct Pte {
 /// The blade-local page table with a bounded frame pool.
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    ptes: HashMap<u64, Pte>,
+    ptes: FastMap<u64, Pte>,
     free_frames: Vec<u32>,
     n_frames: u32,
     tlb_shootdowns: u64,
@@ -31,7 +31,7 @@ impl PageTable {
     /// Creates a page table over `n_frames` local DRAM frames.
     pub fn new(n_frames: u32) -> Self {
         PageTable {
-            ptes: HashMap::new(),
+            ptes: FastMap::default(),
             free_frames: (0..n_frames).rev().collect(),
             n_frames,
             tlb_shootdowns: 0,

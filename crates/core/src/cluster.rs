@@ -17,7 +17,7 @@ use crate::controller::{Controller, Pid, SysError};
 use crate::failure::{switch_failover, FailoverReport};
 use crate::protect::PermClass;
 use crate::split::{BoundedSplitting, SplitConfig};
-use crate::system::{AccessKind, AccessOutcome, ConsistencyModel, MemorySystem};
+use crate::system::{AccessKind, AccessOutcome, ConsistencyModel, MemorySystem, OpBatch};
 
 /// Fraction of a workload footprint held in the compute-blade cache when
 /// scaling a rack down (the paper's 512 MB cache / ~2 GB footprint, §7).
@@ -29,15 +29,21 @@ pub const DIR_ENTRIES_PER_PAGE: f64 = 0.06;
 
 /// Compute-blade cache size (pages) for a workload of `footprint_pages`,
 /// holding [`CACHE_FRACTION`] and floored so tiny workloads still have a
-/// working cache.
+/// working cache. Huge footprints saturate at `u32::MAX`: Rust's
+/// float→int `as` cast already clamps (it never wraps), and the explicit
+/// `.min` + regression test pin that behavior down as a contract rather
+/// than an implementation accident.
 pub fn scaled_cache_pages(footprint_pages: u64) -> u32 {
-    ((footprint_pages as f64 * CACHE_FRACTION) as u32).max(256)
+    let scaled = (footprint_pages as f64 * CACHE_FRACTION).min(u32::MAX as f64) as u32;
+    scaled.max(256)
 }
 
 /// Switch-directory capacity for a workload of `footprint_pages`, holding
-/// [`DIR_ENTRIES_PER_PAGE`] with a floor.
+/// [`DIR_ENTRIES_PER_PAGE`] with a floor; saturates like
+/// [`scaled_cache_pages`].
 pub fn scaled_dir_capacity(footprint_pages: u64) -> usize {
-    ((footprint_pages as f64 * DIR_ENTRIES_PER_PAGE) as usize).max(512)
+    let scaled = (footprint_pages as f64 * DIR_ENTRIES_PER_PAGE).min(usize::MAX as f64) as usize;
+    scaled.max(512)
 }
 
 /// Configuration of a simulated MIND rack.
@@ -285,6 +291,58 @@ impl MindCluster {
         self.engine.access(now, blade, pid, vaddr, kind)
     }
 
+    /// Executes an [`OpBatch`] through the rack's batched datapath.
+    ///
+    /// This is the fast path behind [`MemorySystem::execute_batch`] and
+    /// the service dispatcher's quantum grants: the engine installs a
+    /// per-batch lookaside that fills lazily — the first op to touch a
+    /// protection range pays the TCAM walk and every later op in the
+    /// range is served from the memo, translations skip the outlier TCAM
+    /// while it is empty, the last directory-region resolution is reused
+    /// under a generation guard — and metric deltas flush once at batch
+    /// end. Per-op outcomes, issue times, and metrics are identical to
+    /// issuing each op through the scalar [`MindCluster::access_as`]
+    /// path.
+    ///
+    /// Ops with `pdid: None` run as the default replay process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op has no protection domain and no process has been
+    /// `exec`ed.
+    pub fn run_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
+        // A batch of one *is* the scalar path: skip the lookaside setup
+        // (there is nothing to amortize over).
+        if batch.len() > 1 {
+            self.engine.begin_batch();
+        }
+
+        let default_pid = self.default_pid;
+        let chained = batch.is_chained();
+        let gap = batch.gap();
+        let mut t = now;
+        for i in 0..batch.len() {
+            let op = batch.op(i);
+            let at = if chained { t } else { op.at };
+            self.tick(at);
+            let pdid = op.pdid.or(default_pid).expect("exec a process before replay");
+            let result = self.engine.access(at, op.blade, pdid, op.vaddr, op.kind);
+            if let Ok(outcome) = &result {
+                t = at + outcome.latency.total() + gap;
+            } else {
+                // A refused chained op contributes no service time; the
+                // next op issues after the gap alone. Trace-replay callers
+                // treat any `Err` as fatal before using later results (the
+                // scalar reference loop panics on the first error), so
+                // this arm only defines behaviour for callers that opt
+                // into inspecting per-op `Result`s.
+                t = at + gap;
+            }
+            batch.record(i, at, result);
+        }
+        self.engine.end_batch();
+    }
+
     /// Reads `len` bytes at `vaddr` through `blade`'s cache (functional
     /// mode: `carry_data` must be on).
     pub fn read_bytes(
@@ -363,6 +421,13 @@ impl MindCluster {
     /// Injects packet loss into the fabric (exercises §4.4 reliability).
     pub fn inject_loss(&mut self, rate: f64, seed: u64) {
         self.engine.fabric_mut().set_loss(rate, seed);
+    }
+
+    /// Runs the §4.4 reset protocol on a directory region: every live
+    /// blade flushes its dirty pages for `[base, base + 2^k)` and the
+    /// entry is removed. Returns when the flushes complete.
+    pub fn reset_region(&mut self, now: SimTime, base: u64, k: u8) -> SimTime {
+        self.engine.reset_region(now, base, k)
     }
 
     /// Fails a compute blade (it stops ACKing invalidations; cache lost).
@@ -468,13 +533,15 @@ impl MindCluster {
     }
 
     /// The coherence engine (advanced inspection in tests/benches).
+    ///
+    /// Read-only by design: mutation goes through the purpose-built
+    /// operations ([`MindCluster::inject_loss`],
+    /// [`MindCluster::fail_blade`], [`MindCluster::reset_region`],
+    /// [`MindCluster::switch_failover`], [`MindCluster::migrate`]) so the
+    /// cluster's invariants — and the batched datapath's lookaside
+    /// assumptions — cannot be bypassed from outside.
     pub fn engine(&self) -> &CoherenceEngine {
         &self.engine
-    }
-
-    /// Mutable engine access (fault-injection tests).
-    pub fn engine_mut(&mut self) -> &mut CoherenceEngine {
-        &mut self.engine
     }
 }
 
@@ -506,6 +573,13 @@ impl MemorySystem for MindCluster {
     fn advance_to(&mut self, now: SimTime) {
         self.tick(now);
     }
+
+    /// MIND's op-batch pipeline (see [`MindCluster::run_batch`]): same
+    /// per-op outcomes and metrics as the default scalar loop, with the
+    /// per-op table walks amortized across the batch.
+    fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
+        self.run_batch(now, batch);
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +597,133 @@ mod tests {
         assert_eq!(cfg.cache_pages, 25_000);
         assert_eq!(cfg.dir_capacity, 6_000);
         assert_eq!(cfg.split.epoch_len, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn scaled_sizes_saturate_on_huge_footprints() {
+        // A footprint beyond any 32-bit page count must clamp to the type
+        // maximum, never wrap around to a tiny cache/directory.
+        assert_eq!(scaled_cache_pages(u64::MAX), u32::MAX);
+        assert_eq!(scaled_cache_pages((u32::MAX as u64 + 1) * 8), u32::MAX);
+        assert!(scaled_dir_capacity(u64::MAX) >= scaled_dir_capacity(1 << 40));
+        // Monotonic across the u32 boundary: growing the footprint never
+        // shrinks the scaled sizes.
+        let footprints = [1u64 << 20, 1 << 32, 1 << 40, 1 << 50, u64::MAX];
+        for pair in footprints.windows(2) {
+            assert!(scaled_cache_pages(pair[1]) >= scaled_cache_pages(pair[0]));
+            assert!(scaled_dir_capacity(pair[1]) >= scaled_dir_capacity(pair[0]));
+        }
+    }
+
+    /// The cluster-level equivalence guarantee: a batch through
+    /// `run_batch` produces identical outcomes, issue times, and metrics
+    /// to the same ops issued through the scalar path.
+    #[test]
+    fn run_batch_matches_scalar_path() {
+        use crate::system::MemOp;
+
+        let build_ops = |c: &mut MindCluster, pid: Pid| -> Vec<MemOp> {
+            let base = c.mmap(pid, 1 << 20).unwrap();
+            let mut rng = mind_sim::SimRng::new(9);
+            (0..64)
+                .map(|i| MemOp {
+                    at: SimTime::ZERO,
+                    blade: (i % 2) as u16,
+                    pdid: None,
+                    vaddr: base + (rng.gen_below(64) << 12),
+                    kind: if rng.gen_bool(0.4) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                })
+                .collect()
+        };
+
+        // Scalar reference: issue each op through access_as, chaining
+        // issue times exactly like a chained batch.
+        let mut scalar = MindCluster::new(MindConfig::small());
+        let pid = scalar.exec().unwrap();
+        let gap = SimTime::from_nanos(100);
+        let ops = build_ops(&mut scalar, pid);
+        let mut scalar_outcomes = Vec::new();
+        let mut t = SimTime::ZERO;
+        for op in &ops {
+            let outcome = scalar.access_as(t, op.blade, pid, op.vaddr, op.kind).unwrap();
+            scalar_outcomes.push((t, outcome));
+            t = t + outcome.latency.total() + gap;
+        }
+
+        // Batched run over an identically prepared rack.
+        let mut batched = MindCluster::new(MindConfig::small());
+        let pid2 = batched.exec().unwrap();
+        let ops2 = build_ops(&mut batched, pid2);
+        assert_eq!(ops.len(), ops2.len());
+        let mut batch = OpBatch::chained(gap);
+        for op in &ops2 {
+            batch.push(*op);
+        }
+        batched.run_batch(SimTime::ZERO, &mut batch);
+
+        for (i, &(at, outcome)) in scalar_outcomes.iter().enumerate() {
+            assert_eq!(batch.op(i).at, at, "issue time of op {i}");
+            let b = batch.outcome(i);
+            assert_eq!(b.latency, outcome.latency, "latency of op {i}");
+            assert_eq!(b.remote, outcome.remote);
+            assert_eq!(b.invalidations, outcome.invalidations);
+            assert_eq!(b.flushed_pages, outcome.flushed_pages);
+            assert_eq!(b.false_invalidations, outcome.false_invalidations);
+        }
+        assert_eq!(
+            scalar.metrics_snapshot(),
+            batched.metrics_snapshot(),
+            "batched metrics diverge from scalar"
+        );
+    }
+
+    #[test]
+    fn run_batch_records_errors_and_advances_by_gap() {
+        use crate::system::MemOp;
+        let mut c = MindCluster::new(MindConfig::small());
+        let pid = c.exec().unwrap();
+        let base = c.mmap(pid, 1 << 16).unwrap();
+        c.fail_blade(0);
+        let gap = SimTime::from_nanos(100);
+        let mut batch = OpBatch::chained(gap);
+        for &blade in &[0u16, 1] {
+            batch.push(MemOp {
+                at: SimTime::ZERO,
+                blade,
+                pdid: None,
+                vaddr: base,
+                kind: AccessKind::Read,
+            });
+        }
+        c.run_batch(SimTime::ZERO, &mut batch);
+        assert!(
+            matches!(batch.result(0), Err(AccessError::BladeFailed)),
+            "failed blade's op recorded as an error: {:?}",
+            batch.result(0)
+        );
+        assert!(batch.result(1).is_ok(), "healthy blade proceeds");
+        assert_eq!(
+            batch.op(1).at,
+            gap,
+            "a refused chained op contributes no service time"
+        );
+    }
+
+    #[test]
+    fn reset_region_accessor_flushes_and_removes() {
+        let (mut c, pid, base) = functional_cluster();
+        c.write_bytes(SimTime::ZERO, 0, pid, base, b"dirty").unwrap();
+        let (rbase, rk) = c.engine().directory().region_of(base).unwrap();
+        c.reset_region(SimTime::from_micros(50), rbase, rk);
+        assert!(
+            c.engine().directory().region_of(base).is_none(),
+            "entry removed by the reset protocol"
+        );
+        assert!(!c.engine().cache(0).contains(base), "cache flushed");
     }
 
     fn functional_cluster() -> (MindCluster, Pid, u64) {

@@ -13,7 +13,9 @@
 //! dirty pages flushed only because they share a directory region with the
 //! requested page (§4.3.1) — which feed the bounded-splitting algorithm.
 
-use mind_blade::{page_base, DramCache, InvalidationQueue, MemoryBlade, PageData, PAGE_SIZE};
+use mind_blade::{
+    page_base, DramCache, InvalidationQueue, MemoryBlade, PageData, TaggedLookup, PAGE_SIZE,
+};
 use mind_net::fabric::Fabric;
 use mind_net::link::LatencyConfig;
 use mind_net::node::{BladeSet, NodeId};
@@ -22,9 +24,12 @@ use mind_net::reliability::AckTracker;
 use mind_sim::stats::Metrics;
 use mind_sim::SimTime;
 use mind_switch::pipeline::Pipeline;
+use mind_switch::sram::SramFull;
+use mind_switch::tcam::TcamEntry;
 
+use crate::addr::PhysAddr;
 use crate::directory::{MsiState, RegionDirectory};
-use crate::protect::{Pdid, ProtectionTable};
+use crate::protect::{Pdid, PermClass, ProtectionTable};
 use crate::stt::{FetchSource, InvalScope, Protocol, Role, SttTable};
 use crate::system::{AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown};
 use crate::translate::TranslationTable;
@@ -100,33 +105,11 @@ struct InvalRound {
     reset: bool,
 }
 
-/// The in-network memory management engine: switch data plane + blades.
-#[derive(Debug)]
-pub struct CoherenceEngine {
-    cfg: CoherenceConfig,
-    lat: LatencyConfig,
-    fabric: Fabric,
-    pipeline: Pipeline,
-    pub(crate) directory: RegionDirectory,
-    pub(crate) translation: TranslationTable,
-    pub(crate) protection: ProtectionTable,
-    caches: Vec<DramCache>,
-    /// Protection-domain tag per cached page and blade: the model of the
-    /// per-process local page tables (a page cached by one domain is not
-    /// mapped for another until the switch authorizes it, §3.2).
-    page_owner: Vec<std::collections::HashMap<u64, Pdid>>,
-    inv_queues: Vec<InvalidationQueue>,
-    memory: Vec<MemoryBlade>,
-    failed: Vec<bool>,
-    /// Per-blade PSO write buffer: completion times of in-flight
-    /// asynchronous writes. A bounded store buffer — when full, further
-    /// writes stall until the oldest drains (real PSO hardware has finite
-    /// store-buffer capacity).
-    pso_buffer: Vec<std::collections::VecDeque<SimTime>>,
-    /// The materialized state-transition table in the second MAU (§6.3).
-    stt: SttTable,
-    acks: AckTracker,
-    // Metrics.
+/// The engine's event counters, kept in one struct so the batched datapath
+/// can accumulate a batch's deltas aside and flush them in a single merge
+/// (identical totals to per-op updates, one memory region touched).
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
     accesses: u64,
     local_hits: u64,
     remote_accesses: u64,
@@ -139,6 +122,85 @@ pub struct CoherenceEngine {
     resets: u64,
     denials: u64,
     async_writes: u64,
+}
+
+impl Counters {
+    fn merge(&mut self, o: &Counters) {
+        self.accesses += o.accesses;
+        self.local_hits += o.local_hits;
+        self.remote_accesses += o.remote_accesses;
+        self.upgrades += o.upgrades;
+        self.inval_requests += o.inval_requests;
+        self.inval_rounds += o.inval_rounds;
+        self.flushed_pages += o.flushed_pages;
+        self.false_invalidations += o.false_invalidations;
+        self.bypasses += o.bypasses;
+        self.resets += o.resets;
+        self.denials += o.denials;
+        self.async_writes += o.async_writes;
+    }
+}
+
+/// Per-batch lookaside state for the op-batch datapath (§6.3's "the whole
+/// function is a table", amortized): TCAM and directory resolutions made
+/// once per batch instead of once per op, plus the batch's pending metric
+/// deltas. Installed by [`CoherenceEngine::begin_batch`], dropped (and
+/// flushed) by [`CoherenceEngine::end_batch`]. Every memoization here is
+/// *semantics-preserving*: the scalar and batched paths produce identical
+/// per-op outcomes and metrics.
+#[derive(Debug, Default)]
+struct BatchLookaside {
+    /// Resolved protection grants `(pdid, entry, class)`. Valid for the
+    /// whole batch: the data plane never mutates the protection TCAM, and
+    /// a domain's grants are disjoint (one per vma, buddies coalesced), so
+    /// the covering entry is unique — re-checked by a debug assertion.
+    prot: Vec<(Pdid, TcamEntry, PermClass)>,
+    /// Whether the outlier translation TCAM was empty at batch start (it
+    /// cannot gain entries mid-batch: outliers install only through the
+    /// control plane). `true` lets every translation in the batch use the
+    /// pure range-partition arithmetic, skipping the TCAM walk.
+    no_outliers: bool,
+    /// Resolved outlier-era translations (`page` → physical), sorted by
+    /// page; used only when outliers exist.
+    xlate: Vec<(u64, PhysAddr)>,
+    /// Last resolved directory region `(base, size_log2)`, valid while the
+    /// directory's region-map generation is unchanged.
+    region: Option<(u64, u8)>,
+    /// Directory generation [`BatchLookaside::region`] was resolved at.
+    dir_gen: u64,
+    /// Metric deltas accumulated during the batch, merged into the live
+    /// counters once at batch end.
+    pending: Counters,
+}
+
+/// The in-network memory management engine: switch data plane + blades.
+#[derive(Debug)]
+pub struct CoherenceEngine {
+    cfg: CoherenceConfig,
+    lat: LatencyConfig,
+    fabric: Fabric,
+    pipeline: Pipeline,
+    pub(crate) directory: RegionDirectory,
+    pub(crate) translation: TranslationTable,
+    pub(crate) protection: ProtectionTable,
+    caches: Vec<DramCache>,
+    inv_queues: Vec<InvalidationQueue>,
+    memory: Vec<MemoryBlade>,
+    failed: Vec<bool>,
+    /// Per-blade PSO write buffer: completion times of in-flight
+    /// asynchronous writes. A bounded store buffer — when full, further
+    /// writes stall until the oldest drains (real PSO hardware has finite
+    /// store-buffer capacity).
+    pso_buffer: Vec<std::collections::VecDeque<SimTime>>,
+    /// The materialized state-transition table in the second MAU (§6.3).
+    stt: SttTable,
+    acks: AckTracker,
+    /// Live metric counters (plus the active batch's pending deltas).
+    ctrs: Counters,
+    /// The active op-batch's lookaside, when one is in flight.
+    batch: Option<Box<BatchLookaside>>,
+    /// Retired lookaside recycled across batches (keeps its allocations).
+    spare_batch: Option<Box<BatchLookaside>>,
 }
 
 impl CoherenceEngine {
@@ -172,9 +234,6 @@ impl CoherenceEngine {
             caches: (0..n_compute)
                 .map(|_| DramCache::new(cache_pages))
                 .collect(),
-            page_owner: (0..n_compute)
-                .map(|_| std::collections::HashMap::new())
-                .collect(),
             inv_queues: (0..n_compute).map(|_| InvalidationQueue::new()).collect(),
             memory: (0..n_memory)
                 .map(|_| MemoryBlade::new(memory_blade_bytes))
@@ -185,19 +244,135 @@ impl CoherenceEngine {
                 .collect(),
             stt: SttTable::new(cfg.protocol),
             acks: AckTracker::new(cfg.ack_timeout, cfg.max_retries),
-            accesses: 0,
-            local_hits: 0,
-            remote_accesses: 0,
-            upgrades: 0,
-            inval_requests: 0,
-            inval_rounds: 0,
-            flushed_pages: 0,
-            false_invalidations: 0,
-            bypasses: 0,
-            resets: 0,
-            denials: 0,
-            async_writes: 0,
+            ctrs: Counters::default(),
+            batch: None,
+            spare_batch: None,
         }
+    }
+
+    /// The counter sink: the live counters, or the active batch's pending
+    /// deltas (flushed once, at [`CoherenceEngine::end_batch`]).
+    #[inline]
+    fn ctr(&mut self) -> &mut Counters {
+        match &mut self.batch {
+            Some(b) => &mut b.pending,
+            None => &mut self.ctrs,
+        }
+    }
+
+    // ----- The op-batch datapath (amortized lookups) -----
+
+    /// Begins an op-batch: installs the lookaside that amortizes TCAM,
+    /// translation, and directory-region resolutions across the batch's
+    /// ops. Resolutions fill in lazily — the first op to touch a
+    /// protection range pays the TCAM walk, every later op in the range is
+    /// served from the memo (an eager sorted prefill was measured slower:
+    /// hit-dominated batches never consult protection at all).
+    ///
+    /// Between `begin_batch` and [`CoherenceEngine::end_batch`] only
+    /// data-plane calls ([`CoherenceEngine::access`] and the epoch driver)
+    /// may run — control-plane mutations (grants, outlier installs) would
+    /// invalidate the lookaside.
+    pub fn begin_batch(&mut self) {
+        debug_assert!(self.batch.is_none(), "batches do not nest");
+        let mut look = self.spare_batch.take().unwrap_or_default();
+        look.prot.clear();
+        look.xlate.clear();
+        look.region = None;
+        look.pending = Counters::default();
+        look.no_outliers = self.translation.outlier_count() == 0;
+        look.dir_gen = self.directory.generation();
+        self.batch = Some(look);
+    }
+
+    /// Ends the active op-batch, flushing its pending metric deltas into
+    /// the live counters in one merge.
+    pub fn end_batch(&mut self) {
+        if let Some(look) = self.batch.take() {
+            self.ctrs.merge(&look.pending);
+            self.spare_batch = Some(look);
+        }
+    }
+
+    /// Protection check through the batch lookaside when one is active,
+    /// the plain TCAM walk otherwise. Counter-exact with the scalar path:
+    /// every op accounts one check (and one denial when refused), whether
+    /// it was served from the memo or from a fresh walk.
+    fn prot_check(&mut self, pdid: Pdid, page: u64, kind: AccessKind) -> bool {
+        let memoized = self.batch.as_ref().and_then(|b| {
+            b.prot
+                .iter()
+                .find(|&&(pd, e, _)| pd == pdid && e.matches(page))
+                .map(|&(_, _, pc)| pc)
+        });
+        if let Some(pc) = memoized {
+            debug_assert_eq!(
+                Some(pc),
+                self.protection.resolve_grant(pdid, page).map(|(_, c)| c),
+                "protection memo out of date within a batch"
+            );
+            let allowed = pc.allows(kind);
+            self.protection.note_memoized_check(allowed);
+            return allowed;
+        }
+        if self.batch.is_some() {
+            let (allowed, grant) = self.protection.check_resolve(pdid, page, kind);
+            if let (Some((entry, pc)), Some(b)) = (grant, self.batch.as_mut()) {
+                b.prot.push((pdid, entry, pc));
+            }
+            allowed
+        } else {
+            self.protection.check(pdid, page, kind)
+        }
+    }
+
+    /// Address translation through the batch lookaside when one is
+    /// active: with an empty outlier TCAM (the common case) every
+    /// translation is pure range-partition arithmetic; with outliers
+    /// installed, resolved pages are memoized for the batch. Identical
+    /// results to [`TranslationTable::translate`] in all cases.
+    fn xlate(&mut self, page: u64) -> Option<PhysAddr> {
+        let Some(b) = &self.batch else {
+            return self.translation.translate(page);
+        };
+        if b.no_outliers {
+            debug_assert_eq!(self.translation.outlier_count(), 0);
+            return self.translation.partition_of(page);
+        }
+        if let Ok(i) = b.xlate.binary_search_by_key(&page, |&(p, _)| p) {
+            return Some(b.xlate[i].1);
+        }
+        let pa = self.translation.translate(page)?;
+        if let Some(b) = self.batch.as_mut() {
+            if let Err(i) = b.xlate.binary_search_by_key(&page, |&(p, _)| p) {
+                b.xlate.insert(i, (page, pa));
+            }
+        }
+        Some(pa)
+    }
+
+    /// Directory region resolution with a one-entry, generation-guarded
+    /// memo: consecutive faults into the same region during a batch skip
+    /// the ordered-map lookup. Any region-map change (create, split,
+    /// merge, remove — including those made by the epoch driver between
+    /// ops) bumps the directory generation and invalidates the memo.
+    fn ensure_region_memo(&mut self, page: u64) -> Result<(u64, u8), SramFull> {
+        if let Some(b) = &self.batch {
+            if b.dir_gen == self.directory.generation() {
+                if let Some((base, k)) = b.region {
+                    if page >= base && page < base + (1u64 << k) {
+                        return Ok((base, k));
+                    }
+                }
+            }
+        }
+        let found = self.directory.ensure_region(page)?;
+        let gen = self.directory.generation();
+        if let Some(b) = self.batch.as_mut() {
+            b.region = Some(found);
+            b.dir_gen = gen;
+        }
+        Ok(found)
     }
 
     /// Number of compute blades.
@@ -259,23 +434,24 @@ impl CoherenceEngine {
         if self.failed[blade as usize] {
             return Err(AccessError::BladeFailed);
         }
-        self.accesses += 1;
+        self.ctr().accesses += 1;
         let page = page_base(vaddr);
-        let probe = self.caches[blade as usize].access(page, kind.is_write());
+        let probe = self.caches[blade as usize].access_tagged(page, kind.is_write());
         match probe {
-            mind_blade::CacheLookup::Hit => {
+            TaggedLookup::Hit { frame, tag } => {
                 // The local page tables are per protection domain: a page
                 // cached under another domain is not mapped for this one.
                 // The fault consults the switch, which either denies or
-                // installs the mapping for the new domain.
-                let owner = self.page_owner[blade as usize].get(&page).copied();
-                if owner != Some(pdid) {
-                    if !self.protection.check(pdid, page, kind) {
-                        self.denials += 1;
+                // installs the mapping for the new domain. The domain tag
+                // rides in the frame slab, so the probe resolved it with
+                // no extra lookup.
+                if tag != pdid {
+                    if !self.prot_check(pdid, page, kind) {
+                        self.ctr().denials += 1;
                         return Err(AccessError::PermissionDenied);
                     }
-                    self.page_owner[blade as usize].insert(page, pdid);
-                    self.remote_accesses += 1;
+                    self.caches[blade as usize].set_frame_tag(frame, pdid);
+                    self.ctr().remote_accesses += 1;
                     let t_done = self.grant(now + self.lat.fault_handler, blade);
                     return Ok(AccessOutcome {
                         latency: LatencyBreakdown {
@@ -287,15 +463,15 @@ impl CoherenceEngine {
                         ..Default::default()
                     });
                 }
-                self.local_hits += 1;
+                self.ctr().local_hits += 1;
                 Ok(AccessOutcome {
                     latency: LatencyBreakdown::local(self.lat.local_dram),
                     ..Default::default()
                 })
             }
-            mind_blade::CacheLookup::Miss => self.page_fault(now, blade, pdid, page, kind, true),
-            mind_blade::CacheLookup::NeedUpgrade => {
-                self.upgrades += 1;
+            TaggedLookup::Miss => self.page_fault(now, blade, pdid, page, kind, true),
+            TaggedLookup::NeedUpgrade => {
+                self.ctr().upgrades += 1;
                 self.page_fault(now, blade, pdid, page, kind, false)
             }
         }
@@ -311,7 +487,7 @@ impl CoherenceEngine {
         kind: AccessKind,
         need_data: bool,
     ) -> Result<AccessOutcome, AccessError> {
-        self.remote_accesses += 1;
+        self.ctr().remote_accesses += 1;
         let t0 = now + self.lat.fault_handler;
 
         // One-sided RDMA request, addressed by virtual address, intercepted
@@ -326,14 +502,15 @@ impl CoherenceEngine {
         );
         let t_switch = self.fabric.send(t0, &req);
 
-        // Protection: TCAM parallel range match on <PDID, vaddr> (§4.2).
-        if !self.protection.check(pdid, page, kind) {
-            self.denials += 1;
+        // Protection: TCAM parallel range match on <PDID, vaddr> (§4.2),
+        // served from the batch lookaside when an op-batch is in flight.
+        if !self.prot_check(pdid, page, kind) {
+            self.ctr().denials += 1;
             return Err(AccessError::PermissionDenied);
         }
 
         // Directory lookup/transition: two MAUs + recirculation (Figure 4).
-        let region = match self.directory.ensure_region(page) {
+        let region = match self.ensure_region_memo(page) {
             Ok(r) => r,
             Err(_) => return self.bypass(t_switch, blade, page, kind),
         };
@@ -465,7 +642,7 @@ impl CoherenceEngine {
             let dirty = row.insert_writable && kind.is_write();
             let evicted =
                 self.caches[blade as usize].insert_with(page, row.insert_writable, dirty, data);
-            self.page_owner[blade as usize].insert(page, pdid);
+            self.caches[blade as usize].set_page_tag(page, pdid);
             if let Some(ev) = evicted {
                 if ev.dirty {
                     // The kernel picks and writes back the victim when the
@@ -480,12 +657,13 @@ impl CoherenceEngine {
         }
 
         // Account the round.
-        self.inval_requests += round.requests as u64;
+        let ctrs = self.ctr();
+        ctrs.inval_requests += round.requests as u64;
         if round.requests > 0 {
-            self.inval_rounds += 1;
+            ctrs.inval_rounds += 1;
         }
-        self.flushed_pages += round.flushed as u64;
-        self.false_invalidations += round.false_inv as u64;
+        ctrs.flushed_pages += round.flushed as u64;
+        ctrs.false_invalidations += round.false_inv as u64;
         if round.requests > 0 {
             self.directory.record_invalidation(
                 if round.reset {
@@ -504,7 +682,7 @@ impl CoherenceEngine {
         // busy_until). §7.1's MIND-PSO simulation.
         let total_wait = done.saturating_sub(now);
         if kind.is_write() && self.cfg.consistency.async_writes() {
-            self.async_writes += 1;
+            self.ctr().async_writes += 1;
             // Bounded store buffer: drain completed writes, stall if full.
             const PSO_BUFFER_DEPTH: usize = 16;
             let buf = &mut self.pso_buffer[blade as usize];
@@ -562,10 +740,7 @@ impl CoherenceEngine {
         page: u64,
         _carry: bool,
     ) -> Result<SimTime, AccessError> {
-        let pa = self
-            .translation
-            .translate(page)
-            .ok_or(AccessError::BadAddress)?;
+        let pa = self.xlate(page).ok_or(AccessError::BadAddress)?;
         if pa.blade >= self.n_memory() {
             return Err(AccessError::BadAddress);
         }
@@ -633,10 +808,7 @@ impl CoherenceEngine {
             // The owner evicted the page: its write-back made memory
             // current again.
         }
-        let pa = self
-            .translation
-            .translate(page)
-            .ok_or(AccessError::BadAddress)?;
+        let pa = self.xlate(page).ok_or(AccessError::BadAddress)?;
         self.memory[pa.blade as usize]
             .read_page(pa.page())
             .map_err(|_| AccessError::BadAddress)
@@ -661,10 +833,7 @@ impl CoherenceEngine {
         page: u64,
         data: Option<PageData>,
     ) -> Result<SimTime, AccessError> {
-        let pa = self
-            .translation
-            .translate(page)
-            .ok_or(AccessError::BadAddress)?;
+        let pa = self.xlate(page).ok_or(AccessError::BadAddress)?;
         let pkt = Packet::new(
             NodeId::Compute(blade),
             NodeId::Memory(pa.blade),
@@ -790,7 +959,7 @@ impl CoherenceEngine {
                 let done = self.reset_region(t, base, k);
                 round.done_at = round.done_at.max(done);
                 round.reset = true;
-                self.resets += 1;
+                self.ctr().resets += 1;
                 break;
             }
         }
@@ -811,7 +980,7 @@ impl CoherenceEngine {
                 if let Ok(fin) = self.writeback(t, b, page, data) {
                     t = fin;
                 }
-                self.flushed_pages += 1;
+                self.ctr().flushed_pages += 1;
             }
             done = done.max(t);
         }
@@ -828,7 +997,7 @@ impl CoherenceEngine {
         page: u64,
         kind: AccessKind,
     ) -> Result<AccessOutcome, AccessError> {
-        self.bypasses += 1;
+        self.ctr().bypasses += 1;
         let done = match kind {
             AccessKind::Read => self.fetch(t_switch, blade, page, false)?,
             AccessKind::Write => self.writeback(t_switch, blade, page, None)?,
@@ -845,21 +1014,26 @@ impl CoherenceEngine {
         })
     }
 
-    /// Lifetime metrics snapshot.
+    /// Lifetime metrics snapshot. Correct mid-batch too: an in-flight
+    /// batch's pending deltas are merged into the view.
     pub fn metrics(&self) -> Metrics {
+        let mut c = self.ctrs;
+        if let Some(b) = &self.batch {
+            c.merge(&b.pending);
+        }
         let mut m = Metrics::new();
-        m.add("accesses", self.accesses);
-        m.add("local_hits", self.local_hits);
-        m.add("remote_accesses", self.remote_accesses);
-        m.add("upgrades", self.upgrades);
-        m.add("invalidation_requests", self.inval_requests);
-        m.add("invalidation_rounds", self.inval_rounds);
-        m.add("flushed_pages", self.flushed_pages);
-        m.add("false_invalidations", self.false_invalidations);
-        m.add("bypasses", self.bypasses);
-        m.add("resets", self.resets);
-        m.add("denials", self.denials);
-        m.add("async_writes", self.async_writes);
+        m.add("accesses", c.accesses);
+        m.add("local_hits", c.local_hits);
+        m.add("remote_accesses", c.remote_accesses);
+        m.add("upgrades", c.upgrades);
+        m.add("invalidation_requests", c.inval_requests);
+        m.add("invalidation_rounds", c.inval_rounds);
+        m.add("flushed_pages", c.flushed_pages);
+        m.add("false_invalidations", c.false_invalidations);
+        m.add("bypasses", c.bypasses);
+        m.add("resets", c.resets);
+        m.add("denials", c.denials);
+        m.add("async_writes", c.async_writes);
         m.add("directory_entries", self.directory.entries() as u64);
         m.add(
             "directory_watermark",

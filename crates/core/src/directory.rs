@@ -138,6 +138,11 @@ pub struct RegionDirectory {
     /// Ordered mirror of region bases → size, for containing-region lookup.
     regions: BTreeMap<u64, u8>,
     initial_region_log2: u8,
+    /// Bumped on every change to the region *map* (create/split/merge/
+    /// remove). A cached `(base, size)` resolution is valid exactly while
+    /// the generation is unchanged — the guard MIND's batched datapath
+    /// uses to reuse one region lookup across the ops of a batch.
+    generation: u64,
     splits: u64,
     merges: u64,
     forced_merges: u64,
@@ -154,6 +159,7 @@ impl RegionDirectory {
             slots: SlotStore::new(capacity),
             regions: BTreeMap::new(),
             initial_region_log2,
+            generation: 0,
             splits: 0,
             merges: 0,
             forced_merges: 0,
@@ -237,7 +243,14 @@ impl RegionDirectory {
         }
         self.slots.insert(base, DirEntry::new(k))?;
         self.regions.insert(base, k);
+        self.generation += 1;
         Ok((base, k))
+    }
+
+    /// The region-map generation (see the field docs): compare before
+    /// reusing a cached [`RegionDirectory::region_of`] result.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn overlaps_existing(&self, base: u64, k: u8) -> bool {
@@ -287,6 +300,7 @@ impl RegionDirectory {
             .expect("free slot checked");
         self.regions.insert(base, child_k);
         self.regions.insert(right_base, child_k);
+        self.generation += 1;
         self.splits += 1;
         Ok((base, right_base))
     }
@@ -315,6 +329,7 @@ impl RegionDirectory {
             .insert(parent_base, merged)
             .expect("merge frees two slots");
         self.regions.insert(parent_base, k + 1);
+        self.generation += 1;
         self.merges += 1;
         Some(parent_base)
     }
@@ -347,7 +362,9 @@ impl RegionDirectory {
     /// Removes the region entry at `base` (reset protocol §4.4, or
     /// deallocation).
     pub fn remove(&mut self, base: u64) -> Option<DirEntry> {
-        self.regions.remove(&base);
+        if self.regions.remove(&base).is_some() {
+            self.generation += 1;
+        }
         self.slots.remove(base)
     }
 
@@ -616,6 +633,27 @@ mod tests {
         let again = d.drain_epoch_counters();
         assert_eq!(again[0].false_inv, 0);
         assert_eq!(again[0].invalidations, 0);
+    }
+
+    #[test]
+    fn generation_tracks_region_map_changes() {
+        let mut d = dir();
+        let g0 = d.generation();
+        let (base, _) = d.ensure_region(0x1_0000).unwrap();
+        assert!(d.generation() > g0, "creation bumps");
+        let g1 = d.generation();
+        d.ensure_region(0x1_2000).unwrap(); // Same region: pure lookup.
+        assert_eq!(d.generation(), g1, "lookup does not bump");
+        d.record_invalidation(base, 2); // Counters do not move boundaries.
+        assert_eq!(d.generation(), g1);
+        let (l, _) = d.split(base).unwrap();
+        assert!(d.generation() > g1, "split bumps");
+        let g2 = d.generation();
+        d.merge(l).unwrap();
+        assert!(d.generation() > g2, "merge bumps");
+        let g3 = d.generation();
+        d.remove(base);
+        assert!(d.generation() > g3, "remove bumps");
     }
 
     #[test]

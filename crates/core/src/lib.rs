@@ -69,4 +69,7 @@ pub mod translate;
 
 pub use addr::{PhysAddr, Vma};
 pub use cluster::{MindCluster, MindConfig};
-pub use system::{AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown, MemorySystem};
+pub use system::{
+    AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown, MemOp, MemorySystem, OpBatch,
+    ScalarLoop,
+};

@@ -67,7 +67,24 @@ impl ProtectionTable {
     /// power-of-two pieces and coalesces buddies afterwards.
     ///
     /// Rolls back on TCAM exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vma overlaps an existing grant of the same domain.
+    /// A domain's grants are **disjoint by invariant** (change a range's
+    /// class with [`ProtectionTable::revoke`] + re-grant, not by stacking
+    /// nested entries): the control plane allocates disjoint vmas, and
+    /// the batched datapath's grant memo relies on the covering entry
+    /// being unique — a nested more-specific entry would win the TCAM's
+    /// LPM in the scalar path but could be shadowed in the memo.
     pub fn grant(&mut self, pdid: Pdid, vma: Vma, pc: PermClass) -> Result<(), TcamFull> {
+        assert!(
+            !self.overlaps(pdid, vma),
+            "protection grants within a domain must be disjoint \
+             (revoke before re-granting {:#x}+{:#x} for domain {pdid})",
+            vma.base,
+            vma.len,
+        );
         let pieces = pow2_cover(vma.base, vma.len);
         let mut installed = Vec::new();
         for &(base, k) in &pieces {
@@ -86,6 +103,23 @@ impl ProtectionTable {
             self.coalesce_from(entry);
         }
         Ok(())
+    }
+
+    /// Whether any existing entry of `pdid` overlaps `vma` (the
+    /// disjointness check behind [`ProtectionTable::grant`]; control-plane
+    /// cold path, so the linear descendant scan is fine).
+    fn overlaps(&self, pdid: Pdid, vma: Vma) -> bool {
+        // An existing entry covering (or equal to) a piece of the vma.
+        for (base, _) in pow2_cover(vma.base, vma.len) {
+            if self.tcam.peek_lookup(pdid, base).is_some() {
+                return true;
+            }
+        }
+        // An existing entry nested strictly inside the vma.
+        let end = vma.base + vma.len;
+        self.tcam
+            .iter()
+            .any(|(e, _)| e.ctx == pdid && e.base >= vma.base && e.base < end)
     }
 
     /// Repeatedly merges `entry` with its buddy while both exist with the
@@ -159,15 +193,52 @@ impl ProtectionTable {
     /// Checks whether `<pdid>` may perform `kind` at `vaddr` — the data-
     /// plane TCAM parallel range match.
     pub fn check(&mut self, pdid: Pdid, vaddr: u64, kind: AccessKind) -> bool {
+        self.check_resolve(pdid, vaddr, kind).0
+    }
+
+    /// [`check`] that also returns the matched grant, so a batched
+    /// datapath can memoize the entry and serve later ops in the same
+    /// range without repeating the TCAM walk. Counter behaviour is
+    /// identical to [`check`].
+    ///
+    /// [`check`]: ProtectionTable::check
+    pub fn check_resolve(
+        &mut self,
+        pdid: Pdid,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> (bool, Option<(TcamEntry, PermClass)>) {
         self.checks += 1;
-        let allowed = self
-            .tcam
-            .lookup(pdid, vaddr)
-            .is_some_and(|(_, pc)| pc.allows(kind));
+        match self.tcam.lookup(pdid, vaddr) {
+            Some((entry, &pc)) => {
+                let allowed = pc.allows(kind);
+                if !allowed {
+                    self.denials += 1;
+                }
+                (allowed, Some((entry, pc)))
+            }
+            None => {
+                self.denials += 1;
+                (false, None)
+            }
+        }
+    }
+
+    /// Counter-free grant resolution: the entry and class covering
+    /// `<pdid, vaddr>`, if any, without recording a check. Used to
+    /// pre-resolve a batch's grants; per-op accounting then goes through
+    /// [`ProtectionTable::note_memoized_check`].
+    pub fn resolve_grant(&self, pdid: Pdid, vaddr: u64) -> Option<(TcamEntry, PermClass)> {
+        self.tcam.peek_lookup(pdid, vaddr).map(|(e, &pc)| (e, pc))
+    }
+
+    /// Accounts one check served from a batch's memoized grant, keeping
+    /// the `checks`/`denials` counters identical to the scalar path.
+    pub fn note_memoized_check(&mut self, allowed: bool) {
+        self.checks += 1;
         if !allowed {
             self.denials += 1;
         }
-        allowed
     }
 
     /// Installed TCAM entries (Figure 8 center counts these).
@@ -324,6 +395,66 @@ mod tests {
         assert!(p.check(session_a, buf_a.base, AccessKind::Write));
         assert!(!p.check(session_a, buf_b.base, AccessKind::Read));
         assert!(!p.check(session_b, buf_a.base, AccessKind::Read));
+    }
+
+    #[test]
+    fn resolve_grant_and_memoized_check_mirror_scalar_counters() {
+        let mut p = ProtectionTable::new(64);
+        let vma = Vma::new(0x4000, 0x4000);
+        p.grant(7, vma, PermClass::ReadOnly).unwrap();
+        // Counter-free resolution returns the covering entry.
+        let (entry, pc) = p.resolve_grant(7, 0x5000).unwrap();
+        assert!(entry.matches(0x4000) && entry.matches(0x7FFF));
+        assert_eq!(pc, PermClass::ReadOnly);
+        assert_eq!(p.checks(), 0, "resolve_grant records no check");
+        assert!(p.resolve_grant(8, 0x5000).is_none(), "other domain");
+        // A memoized check accounts exactly like a scalar one.
+        p.note_memoized_check(pc.allows(AccessKind::Read));
+        p.note_memoized_check(pc.allows(AccessKind::Write));
+        let mut scalar = ProtectionTable::new(64);
+        scalar.grant(7, vma, PermClass::ReadOnly).unwrap();
+        scalar.check(7, 0x5000, AccessKind::Read);
+        scalar.check(7, 0x5000, AccessKind::Write);
+        assert_eq!((p.checks(), p.denials()), (scalar.checks(), scalar.denials()));
+        // check_resolve is check plus the matched grant.
+        let (allowed, grant) = scalar.check_resolve(7, 0x5000, AccessKind::Read);
+        assert!(allowed);
+        assert_eq!(grant, Some((entry, pc)));
+        let (allowed, grant) = scalar.check_resolve(9, 0x5000, AccessKind::Read);
+        assert!(!allowed);
+        assert_eq!(grant, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn nested_grant_rejected() {
+        // The batched datapath's grant memo relies on per-domain grants
+        // being disjoint; stacking a nested entry must be refused loudly
+        // rather than silently shadowing LPM.
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x0, 1 << 20), PermClass::ReadOnly).unwrap();
+        let _ = p.grant(1, Vma::new(0x4000, 0x4000), PermClass::ReadWrite);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn enclosing_grant_rejected() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x4000, 0x4000), PermClass::ReadWrite).unwrap();
+        let _ = p.grant(1, Vma::new(0x0, 1 << 20), PermClass::ReadOnly);
+    }
+
+    #[test]
+    fn disjoint_and_cross_domain_grants_accepted() {
+        let mut p = ProtectionTable::new(64);
+        p.grant(1, Vma::new(0x0, 0x4000), PermClass::ReadWrite).unwrap();
+        p.grant(1, Vma::new(0x4000, 0x4000), PermClass::ReadOnly).unwrap();
+        // Same range under another domain is not an overlap.
+        p.grant(2, Vma::new(0x0, 0x4000), PermClass::ReadWrite).unwrap();
+        // Revoke + re-grant is the sanctioned way to change a range.
+        p.revoke(1, Vma::new(0x0, 0x4000));
+        p.grant(1, Vma::new(0x0, 0x4000), PermClass::ReadOnly).unwrap();
+        assert!(!p.check(1, 0x0, AccessKind::Write));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 use mind_sim::stats::Metrics;
 use mind_sim::SimTime;
 
+use crate::coherence::AccessError;
+use crate::protect::Pdid;
+
 /// The type of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -100,6 +103,205 @@ pub struct AccessOutcome {
     pub false_invalidations: u32,
 }
 
+/// One operation of an [`OpBatch`].
+///
+/// The operation addresses the system exactly like a scalar
+/// [`MemorySystem::access`] call; `pdid` optionally names the protection
+/// domain (tenant) issuing it — `None` means the system's default replay
+/// domain.
+#[derive(Debug, Clone, Copy)]
+pub struct MemOp {
+    /// Issue time. For *fixed* batches the caller sets it; for *chained*
+    /// batches the executor fills in the actual issue time as the batch
+    /// runs (op `i + 1` issues when op `i` completes plus the batch gap).
+    pub at: SimTime,
+    /// Compute blade issuing the operation.
+    pub blade: u16,
+    /// Protection domain, or `None` for the system's default domain.
+    pub pdid: Option<Pdid>,
+    /// Global virtual address.
+    pub vaddr: u64,
+    /// LOAD or STORE.
+    pub kind: AccessKind,
+}
+
+/// A batch of memory operations pushed through the datapath in one call.
+///
+/// Two issue disciplines cover the workloads in this repo:
+///
+/// - **chained** (trace replay): ops belong to one issuing thread; op
+///   `i + 1` issues when op `i` completes, plus a fixed inter-op `gap`
+///   (think time). The executor records each op's actual issue time back
+///   into [`MemOp::at`].
+/// - **fixed** (serving quanta): every op issues at its preset
+///   [`MemOp::at`] — the discipline of a dispatcher draining queues at a
+///   quantum boundary.
+///
+/// Outcomes land in a parallel result vector; a batch is reusable across
+/// rounds via [`OpBatch::clear`], which keeps both allocations.
+#[derive(Debug, Default)]
+pub struct OpBatch {
+    ops: Vec<MemOp>,
+    results: Vec<Result<AccessOutcome, AccessError>>,
+    gap: SimTime,
+    chained: bool,
+}
+
+impl OpBatch {
+    /// A chained batch: each op issues when its predecessor completes,
+    /// plus `gap` (the runner's per-op think time).
+    pub fn chained(gap: SimTime) -> Self {
+        OpBatch {
+            gap,
+            chained: true,
+            ..Default::default()
+        }
+    }
+
+    /// A fixed batch: each op issues at its preset [`MemOp::at`].
+    pub fn fixed() -> Self {
+        OpBatch::default()
+    }
+
+    /// Whether this batch chains issue times.
+    pub fn is_chained(&self) -> bool {
+        self.chained
+    }
+
+    /// The inter-op gap of a chained batch.
+    pub fn gap(&self) -> SimTime {
+        self.gap
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: MemOp) {
+        self.ops.push(op);
+    }
+
+    /// Drops all ops and results, keeping both allocations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.results.clear();
+    }
+
+    /// Operations queued.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The `i`-th operation (with its recorded issue time, once executed).
+    pub fn op(&self, i: usize) -> MemOp {
+        self.ops[i]
+    }
+
+    /// All operations (with recorded issue times, once executed).
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// All recorded results, in op order (empty until executed).
+    pub fn results(&self) -> &[Result<AccessOutcome, AccessError>] {
+        &self.results
+    }
+
+    /// Records the `i`-th op's issue time and result. Executors must
+    /// record ops in order, exactly once each.
+    pub fn record(&mut self, i: usize, at: SimTime, result: Result<AccessOutcome, AccessError>) {
+        debug_assert_eq!(i, self.results.len(), "results recorded in op order");
+        self.ops[i].at = at;
+        self.results.push(result);
+    }
+
+    /// The `i`-th result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch has not been executed through op `i`.
+    pub fn result(&self, i: usize) -> &Result<AccessOutcome, AccessError> {
+        &self.results[i]
+    }
+
+    /// The `i`-th outcome, for callers that treat refusals as fatal (the
+    /// trace-replay contract of [`MemorySystem::access`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op failed or was not executed.
+    pub fn outcome(&self, i: usize) -> AccessOutcome {
+        match &self.results[i] {
+            Ok(outcome) => *outcome,
+            Err(e) => panic!("batched access failed at {:#x}: {e}", self.ops[i].vaddr),
+        }
+    }
+}
+
+impl<T: MemorySystem + ?Sized> MemorySystem for Box<T> {
+    fn access(&mut self, now: SimTime, blade: u16, vaddr: u64, kind: AccessKind) -> AccessOutcome {
+        (**self).access(now, blade, vaddr, kind)
+    }
+
+    fn n_compute(&self) -> u16 {
+        (**self).n_compute()
+    }
+
+    fn metrics(&self) -> Metrics {
+        (**self).metrics()
+    }
+
+    fn alloc(&mut self, len: u64) -> u64 {
+        (**self).alloc(len)
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        (**self).advance_to(now)
+    }
+
+    /// Forwards to the inner system's implementation, preserving batched
+    /// overrides through trait objects.
+    fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
+        (**self).execute_batch(now, batch)
+    }
+}
+
+/// Adapter that forwards a system's scalar surface but keeps the trait's
+/// *default* [`MemorySystem::execute_batch`] — the scalar loop — even when
+/// the inner system overrides it with a batched pipeline.
+///
+/// This is the reference half of the datapath-equivalence story: running
+/// the same schedule through `ScalarLoop<MindCluster>` and a bare
+/// `MindCluster` must produce byte-identical reports (asserted by the
+/// batch-equivalence suite), and the wall-clock gap between the two is the
+/// batched pipeline's amortization, measured on identical simulated work
+/// (the `datapath` figure).
+pub struct ScalarLoop<S>(pub S);
+
+impl<S: MemorySystem> MemorySystem for ScalarLoop<S> {
+    fn access(&mut self, now: SimTime, blade: u16, vaddr: u64, kind: AccessKind) -> AccessOutcome {
+        self.0.access(now, blade, vaddr, kind)
+    }
+
+    fn n_compute(&self) -> u16 {
+        self.0.n_compute()
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.0.metrics()
+    }
+
+    fn alloc(&mut self, len: u64) -> u64 {
+        self.0.alloc(len)
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        self.0.advance_to(now)
+    }
+}
+
 /// A system that can replay a memory-access trace.
 ///
 /// Implementations: `MindCluster` (this crate), `GamSystem` and
@@ -127,6 +329,29 @@ pub trait MemorySystem {
     /// Gives the system an opportunity to run periodic work (e.g. MIND's
     /// bounded-splitting epoch) up to time `now`.
     fn advance_to(&mut self, _now: SimTime) {}
+
+    /// Executes a batch of operations starting at `now`, recording each
+    /// op's issue time and outcome into the batch.
+    ///
+    /// The default implementation loops the scalar [`access`] path —
+    /// op-for-op identical to a caller issuing each operation itself — so
+    /// systems without a batched datapath (GAM, FastSwap) work unmodified.
+    /// Systems overriding this (MIND's op-batch pipeline) must preserve
+    /// that contract exactly: identical per-op outcomes, issue times, and
+    /// metrics as the scalar loop.
+    ///
+    /// [`access`]: MemorySystem::access
+    fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
+        let mut t = now;
+        for i in 0..batch.len() {
+            let op = batch.op(i);
+            let at = if batch.is_chained() { t } else { op.at };
+            self.advance_to(at);
+            let outcome = self.access(at, op.blade, op.vaddr, op.kind);
+            batch.record(i, at, Ok(outcome));
+            t = at + outcome.latency.total() + batch.gap();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +392,51 @@ mod tests {
         let b = LatencyBreakdown::local(SimTime::from_nanos(80));
         assert_eq!(b.total(), SimTime::from_nanos(80));
         assert_eq!(b.network, SimTime::ZERO);
+    }
+
+    fn op(vaddr: u64) -> MemOp {
+        MemOp {
+            at: SimTime::ZERO,
+            blade: 0,
+            pdid: None,
+            vaddr,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn op_batch_clear_keeps_mode() {
+        let mut b = OpBatch::chained(SimTime::from_nanos(100));
+        assert!(b.is_chained());
+        assert_eq!(b.gap(), SimTime::from_nanos(100));
+        b.push(op(0x1000));
+        b.record(0, SimTime::from_nanos(5), Ok(AccessOutcome::default()));
+        assert_eq!(b.op(0).at, SimTime::from_nanos(5), "issue time recorded");
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.is_chained(), "mode survives clear");
+        assert!(!OpBatch::fixed().is_chained());
+    }
+
+    #[test]
+    fn op_batch_outcome_unwraps() {
+        let mut b = OpBatch::fixed();
+        b.push(op(0x2000));
+        let outcome = AccessOutcome {
+            remote: true,
+            ..Default::default()
+        };
+        b.record(0, SimTime::ZERO, Ok(outcome));
+        assert!(b.outcome(0).remote);
+        assert!(b.result(0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "batched access failed at 0x3000")]
+    fn op_batch_outcome_panics_on_error() {
+        let mut b = OpBatch::fixed();
+        b.push(op(0x3000));
+        b.record(0, SimTime::ZERO, Err(AccessError::PermissionDenied));
+        b.outcome(0);
     }
 }

@@ -58,6 +58,17 @@ impl TranslationTable {
                 offset: target.pa_base + within,
             });
         }
+        self.partition_of(vaddr)
+    }
+
+    /// The range-partition translation alone — pure arithmetic, no TCAM.
+    ///
+    /// Equals [`TranslationTable::translate`] whenever no outlier entry
+    /// covers `vaddr`; MIND's batched datapath uses it to amortize the
+    /// TCAM walk across a batch after checking once that the outlier
+    /// store is empty.
+    #[inline]
+    pub fn partition_of(&self, vaddr: u64) -> Option<PhysAddr> {
         if vaddr < VA_BASE {
             return None;
         }
@@ -157,6 +168,20 @@ mod tests {
         );
         let pa = t.translate(VA_BASE + 3 * (1 << 30)).unwrap();
         assert_eq!(pa.blade, 3);
+    }
+
+    #[test]
+    fn partition_of_matches_translate_without_outliers() {
+        let mut t = table();
+        for addr in [0, VA_BASE - 1, VA_BASE + 5, VA_BASE + 3 * (1 << 30), VA_BASE + 4 * (1 << 30)] {
+            assert_eq!(t.partition_of(addr), t.translate(addr));
+        }
+        // With an outlier installed, translate diverges (LPM wins) while
+        // partition_of keeps reporting the underlying partition.
+        let va = VA_BASE + 0x10_0000;
+        t.add_outlier(va, 1 << 14, 2, 0x5000).unwrap();
+        assert_eq!(t.translate(va).unwrap().blade, 2);
+        assert_eq!(t.partition_of(va).unwrap().blade, 0);
     }
 
     #[test]

@@ -204,6 +204,9 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
     let mut runtime_ns_sum = 0i128;
     let mut service_scenarios = 0i128;
     let mut service_ops = 0i128;
+    // Datapath speedups (`wall_speedup_b<N>` values emitted by the
+    // `datapath` figure), aggregated as a geometric mean per batch size.
+    let mut speedups: std::collections::BTreeMap<&str, Vec<f64>> = std::collections::BTreeMap::new();
     for result in results {
         if let Some(report) = &result.output.report {
             merged.merge(&report.window_metrics);
@@ -215,15 +218,52 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
             service_scenarios += 1;
             service_ops += service.total_ops as i128;
         }
+        for (key, value) in &result.output.values {
+            if let Some(batch) = key.strip_prefix("wall_speedup_") {
+                speedups.entry(batch).or_default().push(*value);
+            }
+        }
     }
-    Json::obj([
-        ("replayed_scenarios", Json::Int(replayed)),
-        ("total_ops", Json::Int(total_ops)),
-        ("runtime_ns_sum", Json::Int(runtime_ns_sum)),
-        ("service_scenarios", Json::Int(service_scenarios)),
-        ("service_ops", Json::Int(service_ops)),
-        ("window_metrics", metrics_json(&merged)),
-    ])
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("replayed_scenarios".into(), Json::Int(replayed)),
+        ("total_ops".into(), Json::Int(total_ops)),
+        ("runtime_ns_sum".into(), Json::Int(runtime_ns_sum)),
+        ("service_scenarios".into(), Json::Int(service_scenarios)),
+        ("service_ops".into(), Json::Int(service_ops)),
+    ];
+    if !speedups.is_empty() {
+        let geomean = |xs: &[f64]| -> f64 {
+            (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+        };
+        pairs.push((
+            "datapath_speedup_geomean".into(),
+            Json::Obj(
+                speedups
+                    .iter()
+                    .map(|(batch, xs)| (batch.to_string(), Json::Num(geomean(xs))))
+                    .collect(),
+            ),
+        ));
+        // The best regime per batch size: how much batching buys where it
+        // is the right tool (the geomean includes regimes where coarse
+        // quanta cost simulated latency).
+        pairs.push((
+            "datapath_speedup_max".into(),
+            Json::Obj(
+                speedups
+                    .iter()
+                    .map(|(batch, xs)| {
+                        (
+                            batch.to_string(),
+                            Json::Num(xs.iter().copied().fold(f64::MIN, f64::max)),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    pairs.push(("window_metrics".into(), metrics_json(&merged)));
+    Json::Obj(pairs)
 }
 
 /// The whole suite as one JSON document.
@@ -276,6 +316,36 @@ mod tests {
         assert!(doc.contains("\"suite\": \"t\""));
         assert!(doc.contains("\"replayed_scenarios\": 0"));
         assert!(doc.contains("\"service_scenarios\": 0"));
+        assert!(
+            !doc.contains("datapath_speedup_geomean"),
+            "no speedup block without datapath values"
+        );
+    }
+
+    #[test]
+    fn aggregate_geomeans_datapath_speedups() {
+        let results = vec![
+            ScenarioResult {
+                name: "datapath/a".into(),
+                output: ScenarioOutput::default()
+                    .value("wall_kops_b1", 100.0)
+                    .value("wall_speedup_b64", 2.0),
+            },
+            ScenarioResult {
+                name: "datapath/b".into(),
+                output: ScenarioOutput::default().value("wall_speedup_b64", 8.0),
+            },
+        ];
+        let doc = suite_json("datapath", &results).render();
+        // geomean(2, 8) = 4; max(2, 8) = 8.
+        assert!(
+            doc.contains("\"datapath_speedup_geomean\": {\n      \"b64\": 4"),
+            "speedup block missing or wrong: {doc}"
+        );
+        assert!(
+            doc.contains("\"datapath_speedup_max\": {\n      \"b64\": 8"),
+            "max block missing or wrong: {doc}"
+        );
     }
 
     fn replay_result() -> ScenarioResult {

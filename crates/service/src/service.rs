@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 use mind_core::addr::pow2_alloc_size;
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::protect::PermClass;
+use mind_core::system::{MemOp, OpBatch};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::{EventQueue, SimRng, SimTime};
 use mind_workloads::trace::Workload;
@@ -66,6 +67,13 @@ pub struct ServiceConfig {
     pub elastic_epoch: SimTime,
     /// Assumed per-blade service capacity, requests per second.
     pub blade_capacity_hz: f64,
+    /// Whether the dispatcher pushes each quantum's grants through the
+    /// rack's batched datapath (one [`mind_core::OpBatch`] per quantum).
+    /// `false` issues every grant through the scalar access path instead —
+    /// same requests, same order, same timestamps, so reports are
+    /// byte-identical either way (the equivalence suite asserts this);
+    /// batching only amortizes the per-op table walks.
+    pub batch_dispatch: bool,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +101,7 @@ impl Default for ServiceConfig {
             max_queue_depth: 64,
             elastic_epoch: SimTime::from_millis(5),
             blade_capacity_hz: 50_000.0,
+            batch_dispatch: true,
         }
     }
 }
@@ -200,6 +209,10 @@ pub struct MemoryService {
     slos: Vec<TenantSlo>,
     departed: u64,
     peak_live: usize,
+    /// Reusable quantum batch (cleared each dispatch, keeps allocations).
+    quantum: OpBatch,
+    /// Reusable grant list paired with `quantum`.
+    grants: Vec<(TenantId, usize, PendingRequest)>,
 }
 
 impl MemoryService {
@@ -221,6 +234,8 @@ impl MemoryService {
             slos: Vec::new(),
             departed: 0,
             peak_live: 0,
+            quantum: OpBatch::fixed(),
+            grants: Vec::new(),
         }
     }
 
@@ -357,6 +372,12 @@ impl MemoryService {
     /// requests, split across QoS classes by weighted round-robin (see
     /// [`admission::wrr_shares`]) and within a class round-robin across
     /// its tenants.
+    ///
+    /// The WRR pass hands out the quantum's *batch grant* — the selected
+    /// `(tenant, request)` list — which then executes as one fixed-time
+    /// [`OpBatch`] through the rack's batched datapath (or op-by-op
+    /// through the scalar path when [`ServiceConfig::batch_dispatch`] is
+    /// off; results are identical either way).
     pub fn dispatch(&mut self, now: SimTime) {
         let mut pending: [Vec<TenantId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         let mut demand = [0u64; 3];
@@ -367,6 +388,15 @@ impl MemoryService {
             }
         }
         let shares = admission::wrr_shares(self.cfg.slots_per_quantum, demand);
+
+        // Selection pass: weighted round-robin hands out the quantum's
+        // grants. Every request in the grant issues at `now`, so selection
+        // and execution decompose without changing any outcome. The batch
+        // and grant buffers are service-lifetime and reused per quantum.
+        let mut grants = std::mem::take(&mut self.grants);
+        let mut batch = std::mem::take(&mut self.quantum);
+        grants.clear();
+        batch.clear();
         for class in QosClass::ALL {
             let ci = class.index();
             let list = &pending[ci];
@@ -386,28 +416,57 @@ impl MemoryService {
                 };
                 empty_streak = 0;
                 budget -= 1;
-                let blade = t.pick_blade();
-                let vaddr = t.region_base + req.op.offset;
-                match self.cluster.access_as(now, blade, t.pid, vaddr, req.op.kind) {
-                    Ok(outcome) => {
-                        let latency =
-                            now.saturating_sub(req.enqueued_at) + outcome.latency.total();
-                        t.latency.record(latency.as_nanos());
-                        t.ops += 1;
-                        t.ops_this_epoch += 1;
-                        self.class_latency[ci].record(latency.as_nanos());
-                        self.class_ops[ci] += 1;
-                    }
-                    Err(_) => {
-                        // A request the rack refused (e.g. a failed blade)
-                        // still consumed its slot; it counts as rejected.
-                        t.rejected += 1;
-                        self.class_rejected_requests[ci] += 1;
-                    }
-                }
+                batch.push(MemOp {
+                    at: now,
+                    blade: t.pick_blade(),
+                    pdid: Some(t.pid),
+                    vaddr: t.region_base + req.op.offset,
+                    kind: req.op.kind,
+                });
+                grants.push((id, ci, req));
             }
             self.wrr_cursor[ci] = cursor;
         }
+
+        // Execution pass: the whole quantum through the datapath at once.
+        if self.cfg.batch_dispatch {
+            self.cluster.run_batch(now, &mut batch);
+        } else {
+            for i in 0..batch.len() {
+                let op = batch.op(i);
+                let result = self.cluster.access_as(
+                    now,
+                    op.blade,
+                    op.pdid.expect("grants carry their tenant"),
+                    op.vaddr,
+                    op.kind,
+                );
+                batch.record(i, now, result);
+            }
+        }
+
+        // Accounting pass, in grant order.
+        for (i, &(id, ci, ref req)) in grants.iter().enumerate() {
+            let t = self.tenants.get_mut(&id).expect("granted tenant is live");
+            match batch.result(i) {
+                Ok(outcome) => {
+                    let latency = now.saturating_sub(req.enqueued_at) + outcome.latency.total();
+                    t.latency.record(latency.as_nanos());
+                    t.ops += 1;
+                    t.ops_this_epoch += 1;
+                    self.class_latency[ci].record(latency.as_nanos());
+                    self.class_ops[ci] += 1;
+                }
+                Err(_) => {
+                    // A request the rack refused (e.g. a failed blade)
+                    // still consumed its slot; it counts as rejected.
+                    t.rejected += 1;
+                    self.class_rejected_requests[ci] += 1;
+                }
+            }
+        }
+        self.grants = grants;
+        self.quantum = batch;
     }
 
     /// One elasticity epoch: re-sizes every tenant's blade set to its
@@ -585,6 +644,33 @@ mod tests {
             arrival_rate_hz: 500.0,
             mean_lifetime: SimTime::from_millis(15),
             ..Default::default()
+        }
+    }
+
+    /// The service-level equivalence guarantee: a full churn run with
+    /// batched quantum dispatch matches the scalar per-op dispatch
+    /// exactly — tenants, ops, rejects, latencies, and rack metrics.
+    #[test]
+    fn batched_dispatch_matches_scalar_dispatch() {
+        let batched = MemoryService::new(quick_cfg()).run();
+        let scalar = MemoryService::new(ServiceConfig {
+            batch_dispatch: false,
+            ..quick_cfg()
+        })
+        .run();
+        assert_eq!(batched.tenants_admitted, scalar.tenants_admitted);
+        assert_eq!(batched.total_ops, scalar.total_ops);
+        assert_eq!(batched.rejected_requests, scalar.rejected_requests);
+        assert_eq!(batched.metrics, scalar.metrics);
+        assert_eq!(batched.tenants.len(), scalar.tenants.len());
+        for (b, s) in batched.tenants.iter().zip(&scalar.tenants) {
+            assert_eq!(b.ops, s.ops);
+            assert_eq!(b.p50_ns, s.p50_ns);
+            assert_eq!(b.p999_ns, s.p999_ns);
+        }
+        for (b, s) in batched.classes.iter().zip(&scalar.classes) {
+            assert_eq!(b.ops, s.ops);
+            assert_eq!(b.p99_ns, s.p99_ns);
         }
     }
 

@@ -1,0 +1,142 @@
+//! Deterministic fast hashing for the simulator's hot maps.
+//!
+//! The access hot path is dominated by map lookups keyed by page
+//! addresses and region bases (blade page tables, directory slot store,
+//! TCAM levels, memory-blade page stores). `std`'s default SipHash with a
+//! per-process random seed is overkill there: the keys are internal
+//! addresses, not attacker-controlled input, and the random seed makes
+//! map iteration order vary across runs — the opposite of what a
+//! deterministic simulator wants. [`FastMap`] swaps in a fixed-seed
+//! multiply-xor hasher (splitmix-style finalizer): ~2 multiplies per
+//! 8-byte word, identical across runs and platforms.
+//!
+//! Not DoS-resistant by design — never key a `FastMap` by untrusted
+//! external input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio seed; any odd constant works, this one spreads small keys.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Multipliers from the splitmix64 finalizer (good 64-bit avalanche).
+const MIX_A: u64 = 0xFF51_AFD7_ED55_8CCD;
+const MIX_B: u64 = 0xC4CE_B9FE_1A85_EC53;
+
+/// A fixed-seed multiply-xor hasher (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        FastHasher { state: SEED }
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        let mut x = (self.state ^ word).wrapping_mul(MIX_A);
+        x ^= x >> 33;
+        self.state = x.wrapping_mul(MIX_B);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state ^ (self.state >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// The fixed-seed build-hasher.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// `HashMap` with the deterministic fast hasher (`FastMap::default()` to
+/// construct — `new()` is tied to `RandomState`).
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(k: u64) -> u64 {
+        FastBuildHasher::default().hash_one(k)
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        assert_eq!(hash_of(0x1000), hash_of(0x1000));
+        assert_ne!(hash_of(0x1000), hash_of(0x2000));
+    }
+
+    #[test]
+    fn page_aligned_keys_spread() {
+        // Page addresses differ only in high bits; the low bits of their
+        // hashes (which pick the bucket) must still spread.
+        let mut low_bits = FastSet::default();
+        for page in 0..1024u64 {
+            low_bits.insert(hash_of(page << 12) & 0xFF);
+        }
+        assert!(low_bits.len() > 200, "only {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i << 12, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i << 12)), Some(&(i as u32)));
+        }
+        assert_eq!(m.remove(&0), Some(0));
+        assert_eq!(m.get(&0), None);
+    }
+
+    #[test]
+    fn tuple_keys_hash_both_fields() {
+        let b = FastBuildHasher::default();
+        assert_ne!(b.hash_one((1u64, 2u64)), b.hash_one((2u64, 1u64)));
+    }
+}

@@ -12,6 +12,7 @@
 //! seed.
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;

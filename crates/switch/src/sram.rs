@@ -7,7 +7,7 @@
 //! "Cache directory management"). The 30 k-entry capacity is the resource
 //! bound Figure 8 (left) plots against.
 
-use std::collections::HashMap;
+use mind_sim::hash::FastMap;
 
 /// Error returned when no SRAM slots remain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,7 @@ impl std::error::Error for SramFull {}
 pub struct SlotStore<T> {
     slots: Vec<Option<T>>,
     free_list: Vec<usize>,
-    used_map: HashMap<u64, usize>,
+    used_map: FastMap<u64, usize>,
     capacity: usize,
     high_watermark: usize,
 }
@@ -41,7 +41,7 @@ impl<T> SlotStore<T> {
         SlotStore {
             slots: Vec::new(),
             free_list: Vec::new(),
-            used_map: HashMap::new(),
+            used_map: FastMap::default(),
             capacity,
             high_watermark: 0,
         }

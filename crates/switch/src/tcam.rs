@@ -10,7 +10,7 @@
 //! [`pow2_cover`]; MIND's control plane keeps that decomposition small by
 //! allocating power-of-two aligned vmas and coalescing buddies.
 
-use std::collections::HashMap;
+use mind_sim::hash::FastMap;
 
 /// Number of virtual-address bits the TCAM matches (48-bit canonical VAs).
 pub const VA_BITS: u8 = 48;
@@ -84,7 +84,7 @@ impl TcamEntry {
 #[derive(Debug, Clone)]
 pub struct Tcam<V> {
     /// `levels[k]` maps `(ctx, base >> k)` to the value for that range.
-    levels: Vec<HashMap<(u64, u64), V>>,
+    levels: Vec<FastMap<(u64, u64), V>>,
     capacity: usize,
     used: usize,
     lookups: u64,
@@ -106,7 +106,7 @@ impl<V> Tcam<V> {
     /// Creates a TCAM holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         Tcam {
-            levels: (0..=VA_BITS).map(|_| HashMap::new()).collect(),
+            levels: (0..=VA_BITS).map(|_| FastMap::default()).collect(),
             capacity,
             used: 0,
             lookups: 0,
@@ -162,6 +162,14 @@ impl<V> Tcam<V> {
     /// range containing `addr` under context `ctx`.
     pub fn lookup(&mut self, ctx: u64, addr: u64) -> Option<(TcamEntry, &V)> {
         self.lookups += 1;
+        self.peek_lookup(ctx, addr)
+    }
+
+    /// Counter-free longest-prefix-match lookup: the result of
+    /// [`Tcam::lookup`] without bumping the lookup statistics. Batched
+    /// datapaths use it to pre-resolve entries a batch will reuse (the
+    /// per-op accounting happens at use time, not resolve time).
+    pub fn peek_lookup(&self, ctx: u64, addr: u64) -> Option<(TcamEntry, &V)> {
         for k in 0..=VA_BITS {
             if let Some(v) = self.levels[k as usize].get(&(ctx, addr >> k)) {
                 let entry = TcamEntry {
@@ -370,5 +378,17 @@ mod tests {
         tcam.lookup(0, 0);
         tcam.lookup(0, 1);
         assert_eq!(tcam.lookups(), 2);
+    }
+
+    #[test]
+    fn peek_lookup_matches_lookup_without_counting() {
+        let mut tcam = Tcam::new(16);
+        tcam.insert(TcamEntry::new(0, 0x0, 20), "outer").unwrap();
+        tcam.insert(TcamEntry::new(0, 0x4000, 12), "inner").unwrap();
+        let peeked = tcam.peek_lookup(0, 0x4010).map(|(e, &v)| (e, v));
+        assert_eq!(tcam.lookups(), 0, "peek is counter-free");
+        let looked = tcam.lookup(0, 0x4010).map(|(e, &v)| (e, v));
+        assert_eq!(peeked, looked);
+        assert!(tcam.peek_lookup(0, 0x20_0000).is_none());
     }
 }

@@ -126,6 +126,39 @@ impl Workload for KvsWorkload {
             kind,
         }
     }
+
+    fn fill_ops(&mut self, thread: u16, n: usize, out: &mut Vec<TraceOp>) {
+        // Batched generation with the per-op borrows hoisted; RNG-call
+        // order is identical to `n` scalar `next_op` calls.
+        let cfg = self.cfg;
+        let own = thread % cfg.n_partitions;
+        let update_fraction = cfg.mix.update_fraction();
+        let zipf = &self.zipf;
+        let rng = &mut self.rngs[thread as usize];
+        out.reserve(n);
+        for _ in 0..n {
+            let region = if rng.gen_bool(cfg.locality) || cfg.n_partitions == 1 {
+                own
+            } else {
+                let mut other = rng.gen_below(cfg.n_partitions as u64) as u16;
+                if other == own {
+                    other = (other + 1) % cfg.n_partitions;
+                }
+                other
+            };
+            let page = zipf.sample(rng);
+            let kind = if rng.gen_bool(update_fraction) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            out.push(TraceOp {
+                region,
+                offset: page << 12,
+                kind,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +210,19 @@ mod tests {
             ..KvsConfig::ycsb_a(1)
         });
         assert_eq!(wl.next_op(0).region, 0);
+    }
+
+    #[test]
+    fn fill_ops_matches_scalar_stream() {
+        let cfg = KvsConfig::ycsb_a(4);
+        let mut scalar = KvsWorkload::new(cfg);
+        let mut batched = KvsWorkload::new(cfg);
+        for (thread, n) in [(0u16, 64usize), (3, 1), (1, 200), (0, 8)] {
+            let want: Vec<TraceOp> = (0..n).map(|_| scalar.next_op(thread)).collect();
+            let mut got = Vec::new();
+            batched.fill_ops(thread, n, &mut got);
+            assert_eq!(got, want, "thread {thread} batch of {n}");
+        }
     }
 
     #[test]

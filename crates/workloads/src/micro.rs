@@ -103,6 +103,33 @@ impl Workload for MicroWorkload {
             kind,
         }
     }
+
+    fn fill_ops(&mut self, thread: u16, n: usize, out: &mut Vec<TraceOp>) {
+        // Batched generation: one RNG borrow and config read for the whole
+        // run of ops. Stream-identical to `n` scalar `next_op` calls.
+        let cfg = self.cfg;
+        let private_region = 1 + thread;
+        let rng = &mut self.rngs[thread as usize];
+        out.reserve(n);
+        for _ in 0..n {
+            let (region, pages) = if rng.gen_bool(cfg.sharing_ratio) {
+                (0u16, cfg.shared_pages)
+            } else {
+                (private_region, cfg.private_pages)
+            };
+            let page = rng.gen_below(pages);
+            let kind = if rng.gen_bool(cfg.read_ratio) {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            out.push(TraceOp {
+                region,
+                offset: page << 12,
+                kind,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +197,21 @@ mod tests {
             for _ in 0..100 {
                 assert_eq!(wl.next_op(t).region, 1 + t);
             }
+        }
+    }
+
+    #[test]
+    fn fill_ops_matches_scalar_stream() {
+        let cfg = MicroConfig::default();
+        let mut scalar = MicroWorkload::new(cfg);
+        let mut batched = MicroWorkload::new(cfg);
+        // Interleave threads and batch sizes: the batched stream must be
+        // exactly the concatenation of the scalar per-thread streams.
+        for (thread, n) in [(0u16, 1usize), (1, 64), (0, 7), (2, 256), (1, 3)] {
+            let want: Vec<TraceOp> = (0..n).map(|_| scalar.next_op(thread)).collect();
+            let mut got = Vec::new();
+            batched.fill_ops(thread, n, &mut got);
+            assert_eq!(got, want, "thread {thread} batch of {n}");
         }
     }
 

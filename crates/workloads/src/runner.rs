@@ -2,19 +2,24 @@
 //!
 //! Replays a [`Workload`] against a [`MemorySystem`], maintaining one
 //! virtual clock per thread: at each step the thread with the earliest
-//! clock issues its next operation at that time, and its clock advances by
-//! the access latency plus a small per-op compute gap. The run's *runtime*
-//! is the maximum thread clock — the quantity Figure 5 reports (as inverse,
-//! normalized performance).
+//! clock issues its next *run* of operations at that time — a batch of up
+//! to [`RunConfig::batch_ops`] consecutive ops pushed through
+//! [`MemorySystem::execute_batch`] — and its clock advances by the chained
+//! access latencies plus a small per-op compute gap. At `batch_ops: 1`
+//! (the default) this is exactly the scalar op-at-a-time discipline; larger
+//! batches issue each thread's ops in quanta, letting a batched datapath
+//! amortize per-op table walks. The run's *runtime* is the maximum thread
+//! clock — the quantity Figure 5 reports (as inverse, normalized
+//! performance).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use mind_core::system::MemorySystem;
+use mind_core::system::{MemOp, MemorySystem, OpBatch};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::SimTime;
 
-use crate::trace::Workload;
+use crate::trace::{TraceOp, Workload};
 
 /// Runner parameters.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +40,12 @@ pub struct RunConfig {
     /// placement); `true` interleaves (`t % n_blades`) — used by the §8
     /// thread-placement ablation to co-locate or separate sharers.
     pub interleave: bool,
+    /// Consecutive operations a thread issues per scheduling turn, pushed
+    /// through the system as one [`OpBatch`]. `1` (the default) preserves
+    /// the scalar op-at-a-time semantics exactly; larger values trade
+    /// scheduling granularity for datapath amortization. For any fixed
+    /// value, scalar and batched datapaths produce identical reports.
+    pub batch_ops: u64,
 }
 
 impl Default for RunConfig {
@@ -45,7 +56,17 @@ impl Default for RunConfig {
             threads_per_blade: 1,
             think_time: SimTime::from_nanos(100),
             interleave: false,
+            batch_ops: 1,
         }
+    }
+}
+
+impl RunConfig {
+    /// This configuration with the given batch size (builder-style, for
+    /// sweep tables).
+    pub fn with_batch_ops(mut self, batch_ops: u64) -> Self {
+        self.batch_ops = batch_ops;
+        self
     }
 }
 
@@ -136,20 +157,57 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         .map(|t| Reverse((SimTime::ZERO, t)))
         .collect();
 
+    // One reusable batch (and generator scratch) for the whole run.
+    let batch_ops = cfg.batch_ops.max(1);
+    let mut batch = OpBatch::chained(cfg.think_time);
+    let mut ops_buf: Vec<TraceOp> = Vec::new();
+
+    // Fills and executes one scheduling turn for `thread`: up to
+    // `batch_ops` consecutive ops as a single chained batch starting at
+    // `clock`. Returns the thread's clock after its last op.
+    let mut issue_turn = |system: &mut S,
+                          workload: &mut W,
+                          batch: &mut OpBatch,
+                          clock: SimTime,
+                          thread: u16,
+                          n: usize|
+     -> SimTime {
+        let blade = blade_of(thread, cfg, blades_needed);
+        ops_buf.clear();
+        workload.fill_ops(thread, n, &mut ops_buf);
+        batch.clear();
+        for op in &ops_buf {
+            batch.push(MemOp {
+                at: SimTime::ZERO,
+                blade,
+                pdid: None,
+                vaddr: bases[op.region as usize] + op.offset,
+                kind: op.kind,
+            });
+        }
+        system.execute_batch(clock, batch);
+        // Trace replay treats any refusal as fatal, whichever op of the
+        // batch it hit — same visibility as the scalar loop, which panics
+        // inside `access` on the first error (warmup included).
+        for (op, result) in batch.ops().iter().zip(batch.results()) {
+            if let Err(e) = result {
+                panic!("batched access failed at {:#x}: {e}", op.vaddr);
+            }
+        }
+        let last = batch.len() - 1;
+        batch.op(last).at + batch.outcome(last).latency.total() + cfg.think_time
+    };
+
     // Warmup phase: populate caches, stabilize regions; untimed.
     let mut warmup_end = SimTime::ZERO;
     if cfg.warmup_ops_per_thread > 0 {
         let mut left: Vec<u64> = vec![cfg.warmup_ops_per_thread; n_threads as usize];
         let mut next_heap = BinaryHeap::new();
         while let Some(Reverse((clock, thread))) = heap.pop() {
-            let op = workload.next_op(thread);
-            let blade = blade_of(thread, cfg, blades_needed);
-            let vaddr = bases[op.region as usize] + op.offset;
-            system.advance_to(clock);
-            let outcome = system.access(clock, blade, vaddr, op.kind);
-            let next = clock + outcome.latency.total() + cfg.think_time;
+            let n = batch_ops.min(left[thread as usize]);
+            let next = issue_turn(system, workload, &mut batch, clock, thread, n as usize);
             warmup_end = warmup_end.max(next);
-            left[thread as usize] -= 1;
+            left[thread as usize] -= n;
             if left[thread as usize] > 0 {
                 heap.push(Reverse((next, thread)));
             } else {
@@ -176,29 +234,31 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
     let mut runtime = SimTime::ZERO;
 
     while let Some(Reverse((clock, thread))) = heap.pop() {
-        let op = workload.next_op(thread);
-        let blade = blade_of(thread, cfg, blades_needed);
-        let vaddr = bases[op.region as usize] + op.offset;
-        system.advance_to(clock);
-        let outcome = system.access(clock, blade, vaddr, op.kind);
+        let n = batch_ops.min(remaining[thread as usize]);
+        let next_clock = issue_turn(system, workload, &mut batch, clock, thread, n as usize);
 
-        total_ops += 1;
-        if outcome.remote {
-            remote += 1;
-            sum_remote_lat += outcome.latency.total().as_nanos() as u128;
+        // One accounting flush per batch, in op order (issue_turn already
+        // rejected any failed op).
+        for result in batch.results() {
+            let outcome = result.as_ref().expect("issue_turn rejects failures");
+            let total_ns = outcome.latency.total().as_nanos();
+            total_ops += 1;
+            if outcome.remote {
+                remote += 1;
+                sum_remote_lat += total_ns as u128;
+            }
+            latency.record(total_ns);
+            invals += outcome.invalidations as u64;
+            flushed += outcome.flushed_pages as u64;
+            sum_fault += outcome.latency.fault.as_nanos() as u128;
+            sum_network += outcome.latency.network.as_nanos() as u128;
+            sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
+            sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
+            sum_software += outcome.latency.software.as_nanos() as u128;
         }
-        latency.record(outcome.latency.total().as_nanos());
-        invals += outcome.invalidations as u64;
-        flushed += outcome.flushed_pages as u64;
-        sum_fault += outcome.latency.fault.as_nanos() as u128;
-        sum_network += outcome.latency.network.as_nanos() as u128;
-        sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
-        sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
-        sum_software += outcome.latency.software.as_nanos() as u128;
 
-        let next_clock = clock + outcome.latency.total() + cfg.think_time;
         runtime = runtime.max(next_clock);
-        remaining[thread as usize] -= 1;
+        remaining[thread as usize] -= n;
         if remaining[thread as usize] > 0 {
             heap.push(Reverse((next_clock, thread)));
         }
@@ -286,6 +346,7 @@ mod tests {
                 threads_per_blade: 1,
                 think_time: SimTime::from_nanos(100),
                 interleave: false,
+                batch_ops: 1,
             },
         );
         assert_eq!(report.total_ops, 1000);
@@ -308,6 +369,73 @@ mod tests {
         );
         assert!(p50 <= p99 && p99 <= p999, "percentiles ordered");
         assert!(p999 > 0);
+    }
+
+    use mind_core::system::ScalarLoop;
+
+    #[test]
+    fn batched_run_executes_all_ops_with_partial_batches() {
+        // 500 ops per thread at batch 64: the last turn per thread is a
+        // partial batch of 500 % 64 = 52 ops; warmup (100) ends with 36.
+        let mut sys = MindCluster::new(MindConfig::small());
+        let mut wl = PingPong {
+            threads: 2,
+            rng: SimRng::new(1),
+        };
+        let report = run(
+            &mut sys,
+            &mut wl,
+            RunConfig {
+                ops_per_thread: 500,
+                warmup_ops_per_thread: 100,
+                ..Default::default()
+            }
+            .with_batch_ops(64),
+        );
+        assert_eq!(report.total_ops, 1000);
+        assert_eq!(report.latency.count(), 1000, "one sample per measured op");
+        assert!(report.runtime > SimTime::ZERO);
+    }
+
+    #[test]
+    fn batched_datapath_matches_scalar_loop_at_every_batch_size() {
+        // The equivalence guarantee at runner level: for each batch size,
+        // MIND's batched execute_batch produces a report identical to the
+        // trait's default scalar loop over the same schedule.
+        for batch_ops in [1u64, 8, 64] {
+            let cfg = RunConfig {
+                ops_per_thread: 400,
+                warmup_ops_per_thread: 50,
+                ..Default::default()
+            }
+            .with_batch_ops(batch_ops);
+            let batched = {
+                let mut sys = MindCluster::new(MindConfig::small());
+                let mut wl = PingPong {
+                    threads: 2,
+                    rng: SimRng::new(11),
+                };
+                run(&mut sys, &mut wl, cfg)
+            };
+            let scalar = {
+                let mut sys = ScalarLoop(MindCluster::new(MindConfig::small()));
+                let mut wl = PingPong {
+                    threads: 2,
+                    rng: SimRng::new(11),
+                };
+                run(&mut sys, &mut wl, cfg)
+            };
+            assert_eq!(batched.runtime, scalar.runtime, "batch_ops {batch_ops}");
+            assert_eq!(batched.total_ops, scalar.total_ops);
+            assert_eq!(batched.metrics, scalar.metrics, "batch_ops {batch_ops}");
+            assert_eq!(batched.window_metrics, scalar.window_metrics);
+            assert_eq!(
+                batched.latency.quantile(0.999),
+                scalar.latency.quantile(0.999)
+            );
+            assert_eq!(batched.sum_network_ns, scalar.sum_network_ns);
+            assert_eq!(batched.sum_inv_queue_ns, scalar.sum_inv_queue_ns);
+        }
     }
 
     #[test]

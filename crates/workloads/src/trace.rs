@@ -35,6 +35,20 @@ pub trait Workload {
 
     /// The next operation for `thread`.
     fn next_op(&mut self, thread: u16) -> TraceOp;
+
+    /// Appends `thread`'s next `n` operations to `out` — the batched form
+    /// the op-batch runner issues through.
+    ///
+    /// The default implementation loops [`Workload::next_op`]; overrides
+    /// may hoist per-op work (RNG borrows, config reads) out of the loop
+    /// but **must** produce the exact op stream of `n` scalar calls —
+    /// batch size must never change what a thread executes.
+    fn fill_ops(&mut self, thread: u16, n: usize, out: &mut Vec<TraceOp>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_op(thread));
+        }
+    }
 }
 
 /// Convenience: byte offset of a page index.

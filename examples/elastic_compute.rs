@@ -55,6 +55,7 @@ fn main() {
                 threads_per_blade: THREADS_PER_BLADE,
                 think_time: SimTime::from_nanos(100),
                 interleave: false,
+                batch_ops: 1,
             },
         );
         let base = *baseline.get_or_insert(report.runtime);

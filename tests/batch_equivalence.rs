@@ -1,0 +1,186 @@
+//! The op-batch datapath's core guarantee: for any batch size, pushing a
+//! schedule through MIND's batched pipeline produces **byte-identical**
+//! reports to the scalar per-op loop — same outcomes, same issue times,
+//! same metrics, same BENCH JSON. Batching amortizes table walks; it must
+//! never change what the simulation computes.
+//!
+//! `ScalarLoop` wraps the cluster so the trait's *default*
+//! `execute_batch` (a loop over scalar `access`) runs instead of the
+//! batched override; both sides then execute the exact same schedule.
+
+use mind::core::system::{ConsistencyModel, ScalarLoop};
+use mind::harness::{report, Scenario, ScenarioResult, SystemSpec, WorkloadSpec};
+use mind::service::{MemoryService, ServiceConfig};
+use mind::sim::SimTime;
+use mind::workloads::kvs::KvsConfig;
+use mind::workloads::memcached::MemcachedConfig;
+use mind::workloads::micro::MicroConfig;
+use mind::workloads::runner::{self, RunConfig};
+
+const BATCH_SIZES: [u64; 3] = [1, 8, 64];
+
+fn workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Micro(MicroConfig {
+            n_threads: 4,
+            shared_pages: 2_048,
+            private_pages: 256,
+            ..Default::default()
+        }),
+        WorkloadSpec::Kvs(KvsConfig {
+            partition_pages: 128,
+            ..KvsConfig::ycsb_a(4)
+        }),
+        WorkloadSpec::Memcached(MemcachedConfig {
+            n_threads: 4,
+            value_pages: 1_024,
+            bucket_pages: 128,
+            meta_pages: 32,
+            ..MemcachedConfig::workload_a()
+        }),
+    ]
+}
+
+fn run_cfg(batch_ops: u64) -> RunConfig {
+    RunConfig {
+        ops_per_thread: 1_200,
+        warmup_ops_per_thread: 300,
+        threads_per_blade: 2,
+        ..Default::default()
+    }
+    .with_batch_ops(batch_ops)
+}
+
+/// Renders one replay as BENCH JSON, through either pipeline.
+fn replay_json(workload: &WorkloadSpec, batch_ops: u64, scalar: bool) -> String {
+    let regions = workload.regions();
+    let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
+    let mut wl = workload.build();
+    let report = if scalar {
+        let mut sys = ScalarLoop(system.build());
+        runner::run(&mut sys, wl.as_mut(), run_cfg(batch_ops))
+    } else {
+        let mut sys = system.build();
+        runner::run(sys.as_mut(), wl.as_mut(), run_cfg(batch_ops))
+    };
+    let result = ScenarioResult {
+        name: format!("equiv/b{batch_ops}"),
+        output: mind::harness::ScenarioOutput::from_report(report),
+    };
+    report::suite_json("batch_equivalence", &[result]).render()
+}
+
+#[test]
+fn replay_batched_json_is_byte_identical_to_scalar_loop() {
+    for workload in workloads() {
+        for batch_ops in BATCH_SIZES {
+            let batched = replay_json(&workload, batch_ops, false);
+            let scalar = replay_json(&workload, batch_ops, true);
+            assert!(
+                batched.contains("\"metrics\""),
+                "report carries full metrics"
+            );
+            assert_eq!(
+                batched, scalar,
+                "batched datapath diverged from the scalar loop at batch_ops \
+                 {batch_ops} for {:?}",
+                workload.build().name()
+            );
+        }
+    }
+}
+
+/// The same guarantee through the harness engine: a scenario table mixing
+/// batch sizes renders identical suite JSON whichever pipeline executes it.
+#[test]
+fn engine_table_json_is_pipeline_independent() {
+    let build_table = |scalar: bool| -> Vec<Scenario> {
+        BATCH_SIZES
+            .iter()
+            .map(|&batch_ops| {
+                let workload = WorkloadSpec::Micro(MicroConfig {
+                    n_threads: 2,
+                    shared_pages: 512,
+                    private_pages: 64,
+                    ..Default::default()
+                });
+                let regions = workload.regions();
+                let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
+                let cfg = run_cfg(batch_ops);
+                Scenario::custom(format!("equiv/micro/b{batch_ops}"), move || {
+                    let mut wl = workload.build();
+                    let report = if scalar {
+                        let mut sys = ScalarLoop(system.build());
+                        runner::run(&mut sys, wl.as_mut(), cfg)
+                    } else {
+                        let mut sys = system.build();
+                        runner::run(sys.as_mut(), wl.as_mut(), cfg)
+                    };
+                    mind::harness::ScenarioOutput::from_report(report)
+                })
+            })
+            .collect()
+    };
+    let batched = mind::harness::Engine::new(2).run(build_table(false));
+    let scalar = mind::harness::Engine::new(2).run(build_table(true));
+    assert_eq!(
+        report::suite_json("equiv", &batched).render(),
+        report::suite_json("equiv", &scalar).render()
+    );
+}
+
+/// Service quanta: a full churn/QoS run with batched dispatch renders the
+/// same service JSON as the per-op scalar dispatch.
+#[test]
+fn service_batched_dispatch_json_is_byte_identical() {
+    let cfg = ServiceConfig {
+        duration: SimTime::from_millis(30),
+        ..Default::default()
+    };
+    let batched = MemoryService::new(cfg).run();
+    let scalar = MemoryService::new(ServiceConfig {
+        batch_dispatch: false,
+        ..cfg
+    })
+    .run();
+    assert!(batched.total_ops > 0, "the run served requests");
+    assert_eq!(
+        report::service_json(&batched).render(),
+        report::service_json(&scalar).render()
+    );
+}
+
+/// Baselines keep working unmodified through the default batched path:
+/// batch size must not change a GAM/FastSwap replay either (they never
+/// override `execute_batch`, so every size runs the same scalar loop —
+/// sizes only regroup the per-thread schedule).
+#[test]
+fn baselines_accept_batched_schedules() {
+    let workload = WorkloadSpec::Micro(MicroConfig {
+        n_threads: 2,
+        shared_pages: 256,
+        private_pages: 64,
+        ..Default::default()
+    });
+    let regions = workload.regions();
+    for batch_ops in BATCH_SIZES {
+        for system in [
+            SystemSpec::gam_scaled(&regions, 2, 1),
+            SystemSpec::fastswap_scaled(&regions),
+        ] {
+            let mut sys = system.build();
+            let mut wl = workload.build();
+            let cfg = RunConfig {
+                threads_per_blade: if matches!(system, SystemSpec::FastSwap(_)) {
+                    2
+                } else {
+                    1
+                },
+                ..run_cfg(batch_ops)
+            };
+            let report = runner::run(sys.as_mut(), wl.as_mut(), cfg);
+            assert_eq!(report.total_ops, 2 * cfg.ops_per_thread);
+            assert!(report.runtime > SimTime::ZERO);
+        }
+    }
+}

@@ -37,6 +37,7 @@ fn run_cfg() -> RunConfig {
         threads_per_blade: 2,
         think_time: SimTime::from_nanos(100),
         interleave: false,
+        batch_ops: 1,
     }
 }
 

@@ -80,6 +80,15 @@ fn table() -> Vec<Scenario> {
             .value("answer", 42.0)
             .with_series("ts", vec![(0.0, 1.0), (1.0, 0.5)])
     }));
+
+    // A batched-datapath replay: the op-batch pipeline must be just as
+    // schedule-independent across worker threads as the scalar one.
+    scenarios.push(Scenario::replay(
+        "det/micro/MIND/batched16",
+        SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso),
+        micro,
+        run.with_batch_ops(16),
+    ));
     scenarios
 }
 

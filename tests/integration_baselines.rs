@@ -26,6 +26,7 @@ fn cfg(ops: u64, tpb: u16) -> RunConfig {
         threads_per_blade: tpb,
         think_time: SimTime::from_nanos(100),
         interleave: false,
+        batch_ops: 1,
     }
 }
 
