@@ -134,6 +134,7 @@ fn bench_trace_replay(c: &mut Criterion) {
                         think_time: SimTime::from_nanos(100),
                         interleave: false,
                         batch_ops: 1,
+                        window: 1,
                     },
                 )
             },

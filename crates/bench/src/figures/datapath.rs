@@ -17,6 +17,15 @@
 //! **not** run-to-run deterministic; the `sim_*` values are. Measurements
 //! are paired (both pipelines run inside one scenario, best of
 //! [`MEASURE_PASSES`]) so engine-level parallelism mostly cancels out.
+//!
+//! The figure also sweeps the **window axis** ([`WINDOWS`] ×
+//! [`WINDOW_BATCHES`]): simulated MOPS with the issue/complete datapath
+//! keeping up to W page-fault RTTs in flight per batch. These points are
+//! simulation-only and deterministic. The `overlap_recovery_w<W>` values
+//! (and the suite aggregate built from them) divide windowed batch-64
+//! throughput by the batch-1 serialized baseline — the quantity that shows
+//! whether latency hiding buys back the coarse-quantum loss batching
+//! introduces on fault-dominated footprints.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -31,6 +40,17 @@ use crate::print_table;
 
 /// Batch sizes swept (1 = the scalar per-op discipline).
 pub const BATCH_SIZES: [u64; 4] = [1, 8, 64, 256];
+
+/// In-flight window depths swept beyond the serialized baseline (the
+/// whole wall-clock sweep above runs at window 1, which is byte-identical
+/// to the pre-window datapath). Windowed points are simulation-only and
+/// fully deterministic: they measure the *modelled* effect of
+/// memory-level parallelism, not host throughput.
+pub const WINDOWS: [u32; 2] = [4, 16];
+
+/// Batch sizes the window axis sweeps (a batch of 1 has nothing to
+/// overlap: the window is intra-batch).
+pub const WINDOW_BATCHES: [u64; 3] = [8, 64, 256];
 
 /// Wall-clock passes per point; the fastest is reported.
 const MEASURE_PASSES: u32 = 5;
@@ -160,6 +180,31 @@ fn run_point(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool) -> Point {
     }
 }
 
+/// One simulation-only windowed point: the regime replayed at the given
+/// batch size with an in-flight window of `window`. Deterministic — a
+/// single pass, no wall clock.
+fn run_window_point(regime: &Regime, batch_ops: u64, window: u32, ops: u64) -> (f64, u128, u128) {
+    let workload = WorkloadSpec::Micro(regime.micro);
+    let regions = workload.regions();
+    let run_cfg = RunConfig {
+        ops_per_thread: ops,
+        warmup_ops_per_thread: ops / 2,
+        threads_per_blade: regime.threads_per_blade,
+        ..Default::default()
+    }
+    .with_batch_ops(batch_ops)
+    .with_window(window);
+    let system = SystemSpec::mind_scaled(&regions, regime.n_compute, ConsistencyModel::Tso);
+    let mut sys = system.build();
+    let mut wl = workload.build();
+    let report = runner::run(sys.as_mut(), wl.as_mut(), run_cfg);
+    (
+        report.mops,
+        report.runtime.as_nanos() as u128,
+        report.sum_overlapped_ns,
+    )
+}
+
 /// Scenario table: one paired-measurement scenario per regime. At every
 /// batch size both pipelines replay the *identical* schedule, so
 /// `pipe_speedup` isolates the datapath amortization; `wall_speedup`
@@ -174,6 +219,7 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                 let _serial = MEASURE_LOCK.lock().expect("measure lock");
                 let mut out = ScenarioOutput::default();
                 let mut base_kops = 0.0;
+                let mut base_sim_mops = 0.0;
                 for &batch in &BATCH_SIZES {
                     let batched = run_point(&regime, batch, ops, false);
                     let scalar = run_point(&regime, batch, ops, true);
@@ -195,11 +241,36 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                         );
                     if batch == 1 {
                         base_kops = batched.kops;
+                        base_sim_mops = batched.sim_mops;
                     } else {
                         out = out.value(
                             format!("wall_speedup_b{batch}"),
                             batched.kops / base_kops.max(1e-12),
                         );
+                    }
+                }
+                // The window axis: simulated MOPS with up to W fault RTTs
+                // in flight per batch. `overlap_recovery_w<W>` is the
+                // figure's headline — windowed batch-64 throughput over
+                // the batch-1 serialized baseline; ≥ 1.0 means the
+                // latency hiding bought back the coarse-quantum loss.
+                for &window in &WINDOWS {
+                    for &batch in &WINDOW_BATCHES {
+                        let (sim_mops, runtime_ns, overlapped_ns) =
+                            run_window_point(&regime, batch, window, ops);
+                        out = out
+                            .value(format!("sim_mops_b{batch}_w{window}"), sim_mops)
+                            .value(format!("runtime_ns_b{batch}_w{window}"), runtime_ns as f64)
+                            .value(
+                                format!("overlapped_ns_b{batch}_w{window}"),
+                                overlapped_ns as f64,
+                            );
+                        if batch == 64 {
+                            out = out.value(
+                                format!("overlap_recovery_w{window}"),
+                                sim_mops / base_sim_mops.max(1e-12),
+                            );
+                        }
                     }
                 }
                 out
@@ -245,6 +316,37 @@ pub fn present(results: &[ScenarioResult]) {
     print_table(
         "datapath — batched vs scalar-loop pipeline on the identical schedule",
         &["regime", "b=1", "b=8", "b=64", "b=256"],
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(regimes())
+        .map(|(r, regime)| {
+            let mut cells = vec![
+                regime.key.to_string(),
+                format!("{:.3}", r.value("sim_mops_b1")),
+                format!("{:.3}", r.value("sim_mops_b64")),
+            ];
+            for &window in &WINDOWS {
+                cells.push(format!("{:.3}", r.value(&format!("sim_mops_b64_w{window}"))));
+            }
+            for &window in &WINDOWS {
+                cells.push(format!(
+                    "{:.2}x",
+                    r.value(&format!("overlap_recovery_w{window}"))
+                ));
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec!["regime".to_string(), "b=1".to_string(), "b64/w1".to_string()];
+    headers.extend(WINDOWS.iter().map(|w| format!("b64/w{w}")));
+    headers.extend(WINDOWS.iter().map(|w| format!("recov w{w}")));
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "datapath — intra-batch RTT overlap: simulated MOPS at batch 64 vs window \
+         (recovery is vs the b=1 serialized baseline)",
+        &headers,
         &rows,
     );
     for regime in regimes() {

@@ -9,7 +9,7 @@
 //! an operator owes each tenant (p50/p99/p99.9, throughput, rejects).
 
 use mind_harness::{Scenario, ScenarioResult, ServiceSpec};
-use mind_service::ServiceConfig;
+use mind_service::{AccessPattern, ServiceConfig};
 use mind_sim::SimTime;
 
 use crate::print_table;
@@ -30,42 +30,80 @@ fn us(ns: u64) -> String {
 
 // ---- service_qos: per-class SLOs vs offered load ----
 //
-// The same tenant mix offered at 1x / 2x / 3x the dispatcher's capacity.
-// Expected shape: at 1x every class meets a tight tail; at 2x Gold's
-// weighted share still covers its demand (short p99) while Silver backs
-// up and BestEffort starts starving; at 3x BestEffort serves almost
-// nothing and absorbs nearly all rejected requests.
+// The same tenant mix offered at 1x / 2x / 3x the dispatcher's capacity,
+// with per-class workload diversity: Gold tenants are Zipfian-skewed
+// (hot-key, cache-friendly), Silver uniform, BestEffort sequential
+// scanners. Expected shape: at 1x every class meets a tight tail; at 2x
+// Gold's weighted share still covers its demand (short p99) while Silver
+// backs up and BestEffort starts starving; at 3x BestEffort serves
+// almost nothing and absorbs nearly all rejected requests. A fourth
+// scenario re-runs the 2x point with an in-flight window of 2: the
+// dispatcher's quantum grants execute through the issue/complete
+// datapath with finite memory-level parallelism, so grants beyond the
+// window queue for a slot and the wait bills to per-tenant latency.
 
 const QOS_LOADS: [f64; 3] = [1.0, 2.0, 3.0];
 
+/// Window depth of the overlapped-dispatch QoS scenario: deliberately
+/// *below* the default `slots_per_quantum` (4), so the quantum's grants
+/// contend for finite memory-level parallelism through the
+/// issue/complete datapath — a window at or above the slot budget
+/// reproduces the serialized path's all-at-the-boundary optimism
+/// exactly.
+const QOS_OVERLAP_WINDOW: u32 = 2;
+
+/// The per-class access-pattern mix the QoS scenarios run (in
+/// Gold/Silver/BestEffort order).
+const QOS_PATTERNS: [AccessPattern; 3] = [
+    AccessPattern::Zipfian(0.99),
+    AccessPattern::Uniform,
+    AccessPattern::Scan,
+];
+
 /// Scenario table for the QoS figure.
 pub fn qos_build(quick: bool) -> Vec<Scenario> {
-    QOS_LOADS
+    let base = |factor: f64| {
+        ServiceConfig {
+            duration: span(quick),
+            class_patterns: QOS_PATTERNS,
+            ..Default::default()
+        }
+        .load_scaled(factor)
+    };
+    let mut scenarios: Vec<Scenario> = QOS_LOADS
         .iter()
         .map(|&factor| {
-            let cfg = ServiceConfig {
-                duration: span(quick),
-                ..Default::default()
-            }
-            .load_scaled(factor);
-            Scenario::service(
-                format!("service_qos/load{factor}"),
-                ServiceSpec::new(cfg),
-            )
+            Scenario::service(format!("service_qos/load{factor}"), ServiceSpec::new(base(factor)))
         })
-        .collect()
+        .collect();
+    scenarios.push(Scenario::service(
+        format!("service_qos/load2_w{QOS_OVERLAP_WINDOW}"),
+        ServiceSpec::new(ServiceConfig {
+            window: QOS_OVERLAP_WINDOW,
+            ..base(2.0)
+        }),
+    ));
+    scenarios
 }
 
 /// Prints the QoS figure.
 pub fn qos_present(results: &[ScenarioResult]) {
-    for (result, &factor) in results.iter().zip(&QOS_LOADS) {
+    let labels: Vec<String> = QOS_LOADS
+        .iter()
+        .map(|factor| format!("{factor}x load"))
+        .chain(std::iter::once(format!(
+            "2x load, window {QOS_OVERLAP_WINDOW} (overlapped quanta)"
+        )))
+        .collect();
+    for (result, label) in results.iter().zip(&labels) {
         let report = result.service();
         let rows: Vec<Vec<String>> = report
             .classes
             .iter()
-            .map(|c| {
+            .zip(&QOS_PATTERNS)
+            .map(|(c, pattern)| {
                 vec![
-                    c.qos.label().to_string(),
+                    format!("{} ({})", c.qos.label(), pattern.label()),
                     c.tenants_admitted.to_string(),
                     c.ops.to_string(),
                     format!("{:.3}", c.mops),
@@ -78,7 +116,7 @@ pub fn qos_present(results: &[ScenarioResult]) {
             .collect();
         print_table(
             &format!(
-                "service — QoS classes at {factor}x load ({} tenants, {} ops)",
+                "service — QoS classes at {label} ({} tenants, {} ops)",
                 report.tenants_admitted, report.total_ops
             ),
             &[

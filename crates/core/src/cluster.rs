@@ -18,6 +18,7 @@ use crate::failure::{switch_failover, FailoverReport};
 use crate::protect::PermClass;
 use crate::split::{BoundedSplitting, SplitConfig};
 use crate::system::{AccessKind, AccessOutcome, ConsistencyModel, MemorySystem, OpBatch};
+use crate::window::InFlightWindow;
 
 /// Fraction of a workload footprint held in the compute-blade cache when
 /// scaling a rack down (the paper's 512 MB cache / ~2 GB footprint, §7).
@@ -306,11 +307,19 @@ impl MindCluster {
     ///
     /// Ops with `pdid: None` run as the default replay process.
     ///
+    /// A batch with an in-flight window deeper than 1 executes through the
+    /// two-phase issue/complete datapath instead (see
+    /// [`MindCluster::run_batch_overlapped`]); `window <= 1` is always
+    /// this serialized path, byte-identical to the pre-window release.
+    ///
     /// # Panics
     ///
     /// Panics if an op has no protection domain and no process has been
     /// `exec`ed.
     pub fn run_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
+        if batch.window() > 1 {
+            return self.run_batch_overlapped(now, batch);
+        }
         // A batch of one *is* the scalar path: skip the lookaside setup
         // (there is nothing to amortize over).
         if batch.len() > 1 {
@@ -339,6 +348,86 @@ impl MindCluster {
                 t = at + gap;
             }
             batch.record(i, at, result);
+        }
+        self.engine.end_batch();
+    }
+
+    /// The two-phase issue/complete executor: up to `batch.window()` ops
+    /// in flight at once, modelling the blade's memory-level parallelism
+    /// (the paper's RDMA NICs pipeline page-fault round trips, §3).
+    ///
+    /// Issue arbitration, per op:
+    ///
+    /// 1. **Slot gate** — with `W` ops outstanding, the op waits for the
+    ///    earliest in-flight completion. Chained ops additionally issue no
+    ///    earlier than `gap` after their predecessor's issue (the issue
+    ///    pipeline's per-op cost); fixed ops no earlier than their preset
+    ///    [`MemOp::at`].
+    /// 2. **Region gate** — an op whose page lies in the directory region
+    ///    of an in-flight op waits for that op to complete: same-region
+    ///    transitions never overlap (on top of the directory's own
+    ///    `busy_until` serialization).
+    ///
+    /// The engine's issue phase then runs the full data path at the gated
+    /// time and returns a completion record. The fabric time an op spent
+    /// below the window's completion frontier ran concurrently with
+    /// earlier in-flight work; it moves from the breakdown's `network`
+    /// into `overlapped`, so per-op totals (and the op's completion time)
+    /// are unchanged while the visible breakdown reflects the hiding.
+    fn run_batch_overlapped(&mut self, now: SimTime, batch: &mut OpBatch) {
+        if batch.len() > 1 {
+            self.engine.begin_batch();
+        }
+
+        let default_pid = self.default_pid;
+        let chained = batch.is_chained();
+        let gap = batch.gap();
+        let mut window = InFlightWindow::new(batch.window() as usize);
+        let mut prev_issue = now;
+        for i in 0..batch.len() {
+            let op = batch.op(i);
+            // Slot gate.
+            let mut at = if chained {
+                if i == 0 {
+                    now
+                } else {
+                    prev_issue.max(window.slot_free_at()) + gap
+                }
+            } else {
+                // Fixed ops issue in program order: clamp to the previous
+                // issue time so that a gate release retiring several
+                // tied completions at once can never regress simulated
+                // time or re-admit past the window.
+                op.at.max(prev_issue).max(window.slot_free_at())
+            };
+            window.retire_through(at);
+            // Region gate: serialize behind in-flight same-region ops.
+            at = at.max(window.region_release(page_base(op.vaddr)));
+            window.retire_through(at);
+            self.tick(at);
+            let pdid = op.pdid.or(default_pid).expect("exec a process before replay");
+            match self.engine.issue(at, op.blade, pdid, op.vaddr, op.kind) {
+                Ok(issued) => {
+                    let mut outcome = issued.outcome;
+                    // Overlap attribution: the share of this op's fabric
+                    // time spent below the frontier was hidden behind
+                    // earlier in-flight completions.
+                    let hidden = window
+                        .frontier()
+                        .min(issued.complete_at)
+                        .saturating_sub(at)
+                        .min(outcome.latency.network);
+                    outcome.latency.network = outcome.latency.network.saturating_sub(hidden);
+                    outcome.latency.overlapped = hidden;
+                    window.admit(issued.complete_at, issued.region);
+                    batch.record_with_region(i, at, Ok(outcome), issued.region);
+                }
+                // A refused op occupies no slot; the next op's issue chains
+                // from this issue time alone (same rule as the serialized
+                // path's gap-only advance).
+                Err(e) => batch.record_with_region(i, at, Err(e), None),
+            }
+            prev_issue = at;
         }
         self.engine.end_batch();
     }
@@ -679,6 +768,50 @@ mod tests {
             batched.metrics_snapshot(),
             "batched metrics diverge from scalar"
         );
+    }
+
+    /// The review probe that caught the fixed-batch slot-gate regression:
+    /// warm local hits complete at identical times, so one gated op's
+    /// issue retires several slots at once — the next op must not issue
+    /// back at its preset time with more than `window` ops in flight.
+    #[test]
+    fn fixed_overlapped_batch_issues_monotonically_within_window() {
+        use crate::system::MemOp;
+        let mut c = MindCluster::new(MindConfig::small());
+        let pid = c.exec().unwrap();
+        let base = c.mmap(pid, 1 << 16).unwrap();
+        // Warm four pages so every batched op is a local hit with an
+        // identical (tied) completion latency.
+        for p in 0..4u64 {
+            c.access_as(SimTime::ZERO, 0, pid, base + (p << 12), AccessKind::Read)
+                .unwrap();
+        }
+        let mut batch = OpBatch::fixed().with_window(2);
+        for p in 0..4u64 {
+            batch.push(MemOp {
+                at: SimTime::from_micros(100),
+                blade: 0,
+                pdid: None,
+                vaddr: base + (p << 12),
+                kind: AccessKind::Read,
+            });
+        }
+        c.run_batch(SimTime::from_micros(100), &mut batch);
+        for i in 0..batch.len() {
+            assert!(batch.result(i).is_ok());
+            if i > 0 {
+                assert!(
+                    batch.op(i).at >= batch.op(i - 1).at,
+                    "fixed issue times regressed: op {i} at {:?} after {:?}",
+                    batch.op(i).at,
+                    batch.op(i - 1).at
+                );
+            }
+            let in_flight = (0..i)
+                .filter(|&j| batch.op(j).at <= batch.op(i).at && batch.completion(j) > batch.op(i).at)
+                .count();
+            assert!(in_flight < 2, "op {i} issued with {in_flight} in flight");
+        }
     }
 
     #[test]

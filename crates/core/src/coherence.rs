@@ -57,6 +57,45 @@ impl std::fmt::Display for AccessError {
 
 impl std::error::Error for AccessError {}
 
+/// A resolved, in-flight access: the **issue phase**'s product.
+///
+/// The issue phase runs the whole switch data path — protection,
+/// translation, the directory state machine, invalidation rounds — and
+/// commits the resulting state transitions (the recirculated directory
+/// update, Figure 4 #3), exactly as the monolithic access path always did.
+/// What it *returns* is new: an explicit completion record. The
+/// **completion phase** is the caller's — retiring the record from an
+/// in-flight window ([`crate::window::InFlightWindow`]), which is what
+/// lets up to `W` independent faults overlap their fabric round trips
+/// while [`region`](IssuedAccess::region) lets same-region transitions
+/// serialize at issue.
+#[derive(Debug, Clone, Copy)]
+pub struct IssuedAccess {
+    /// Latency attribution and protocol side effects, as the scalar path
+    /// reports them.
+    pub outcome: AccessOutcome,
+    /// When the operation issued.
+    pub issued_at: SimTime,
+    /// When the operation completes (`issued_at` plus the outcome's total
+    /// latency): the time its in-flight slot frees.
+    pub complete_at: SimTime,
+    /// The directory region `(base, size_log2)` this access transitioned,
+    /// or `None` when it touched no directory state (local hits,
+    /// cross-domain remaps, cache bypasses).
+    pub region: Option<(u64, u8)>,
+}
+
+impl IssuedAccess {
+    fn new(issued_at: SimTime, outcome: AccessOutcome, region: Option<(u64, u8)>) -> Self {
+        IssuedAccess {
+            outcome,
+            issued_at,
+            complete_at: issued_at + outcome.latency.total(),
+            region,
+        }
+    }
+}
+
 /// Engine tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct CoherenceConfig {
@@ -422,7 +461,9 @@ impl CoherenceEngine {
         self.failed[blade as usize]
     }
 
-    /// Performs one memory access. This is the full MIND data path.
+    /// Performs one memory access. This is the full MIND data path —
+    /// the issue phase of [`CoherenceEngine::issue`] with the completion
+    /// record discarded, for callers that serialize anyway.
     pub fn access(
         &mut self,
         now: SimTime,
@@ -431,6 +472,20 @@ impl CoherenceEngine {
         vaddr: u64,
         kind: AccessKind,
     ) -> Result<AccessOutcome, AccessError> {
+        self.issue(now, blade, pdid, vaddr, kind).map(|ia| ia.outcome)
+    }
+
+    /// The issue phase: resolves protection, translation, and directory
+    /// state, commits the transition, and returns the completion record
+    /// an in-flight window arbitrates on (see [`IssuedAccess`]).
+    pub fn issue(
+        &mut self,
+        now: SimTime,
+        blade: u16,
+        pdid: Pdid,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> Result<IssuedAccess, AccessError> {
         if self.failed[blade as usize] {
             return Err(AccessError::BladeFailed);
         }
@@ -453,7 +508,7 @@ impl CoherenceEngine {
                     self.caches[blade as usize].set_frame_tag(frame, pdid);
                     self.ctr().remote_accesses += 1;
                     let t_done = self.grant(now + self.lat.fault_handler, blade);
-                    return Ok(AccessOutcome {
+                    let outcome = AccessOutcome {
                         latency: LatencyBreakdown {
                             fault: self.lat.fault_handler,
                             network: t_done.saturating_sub(now + self.lat.fault_handler),
@@ -461,13 +516,15 @@ impl CoherenceEngine {
                         },
                         remote: true,
                         ..Default::default()
-                    });
+                    };
+                    return Ok(IssuedAccess::new(now, outcome, None));
                 }
                 self.ctr().local_hits += 1;
-                Ok(AccessOutcome {
+                let outcome = AccessOutcome {
                     latency: LatencyBreakdown::local(self.lat.local_dram),
                     ..Default::default()
-                })
+                };
+                Ok(IssuedAccess::new(now, outcome, None))
             }
             TaggedLookup::Miss => self.page_fault(now, blade, pdid, page, kind, true),
             TaggedLookup::NeedUpgrade => {
@@ -486,7 +543,7 @@ impl CoherenceEngine {
         page: u64,
         kind: AccessKind,
         need_data: bool,
-    ) -> Result<AccessOutcome, AccessError> {
+    ) -> Result<IssuedAccess, AccessError> {
         self.ctr().remote_accesses += 1;
         let t0 = now + self.lat.fault_handler;
 
@@ -512,7 +569,13 @@ impl CoherenceEngine {
         // Directory lookup/transition: two MAUs + recirculation (Figure 4).
         let region = match self.ensure_region_memo(page) {
             Ok(r) => r,
-            Err(_) => return self.bypass(t_switch, blade, page, kind),
+            // No directory slot: the access bypasses the cache and holds no
+            // region (nothing for an in-flight window to serialize on).
+            Err(_) => {
+                return self
+                    .bypass(t_switch, blade, page, kind)
+                    .map(|outcome| IssuedAccess::new(now, outcome, None))
+            }
         };
         let (base, k) = region;
         let dt = self
@@ -521,7 +584,7 @@ impl CoherenceEngine {
             .expect("MIND's pipeline program fits the MAU budget");
         let entry = self.directory.entry(base).expect("ensured region");
         // Transitions on a region serialize at the directory.
-        let t_dir = (t_switch + dt).max(entry.busy_until);
+        let t_dir = entry.admit_transition(t_switch + dt);
 
         let state = entry.state;
         let sharers = entry.sharers;
@@ -583,13 +646,15 @@ impl CoherenceEngine {
         } else {
             t_dir
         };
+        let mut held_region = (base, k);
         if round.reset {
             // Reset protocol removed the entry; recreate and treat the
             // requester as a fresh fetch.
-            let (nbase, _nk) = self
+            let (nbase, nk) = self
                 .directory
                 .ensure_region(page)
                 .expect("slot freed by reset");
+            held_region = (nbase, nk);
             let e = self.directory.entry_mut(nbase).expect("recreated");
             e.state = match kind {
                 AccessKind::Read => MsiState::Shared,
@@ -696,7 +761,7 @@ impl CoherenceEngine {
                 SimTime::ZERO
             };
             buf.push_back(done);
-            return Ok(AccessOutcome {
+            let outcome = AccessOutcome {
                 latency: LatencyBreakdown {
                     fault: self.lat.fault_handler,
                     dram: self.lat.local_dram + stall,
@@ -706,7 +771,8 @@ impl CoherenceEngine {
                 invalidations: round.requests,
                 flushed_pages: round.flushed,
                 false_invalidations: round.false_inv,
-            });
+            };
+            return Ok(IssuedAccess::new(now, outcome, Some(held_region)));
         }
 
         let inv_queue = round.crit_queue.min(total_wait);
@@ -715,20 +781,20 @@ impl CoherenceEngine {
             .saturating_sub(self.lat.fault_handler)
             .saturating_sub(inv_queue)
             .saturating_sub(inv_tlb);
-        Ok(AccessOutcome {
+        let outcome = AccessOutcome {
             latency: LatencyBreakdown {
                 fault: self.lat.fault_handler,
                 network,
                 inv_queue,
                 inv_tlb,
-                dram: SimTime::ZERO,
-                software: SimTime::ZERO,
+                ..Default::default()
             },
             remote: true,
             invalidations: round.requests,
             flushed_pages: round.flushed,
             false_invalidations: round.false_inv,
-        })
+        };
+        Ok(IssuedAccess::new(now, outcome, Some(held_region)))
     }
 
     /// Fetches `page` from its memory blade to `blade`, starting at the

@@ -83,6 +83,17 @@ impl DirEntry {
         }
     }
 
+    /// Region-busy arbitration: when a transition reaching the directory
+    /// pipeline at `t_pipe` may actually execute. Transitions on one
+    /// region serialize — a region mid-transition (invalidation round
+    /// outstanding, §4.4) holds later requests at `busy_until`. This is
+    /// the single place that ordering rule lives; the issue/complete
+    /// datapath relies on it so that overlapped batches can never reorder
+    /// same-region transitions.
+    pub fn admit_transition(&self, t_pipe: SimTime) -> SimTime {
+        t_pipe.max(self.busy_until)
+    }
+
     /// The owner blade: the exclusive holder for `Modified`/`Exclusive`,
     /// the dirty-data supplier for `Owned`.
     pub fn owner(&self) -> Option<u16> {
@@ -654,6 +665,28 @@ mod tests {
         let g3 = d.generation();
         d.remove(base);
         assert!(d.generation() > g3, "remove bumps");
+    }
+
+    #[test]
+    fn admit_transition_serializes_on_busy_until() {
+        let mut d = dir();
+        let (base, _) = d.ensure_region(0x0).unwrap();
+        let e = d.entry_mut(base).unwrap();
+        assert_eq!(
+            e.admit_transition(SimTime::from_micros(3)),
+            SimTime::from_micros(3),
+            "idle region admits immediately"
+        );
+        e.busy_until = SimTime::from_micros(10);
+        assert_eq!(
+            e.admit_transition(SimTime::from_micros(3)),
+            SimTime::from_micros(10),
+            "mid-transition region holds the request"
+        );
+        assert_eq!(
+            e.admit_transition(SimTime::from_micros(12)),
+            SimTime::from_micros(12)
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //! - [`cluster`]: [`cluster::MindCluster`], the top-level public API tying a
 //!   simulated rack together;
 //! - [`system`]: the [`system::MemorySystem`] trait shared with the
-//!   baseline systems (GAM, FastSwap) for apples-to-apples evaluation.
+//!   baseline systems (GAM, FastSwap) for apples-to-apples evaluation;
+//! - [`window`]: the per-batch in-flight window that lets the
+//!   issue/complete datapath overlap independent page-fault round trips
+//!   (memory-level parallelism) while same-region transitions serialize.
 //!
 //! ## Quick start
 //!
@@ -66,6 +69,7 @@ pub mod split;
 pub mod stt;
 pub mod system;
 pub mod translate;
+pub mod window;
 
 pub use addr::{PhysAddr, Vma};
 pub use cluster::{MindCluster, MindConfig};
@@ -73,3 +77,4 @@ pub use system::{
     AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown, MemOp, MemorySystem, OpBatch,
     ScalarLoop,
 };
+pub use window::InFlightWindow;

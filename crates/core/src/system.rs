@@ -70,12 +70,27 @@ pub struct LatencyBreakdown {
     pub dram: SimTime,
     /// Software overhead (GAM's per-access user-level library checks).
     pub software: SimTime,
+    /// Fabric time hidden behind earlier in-flight operations of the same
+    /// batch (memory-level parallelism under the issue/complete datapath's
+    /// in-flight window). The serialized path always reports zero; under
+    /// overlap the hidden share of `network` moves here, so the visible
+    /// components still sum to the op's issue→complete latency and
+    /// breakdowns stay additive in the BENCH reports.
+    pub overlapped: SimTime,
 }
 
 impl LatencyBreakdown {
-    /// Total latency of the access.
+    /// Total latency of the access — the sum of every visible component
+    /// (including [`LatencyBreakdown::overlapped`], which is carved *out
+    /// of* `network`, never added on top).
     pub fn total(&self) -> SimTime {
-        self.fault + self.network + self.inv_queue + self.inv_tlb + self.dram + self.software
+        self.fault
+            + self.network
+            + self.inv_queue
+            + self.inv_tlb
+            + self.dram
+            + self.software
+            + self.overlapped
     }
 
     /// A pure local-DRAM hit.
@@ -139,12 +154,27 @@ pub struct MemOp {
 ///
 /// Outcomes land in a parallel result vector; a batch is reusable across
 /// rounds via [`OpBatch::clear`], which keeps both allocations.
+///
+/// The **in-flight window** (`window`, default 1) is the batch's
+/// memory-level-parallelism depth: how many operations the issuing blade
+/// may keep in flight at once. At 1 the batch runs with the serialized
+/// semantics every pre-window release used (chained ops issue at their
+/// predecessor's completion, fixed ops at their preset time) —
+/// byte-identical reports. At `W > 1`, executors with an issue/complete
+/// datapath (MIND) overlap up to `W` independent fabric round trips while
+/// same-region directory transitions still serialize; executors without
+/// one (the default scalar loop, GAM, FastSwap) ignore the window and run
+/// serialized.
 #[derive(Debug, Default)]
 pub struct OpBatch {
     ops: Vec<MemOp>,
     results: Vec<Result<AccessOutcome, AccessError>>,
+    /// Directory region each op transitioned (recorded by issue/complete
+    /// executors; `None` for local hits, bypasses, and the scalar loop).
+    regions: Vec<Option<(u64, u8)>>,
     gap: SimTime,
     chained: bool,
+    window: u32,
 }
 
 impl OpBatch {
@@ -173,15 +203,29 @@ impl OpBatch {
         self.gap
     }
 
+    /// Sets the in-flight window depth (builder-style). `0` and `1` both
+    /// mean the serialized semantics.
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The in-flight window depth (at least 1).
+    pub fn window(&self) -> u32 {
+        self.window.max(1)
+    }
+
     /// Appends an operation.
     pub fn push(&mut self, op: MemOp) {
         self.ops.push(op);
     }
 
-    /// Drops all ops and results, keeping both allocations.
+    /// Drops all ops and results, keeping the allocations (and the issue
+    /// mode and window depth).
     pub fn clear(&mut self) {
         self.ops.clear();
         self.results.clear();
+        self.regions.clear();
     }
 
     /// Operations queued.
@@ -212,9 +256,44 @@ impl OpBatch {
     /// Records the `i`-th op's issue time and result. Executors must
     /// record ops in order, exactly once each.
     pub fn record(&mut self, i: usize, at: SimTime, result: Result<AccessOutcome, AccessError>) {
+        self.record_with_region(i, at, result, None);
+    }
+
+    /// [`OpBatch::record`] plus the directory region the op transitioned —
+    /// the issue/complete executors' form, which lets callers audit the
+    /// window's same-region serialization from the batch records alone.
+    pub fn record_with_region(
+        &mut self,
+        i: usize,
+        at: SimTime,
+        result: Result<AccessOutcome, AccessError>,
+        region: Option<(u64, u8)>,
+    ) {
         debug_assert_eq!(i, self.results.len(), "results recorded in op order");
         self.ops[i].at = at;
         self.results.push(result);
+        self.regions.push(region);
+    }
+
+    /// The directory region `(base, size_log2)` the `i`-th op transitioned,
+    /// if the executor recorded one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch has not been executed through op `i`.
+    pub fn region(&self, i: usize) -> Option<(u64, u8)> {
+        self.regions[i]
+    }
+
+    /// The `i`-th op's completion time: its recorded issue time plus its
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op failed or was not executed (see
+    /// [`OpBatch::outcome`]).
+    pub fn completion(&self, i: usize) -> SimTime {
+        self.ops[i].at + self.outcome(i).latency.total()
     }
 
     /// The `i`-th result.
@@ -335,9 +414,11 @@ pub trait MemorySystem {
     ///
     /// The default implementation loops the scalar [`access`] path —
     /// op-for-op identical to a caller issuing each operation itself — so
-    /// systems without a batched datapath (GAM, FastSwap) work unmodified.
-    /// Systems overriding this (MIND's op-batch pipeline) must preserve
-    /// that contract exactly: identical per-op outcomes, issue times, and
+    /// systems without a batched datapath (GAM, FastSwap) work unmodified;
+    /// it runs serialized regardless of the batch's in-flight window
+    /// (overlap is an issue/complete-datapath feature). Systems overriding
+    /// this (MIND's op-batch pipeline) must preserve that contract exactly
+    /// at `window <= 1`: identical per-op outcomes, issue times, and
     /// metrics as the scalar loop.
     ///
     /// [`access`]: MemorySystem::access
@@ -383,8 +464,37 @@ mod tests {
             inv_tlb: SimTime::from_micros(4),
             dram: SimTime::from_nanos(80),
             software: SimTime::ZERO,
+            overlapped: SimTime::ZERO,
         };
         assert_eq!(b.total().as_nanos(), 500 + 8_000 + 2_000 + 4_000 + 80);
+    }
+
+    /// The additivity contract behind the BENCH breakdowns: `total()` is
+    /// exactly the sum of every visible component, `overlapped` included —
+    /// moving fabric time from `network` into `overlapped` (what the
+    /// in-flight window does) never changes the total.
+    #[test]
+    fn breakdown_stays_additive_with_overlap() {
+        let mut b = LatencyBreakdown {
+            fault: SimTime::from_nanos(1),
+            network: SimTime::from_nanos(2),
+            inv_queue: SimTime::from_nanos(4),
+            inv_tlb: SimTime::from_nanos(8),
+            dram: SimTime::from_nanos(16),
+            software: SimTime::from_nanos(32),
+            overlapped: SimTime::from_nanos(64),
+        };
+        assert_eq!(
+            b.total(),
+            b.fault + b.network + b.inv_queue + b.inv_tlb + b.dram + b.software + b.overlapped,
+            "total is the sum of all visible components"
+        );
+        let before = b.total();
+        // Hide half the remaining network time behind earlier in-flight ops.
+        let hidden = SimTime::from_nanos(1);
+        b.network = b.network.saturating_sub(hidden);
+        b.overlapped += hidden;
+        assert_eq!(b.total(), before, "overlap attribution preserves the total");
     }
 
     #[test]
@@ -416,6 +526,22 @@ mod tests {
         assert!(b.is_empty());
         assert!(b.is_chained(), "mode survives clear");
         assert!(!OpBatch::fixed().is_chained());
+    }
+
+    #[test]
+    fn op_batch_window_defaults_serialized_and_survives_clear() {
+        let mut b = OpBatch::chained(SimTime::ZERO);
+        assert_eq!(b.window(), 1, "default is the serialized semantics");
+        b = b.with_window(0);
+        assert_eq!(b.window(), 1, "0 means serialized too");
+        b = b.with_window(16);
+        assert_eq!(b.window(), 16);
+        b.push(op(0x1000));
+        b.record_with_region(0, SimTime::ZERO, Ok(AccessOutcome::default()), Some((0x1000, 14)));
+        assert_eq!(b.region(0), Some((0x1000, 14)));
+        assert_eq!(b.completion(0), SimTime::ZERO);
+        b.clear();
+        assert_eq!(b.window(), 16, "window survives clear");
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! The in-flight window: per-batch memory-level-parallelism arbitration
+//! for the issue/complete datapath.
+//!
+//! MIND's premise is that disaggregated memory is viable because the RDMA
+//! NICs and the in-network directory keep many page-fault round trips in
+//! flight at once (paper §3, §7): while one fault's fabric RTT is
+//! outstanding, the blade issues the next. This module is the explicit
+//! arbitration layer for that overlap. A window of depth `W` admits up to
+//! `W` concurrently in-flight operations; an op that would exceed the
+//! depth waits for the earliest in-flight completion, and an op that
+//! touches the *directory region* of an in-flight op waits for that op to
+//! complete — same-region transitions serialize (the region's `busy_until`
+//! already orders them inside the switch; the window keeps the *issue*
+//! side honest so a blade never has two transitions of one region
+//! outstanding).
+//!
+//! The window is pure bookkeeping over completion records
+//! ([`mind_core::coherence::IssuedAccess`](crate::coherence::IssuedAccess)
+//! supplies them); it performs no simulation itself, which is what makes
+//! the `window = 1` configuration byte-identical to the serialized
+//! datapath.
+
+use mind_sim::SimTime;
+
+/// One in-flight operation: when it completes and which directory region
+/// (if any) its transition holds.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    complete_at: SimTime,
+    region: Option<(u64, u8)>,
+}
+
+/// A fixed-depth window of in-flight operations.
+#[derive(Debug)]
+pub struct InFlightWindow {
+    depth: usize,
+    slots: Vec<InFlight>,
+    /// Latest completion among every op ever issued through this window —
+    /// the overlap frontier used to attribute hidden fabric time.
+    frontier: SimTime,
+}
+
+impl InFlightWindow {
+    /// A window admitting up to `depth` concurrent operations (`depth` is
+    /// clamped to at least 1).
+    pub fn new(depth: usize) -> Self {
+        let depth = depth.max(1);
+        InFlightWindow {
+            depth,
+            slots: Vec::with_capacity(depth),
+            frontier: SimTime::ZERO,
+        }
+    }
+
+    /// The window depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Operations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Earliest time a new operation can claim a slot: [`SimTime::ZERO`]
+    /// (no constraint) while a slot is free, otherwise the earliest
+    /// in-flight completion.
+    pub fn slot_free_at(&self) -> SimTime {
+        if self.slots.len() < self.depth {
+            SimTime::ZERO
+        } else {
+            self.slots
+                .iter()
+                .map(|s| s.complete_at)
+                .min()
+                .expect("a full window is non-empty")
+        }
+    }
+
+    /// When an operation on the page at `addr` may issue without
+    /// overlapping an in-flight transition of the same directory region:
+    /// the latest completion among in-flight ops whose region contains
+    /// `addr` ([`SimTime::ZERO`] when none does).
+    pub fn region_release(&self, addr: u64) -> SimTime {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.region
+                    .is_some_and(|(base, k)| addr >= base && addr - base < 1u64 << k)
+            })
+            .map(|s| s.complete_at)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Retires every operation that completed at or before `now`.
+    pub fn retire_through(&mut self, now: SimTime) {
+        self.slots.retain(|s| s.complete_at > now);
+    }
+
+    /// Admits an issued operation occupying a slot until `complete_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full — callers must gate issue on
+    /// [`InFlightWindow::slot_free_at`] and retire first.
+    pub fn admit(&mut self, complete_at: SimTime, region: Option<(u64, u8)>) {
+        assert!(self.slots.len() < self.depth, "in-flight window overflow");
+        self.slots.push(InFlight {
+            complete_at,
+            region,
+        });
+        self.frontier = self.frontier.max(complete_at);
+    }
+
+    /// The overlap frontier: the latest completion among every op issued
+    /// through this window so far (retired or not). An op's fabric time
+    /// spent below the frontier ran concurrently with earlier in-flight
+    /// work.
+    pub fn frontier(&self) -> SimTime {
+        self.frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn depth_clamps_to_one() {
+        assert_eq!(InFlightWindow::new(0).depth(), 1);
+        assert_eq!(InFlightWindow::new(4).depth(), 4);
+    }
+
+    #[test]
+    fn slot_gate_frees_at_earliest_completion() {
+        let mut w = InFlightWindow::new(2);
+        assert_eq!(w.slot_free_at(), SimTime::ZERO, "empty window is free");
+        w.admit(ns(100), None);
+        assert_eq!(w.slot_free_at(), SimTime::ZERO, "one slot still free");
+        w.admit(ns(60), None);
+        assert_eq!(w.slot_free_at(), ns(60), "full: earliest completion");
+        w.retire_through(ns(60));
+        assert_eq!(w.in_flight(), 1);
+        assert_eq!(w.slot_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn region_release_serializes_containing_region_only() {
+        let mut w = InFlightWindow::new(4);
+        w.admit(ns(500), Some((0x1_0000, 14))); // [0x10000, 0x14000)
+        w.admit(ns(300), Some((0x4_0000, 13))); // [0x40000, 0x42000)
+        w.admit(ns(900), None); // Local hit: holds no region.
+        assert_eq!(w.region_release(0x1_3FFF), ns(500), "inside first");
+        assert_eq!(w.region_release(0x1_4000), SimTime::ZERO, "just past it");
+        assert_eq!(w.region_release(0x4_1000), ns(300), "inside second");
+        assert_eq!(w.region_release(0x9_0000), SimTime::ZERO, "untracked");
+        // Two holders of nested ranges: the latest completion wins.
+        w.admit(ns(800), Some((0x1_0000, 16)));
+        assert_eq!(w.region_release(0x1_2000), ns(800));
+    }
+
+    #[test]
+    fn frontier_tracks_all_issued_ops() {
+        let mut w = InFlightWindow::new(2);
+        assert_eq!(w.frontier(), SimTime::ZERO);
+        w.admit(ns(400), None);
+        w.admit(ns(200), None);
+        assert_eq!(w.frontier(), ns(400));
+        w.retire_through(ns(1_000));
+        assert_eq!(w.in_flight(), 0);
+        assert_eq!(w.frontier(), ns(400), "retirement keeps the frontier");
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight window overflow")]
+    fn admit_beyond_depth_panics() {
+        let mut w = InFlightWindow::new(1);
+        w.admit(ns(10), None);
+        w.admit(ns(20), None);
+    }
+}

@@ -17,7 +17,7 @@
 //!       "flushed_per_op": 0.0,
 //!       "mean_remote_ns": 9100.0,
 //!       "latency_ns": { "fault": 1, "network": 2, "inv_queue": 3,
-//!                        "inv_tlb": 4, "software": 5 },
+//!                        "inv_tlb": 4, "software": 5, "overlapped": 6 },
 //!       "latency_percentiles_ns": { "p50": 1, "p99": 2, "p999": 3 },
 //!       "window_metrics": { "...": 0 },
 //!       "metrics": { "...": 0 },
@@ -148,6 +148,7 @@ pub fn result_json(result: &ScenarioResult) -> Json {
                 ("inv_queue", Json::Int(report.sum_inv_queue_ns as i128)),
                 ("inv_tlb", Json::Int(report.sum_inv_tlb_ns as i128)),
                 ("software", Json::Int(report.sum_software_ns as i128)),
+                ("overlapped", Json::Int(report.sum_overlapped_ns as i128)),
             ]),
         ));
         pairs.push(("window_metrics".into(), metrics_json(&report.window_metrics)));
@@ -207,6 +208,10 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
     // Datapath speedups (`wall_speedup_b<N>` values emitted by the
     // `datapath` figure), aggregated as a geometric mean per batch size.
     let mut speedups: std::collections::BTreeMap<&str, Vec<f64>> = std::collections::BTreeMap::new();
+    // Overlap recoveries (`overlap_recovery_w<W>` values): simulated MOPS
+    // at the windowed batch point over the batch-1 serialized baseline.
+    let mut recoveries: std::collections::BTreeMap<&str, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for result in results {
         if let Some(report) = &result.output.report {
             merged.merge(&report.window_metrics);
@@ -222,8 +227,14 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
             if let Some(batch) = key.strip_prefix("wall_speedup_") {
                 speedups.entry(batch).or_default().push(*value);
             }
+            if let Some(window) = key.strip_prefix("overlap_recovery_") {
+                recoveries.entry(window).or_default().push(*value);
+            }
         }
     }
+    let geomean = |xs: &[f64]| -> f64 {
+        (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+    };
     let mut pairs: Vec<(String, Json)> = vec![
         ("replayed_scenarios".into(), Json::Int(replayed)),
         ("total_ops".into(), Json::Int(total_ops)),
@@ -232,9 +243,6 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
         ("service_ops".into(), Json::Int(service_ops)),
     ];
     if !speedups.is_empty() {
-        let geomean = |xs: &[f64]| -> f64 {
-            (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
-        };
         pairs.push((
             "datapath_speedup_geomean".into(),
             Json::Obj(
@@ -256,6 +264,34 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
                         (
                             batch.to_string(),
                             Json::Num(xs.iter().copied().fold(f64::MIN, f64::max)),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !recoveries.is_empty() {
+        // Geomean and worst-case recovery per window depth: ≥ 1.0 means
+        // intra-batch RTT overlap fully bought back the coarse-quantum
+        // simulated-MOPS loss relative to the batch-1 baseline.
+        pairs.push((
+            "overlap_recovery".into(),
+            Json::Obj(
+                recoveries
+                    .iter()
+                    .map(|(window, xs)| (window.to_string(), Json::Num(geomean(xs))))
+                    .collect(),
+            ),
+        ));
+        pairs.push((
+            "overlap_recovery_min".into(),
+            Json::Obj(
+                recoveries
+                    .iter()
+                    .map(|(window, xs)| {
+                        (
+                            window.to_string(),
+                            Json::Num(xs.iter().copied().fold(f64::MAX, f64::min)),
                         )
                     })
                     .collect(),
@@ -319,6 +355,41 @@ mod tests {
         assert!(
             !doc.contains("datapath_speedup_geomean"),
             "no speedup block without datapath values"
+        );
+    }
+
+    #[test]
+    fn aggregate_reports_overlap_recovery() {
+        let results = vec![
+            ScenarioResult {
+                name: "datapath/a".into(),
+                output: ScenarioOutput::default().value("overlap_recovery_w4", 2.0),
+            },
+            ScenarioResult {
+                name: "datapath/b".into(),
+                output: ScenarioOutput::default().value("overlap_recovery_w4", 8.0),
+            },
+        ];
+        let doc = suite_json("datapath", &results).render();
+        // geomean(2, 8) = 4; min(2, 8) = 2.
+        assert!(
+            doc.contains("\"overlap_recovery\": {\n      \"w4\": 4"),
+            "recovery geomean missing or wrong: {doc}"
+        );
+        assert!(
+            doc.contains("\"overlap_recovery_min\": {\n      \"w4\": 2"),
+            "recovery min missing or wrong: {doc}"
+        );
+        let empty = suite_json("t", &[custom_result()]).render();
+        assert!(!empty.contains("overlap_recovery"), "absent without values");
+    }
+
+    #[test]
+    fn replay_result_serializes_overlapped_breakdown() {
+        let text = result_json(&replay_result()).render();
+        assert!(
+            text.contains("\"overlapped\": 0"),
+            "serialized replays report a zero overlapped component: {text}"
         );
     }
 

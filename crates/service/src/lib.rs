@@ -33,4 +33,4 @@ pub mod tenant;
 pub use admission::AdmitError;
 pub use qos::QosClass;
 pub use service::{ClassReport, MemoryService, ServiceConfig, ServiceReport};
-pub use tenant::{Tenant, TenantId, TenantSlo, TenantWorkload};
+pub use tenant::{AccessPattern, Tenant, TenantId, TenantSlo, TenantWorkload};

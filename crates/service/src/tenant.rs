@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use mind_core::controller::Pid;
 use mind_core::system::AccessKind;
+use mind_sim::rng::Zipfian;
 use mind_sim::stats::Histogram;
 use mind_sim::{SimRng, SimTime};
 use mind_workloads::trace::{TraceOp, Workload};
@@ -20,31 +21,92 @@ use crate::qos::QosClass;
 /// Service-level tenant identifier (distinct from the rack PID).
 pub type TenantId = u64;
 
-/// The tenant-scoped request generator: single-logical-thread uniform
-/// random reads/writes over the tenant's own region — the [`Workload`]
-/// trait reused at per-tenant granularity, so the service's traffic is
-/// built from the same abstraction the replay harness uses.
+/// Cache-line stride of a scanning tenant (matches the TF/GC streaming
+/// workloads' access granularity).
+const SCAN_LINE: u64 = 64;
+
+/// How a tenant walks its footprint — the per-class workload-diversity
+/// axis of the serving scenarios. Pure `Copy` configuration so it rides
+/// inside [`crate::ServiceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random pages (the original tenant generator).
+    Uniform,
+    /// Zipfian-popular pages with the given skew (`theta < 1`; YCSB uses
+    /// 0.99) — a hot-key cache-friendly tenant.
+    Zipfian(f64),
+    /// Sequential cache-line scan over the footprint — the streaming
+    /// pattern of the TF/GC replay workloads, with high page locality but
+    /// a working set that wraps through every page.
+    Scan,
+}
+
+impl AccessPattern {
+    /// Short label for reports and workload names.
+    pub fn label(&self) -> String {
+        match self {
+            AccessPattern::Uniform => "uniform".to_string(),
+            AccessPattern::Zipfian(theta) => format!("zipf{theta}"),
+            AccessPattern::Scan => "scan".to_string(),
+        }
+    }
+}
+
+/// The tenant-scoped request generator: single-logical-thread
+/// reads/writes over the tenant's own region, walked per the tenant's
+/// [`AccessPattern`] — the [`Workload`] trait reused at per-tenant
+/// granularity, so the service's traffic is built from the same
+/// abstraction (and the same Zipfian/scan generators) the replay harness
+/// uses.
 #[derive(Debug)]
 pub struct TenantWorkload {
     pages: u64,
     read_ratio: f64,
+    pattern: AccessPattern,
+    /// Zipfian sampler, built once when the pattern asks for it.
+    zipf: Option<Zipfian>,
+    /// Scan cursor (cache lines advanced).
+    cursor: u64,
     rng: SimRng,
 }
 
 impl TenantWorkload {
-    /// A generator over `pages` 4 KB pages with the given read fraction.
+    /// A uniform-random generator over `pages` 4 KB pages with the given
+    /// read fraction.
     pub fn new(pages: u64, read_ratio: f64, rng: SimRng) -> Self {
+        TenantWorkload::with_pattern(pages, read_ratio, AccessPattern::Uniform, rng)
+    }
+
+    /// A generator with an explicit access pattern.
+    pub fn with_pattern(pages: u64, read_ratio: f64, pattern: AccessPattern, rng: SimRng) -> Self {
+        let zipf = match pattern {
+            AccessPattern::Zipfian(theta) => Some(Zipfian::new(pages, theta)),
+            _ => None,
+        };
         TenantWorkload {
             pages,
             read_ratio,
+            pattern,
+            zipf,
+            cursor: 0,
             rng,
         }
+    }
+
+    /// The pattern in force.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
     }
 }
 
 impl Workload for TenantWorkload {
     fn name(&self) -> String {
-        format!("tenant(p={},r={})", self.pages, self.read_ratio)
+        format!(
+            "tenant(p={},r={},{})",
+            self.pages,
+            self.read_ratio,
+            self.pattern.label()
+        )
     }
 
     fn regions(&self) -> Vec<u64> {
@@ -56,7 +118,18 @@ impl Workload for TenantWorkload {
     }
 
     fn next_op(&mut self, _thread: u16) -> TraceOp {
-        let page = self.rng.gen_below(self.pages);
+        let offset = match self.pattern {
+            AccessPattern::Uniform => self.rng.gen_below(self.pages) << 12,
+            AccessPattern::Zipfian(_) => {
+                let zipf = self.zipf.as_ref().expect("sampler built with pattern");
+                zipf.sample(&mut self.rng) << 12
+            }
+            AccessPattern::Scan => {
+                let offset = (self.cursor * SCAN_LINE) % (self.pages << 12);
+                self.cursor += 1;
+                offset
+            }
+        };
         let kind = if self.rng.gen_bool(self.read_ratio) {
             AccessKind::Read
         } else {
@@ -64,7 +137,7 @@ impl Workload for TenantWorkload {
         };
         TraceOp {
             region: 0,
-            offset: page << 12,
+            offset,
             kind,
         }
     }
@@ -202,6 +275,46 @@ mod tests {
             .count();
         let frac = reads as f64 / 20_000.0;
         assert!((frac - 0.8).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_tenant_skews_toward_hot_pages() {
+        let mut wl =
+            TenantWorkload::with_pattern(1024, 0.5, AccessPattern::Zipfian(0.99), SimRng::new(5));
+        assert!(wl.name().contains("zipf0.99"));
+        let mut hot = 0u64;
+        for _ in 0..20_000 {
+            let op = wl.next_op(0);
+            assert!(op.offset < 1024 << 12);
+            if op.offset < 16 << 12 {
+                hot += 1;
+            }
+        }
+        // Uniform would put ~1.6% of accesses on the first 16 pages;
+        // zipf(0.99) concentrates far more.
+        assert!(hot > 4_000, "hot-page mass {hot}");
+    }
+
+    #[test]
+    fn scan_tenant_streams_sequentially_with_page_locality() {
+        let mut wl = TenantWorkload::with_pattern(8, 0.9, AccessPattern::Scan, SimRng::new(5));
+        assert!(wl.name().contains("scan"));
+        let mut prev = None;
+        let mut page_changes = 0u64;
+        let n = 4_000u64;
+        for _ in 0..n {
+            let op = wl.next_op(0);
+            assert!(op.offset < 8 << 12);
+            if let Some(p) = prev {
+                assert_eq!(op.offset, (p + SCAN_LINE) % (8 << 12), "sequential");
+                if op.offset >> 12 != p >> 12 {
+                    page_changes += 1;
+                }
+            }
+            prev = Some(op.offset);
+        }
+        // 64 lines per 4 KB page: high page locality.
+        assert!(page_changes <= n / 60, "page changes {page_changes}");
     }
 
     #[test]

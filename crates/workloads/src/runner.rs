@@ -46,6 +46,14 @@ pub struct RunConfig {
     /// scheduling granularity for datapath amortization. For any fixed
     /// value, scalar and batched datapaths produce identical reports.
     pub batch_ops: u64,
+    /// In-flight window depth per batch (memory-level parallelism): how
+    /// many independent faults a thread's blade keeps in flight at once.
+    /// `1` (the default) is the serialized issue discipline — every RTT
+    /// completes before the next op issues — and reproduces the
+    /// pre-window reports byte-identically. Larger values overlap fabric
+    /// round trips on systems with an issue/complete datapath (MIND);
+    /// systems without one run serialized regardless.
+    pub window: u32,
 }
 
 impl Default for RunConfig {
@@ -57,6 +65,7 @@ impl Default for RunConfig {
             think_time: SimTime::from_nanos(100),
             interleave: false,
             batch_ops: 1,
+            window: 1,
         }
     }
 }
@@ -66,6 +75,13 @@ impl RunConfig {
     /// sweep tables).
     pub fn with_batch_ops(mut self, batch_ops: u64) -> Self {
         self.batch_ops = batch_ops;
+        self
+    }
+
+    /// This configuration with the given in-flight window depth
+    /// (builder-style, for sweep tables).
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
         self
     }
 }
@@ -97,6 +113,9 @@ pub struct RunReport {
     pub sum_inv_tlb_ns: u128,
     /// Software (library) component total (ns).
     pub sum_software_ns: u128,
+    /// Fabric time hidden by intra-batch RTT overlap (ns); zero whenever
+    /// [`RunConfig::window`] is 1.
+    pub sum_overlapped_ns: u128,
     /// Mean latency of *remote* accesses only (ns).
     pub mean_remote_ns: f64,
     /// Per-operation latency distribution over the measured window; tail
@@ -159,12 +178,12 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
 
     // One reusable batch (and generator scratch) for the whole run.
     let batch_ops = cfg.batch_ops.max(1);
-    let mut batch = OpBatch::chained(cfg.think_time);
+    let mut batch = OpBatch::chained(cfg.think_time).with_window(cfg.window);
     let mut ops_buf: Vec<TraceOp> = Vec::new();
 
     // Fills and executes one scheduling turn for `thread`: up to
     // `batch_ops` consecutive ops as a single chained batch starting at
-    // `clock`. Returns the thread's clock after its last op.
+    // `clock`. Returns the thread's clock after its last completion.
     let mut issue_turn = |system: &mut S,
                           workload: &mut W,
                           batch: &mut OpBatch,
@@ -194,8 +213,16 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
                 panic!("batched access failed at {:#x}: {e}", op.vaddr);
             }
         }
-        let last = batch.len() - 1;
-        batch.op(last).at + batch.outcome(last).latency.total() + cfg.think_time
+        // The thread resumes when its whole turn has completed. Under the
+        // serialized window the last op completes last (issue times
+        // chain), so this is exactly the old last-op arithmetic; under
+        // overlap the in-flight tail may finish out of order and the
+        // *latest* completion gates the next turn.
+        let turn_done = (0..batch.len())
+            .map(|i| batch.completion(i))
+            .max()
+            .expect("turns are non-empty");
+        turn_done + cfg.think_time
     };
 
     // Warmup phase: populate caches, stabilize regions; untimed.
@@ -229,6 +256,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
     let mut sum_inv_queue = 0u128;
     let mut sum_inv_tlb = 0u128;
     let mut sum_software = 0u128;
+    let mut sum_overlapped = 0u128;
     let mut sum_remote_lat = 0u128;
     let mut latency = Histogram::new();
     let mut runtime = SimTime::ZERO;
@@ -255,6 +283,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
             sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
             sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
             sum_software += outcome.latency.software.as_nanos() as u128;
+            sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
         }
 
         runtime = runtime.max(next_clock);
@@ -280,6 +309,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         sum_inv_queue_ns: sum_inv_queue,
         sum_inv_tlb_ns: sum_inv_tlb,
         sum_software_ns: sum_software,
+        sum_overlapped_ns: sum_overlapped,
         mean_remote_ns: if remote > 0 {
             sum_remote_lat as f64 / remote as f64
         } else {
@@ -347,6 +377,7 @@ mod tests {
                 think_time: SimTime::from_nanos(100),
                 interleave: false,
                 batch_ops: 1,
+                window: 1,
             },
         );
         assert_eq!(report.total_ops, 1000);
@@ -436,6 +467,101 @@ mod tests {
             assert_eq!(batched.sum_network_ns, scalar.sum_network_ns);
             assert_eq!(batched.sum_inv_queue_ns, scalar.sum_inv_queue_ns);
         }
+    }
+
+    /// A wide-footprint workload whose consecutive ops hit distinct
+    /// directory regions — the independent faults an in-flight window can
+    /// overlap.
+    struct Strided {
+        threads: u16,
+        pages: u64,
+        cursor: u64,
+    }
+
+    impl Workload for Strided {
+        fn name(&self) -> String {
+            "strided".to_string()
+        }
+        fn regions(&self) -> Vec<u64> {
+            vec![self.pages << 12]
+        }
+        fn n_threads(&self) -> u16 {
+            self.threads
+        }
+        fn next_op(&mut self, _thread: u16) -> TraceOp {
+            // Stride by 8 pages (two 16 KB initial regions) so successive
+            // faults land in different regions.
+            let page = (self.cursor * 8) % self.pages;
+            self.cursor += 1;
+            TraceOp {
+                region: 0,
+                offset: page << 12,
+                kind: AccessKind::Read,
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_run_overlaps_fabric_time_and_never_slows() {
+        let mk = |window: u32| {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = Strided {
+                threads: 1,
+                pages: 4096,
+                cursor: 0,
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    ops_per_thread: 512,
+                    ..Default::default()
+                }
+                .with_batch_ops(32)
+                .with_window(window),
+            )
+        };
+        let serialized = mk(1);
+        let overlapped = mk(8);
+        assert_eq!(serialized.sum_overlapped_ns, 0, "window 1 hides nothing");
+        assert_eq!(overlapped.total_ops, serialized.total_ops);
+        assert!(
+            overlapped.sum_overlapped_ns > 0,
+            "independent faults overlapped their RTTs"
+        );
+        assert!(
+            overlapped.runtime < serialized.runtime,
+            "overlap hides latency: {} vs {}",
+            overlapped.runtime.as_nanos(),
+            serialized.runtime.as_nanos()
+        );
+        // The same accesses fault either way: the window changes timing,
+        // not what the protocol does.
+        assert_eq!(
+            overlapped.metrics.get("remote_accesses"),
+            serialized.metrics.get("remote_accesses")
+        );
+    }
+
+    #[test]
+    fn windowed_run_is_deterministic() {
+        let mk = || {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = PingPong {
+                threads: 2,
+                rng: SimRng::new(7),
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig::default().with_batch_ops(16).with_window(4),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.sum_overlapped_ns, b.sum_overlapped_ns);
     }
 
     #[test]

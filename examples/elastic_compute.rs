@@ -56,6 +56,7 @@ fn main() {
                 think_time: SimTime::from_nanos(100),
                 interleave: false,
                 batch_ops: 1,
+                window: 1,
             },
         );
         let base = *baseline.get_or_insert(report.runtime);

@@ -8,7 +8,10 @@
 //! `execute_batch` (a loop over scalar `access`) runs instead of the
 //! batched override; both sides then execute the exact same schedule.
 
-use mind::core::system::{ConsistencyModel, ScalarLoop};
+use proptest::prelude::*;
+
+use mind::core::cluster::{MindCluster, MindConfig};
+use mind::core::system::{AccessKind, ConsistencyModel, MemOp, OpBatch, ScalarLoop};
 use mind::harness::{report, Scenario, ScenarioResult, SystemSpec, WorkloadSpec};
 use mind::service::{MemoryService, ServiceConfig};
 use mind::sim::SimTime;
@@ -51,23 +54,30 @@ fn run_cfg(batch_ops: u64) -> RunConfig {
     .with_batch_ops(batch_ops)
 }
 
-/// Renders one replay as BENCH JSON, through either pipeline.
-fn replay_json(workload: &WorkloadSpec, batch_ops: u64, scalar: bool) -> String {
+/// Renders one replay as BENCH JSON, through either pipeline, at the
+/// given in-flight window depth.
+fn replay_json_at(workload: &WorkloadSpec, batch_ops: u64, window: u32, scalar: bool) -> String {
     let regions = workload.regions();
     let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
     let mut wl = workload.build();
+    let cfg = run_cfg(batch_ops).with_window(window);
     let report = if scalar {
         let mut sys = ScalarLoop(system.build());
-        runner::run(&mut sys, wl.as_mut(), run_cfg(batch_ops))
+        runner::run(&mut sys, wl.as_mut(), cfg)
     } else {
         let mut sys = system.build();
-        runner::run(sys.as_mut(), wl.as_mut(), run_cfg(batch_ops))
+        runner::run(sys.as_mut(), wl.as_mut(), cfg)
     };
     let result = ScenarioResult {
         name: format!("equiv/b{batch_ops}"),
         output: mind::harness::ScenarioOutput::from_report(report),
     };
     report::suite_json("batch_equivalence", &[result]).render()
+}
+
+/// Renders one replay as BENCH JSON, through either pipeline.
+fn replay_json(workload: &WorkloadSpec, batch_ops: u64, scalar: bool) -> String {
+    replay_json_at(workload, batch_ops, 1, scalar)
 }
 
 #[test]
@@ -87,6 +97,77 @@ fn replay_batched_json_is_byte_identical_to_scalar_loop() {
                 workload.build().name()
             );
         }
+    }
+}
+
+/// The window=1 anchor of the issue/complete refactor: with the in-flight
+/// window at its default serialized depth, the two-phase datapath renders
+/// the exact BENCH JSON the pre-window (PR 4) pipeline rendered — for the
+/// replay suite against the scalar reference loop, and for the service
+/// suite against the per-op scalar dispatch.
+#[test]
+fn window_one_json_is_byte_identical_to_the_serialized_path() {
+    for workload in workloads() {
+        for batch_ops in [8u64, 64] {
+            let windowed = replay_json_at(&workload, batch_ops, 1, false);
+            let scalar = replay_json_at(&workload, batch_ops, 1, true);
+            assert_eq!(
+                windowed, scalar,
+                "window=1 diverged from the serialized path at batch_ops \
+                 {batch_ops} for {:?}",
+                workload.build().name()
+            );
+        }
+    }
+    let cfg = ServiceConfig {
+        duration: SimTime::from_millis(30),
+        window: 1,
+        ..Default::default()
+    };
+    let windowed = MemoryService::new(cfg).run();
+    let serialized = MemoryService::new(ServiceConfig {
+        batch_dispatch: false,
+        ..cfg
+    })
+    .run();
+    assert_eq!(
+        report::service_json(&windowed).render(),
+        report::service_json(&serialized).render(),
+        "service window=1 diverged from the scalar dispatch"
+    );
+}
+
+/// Deeper windows change timing, never the work: every op still executes
+/// and overlap can only shorten the run (it hides fabric latency, it
+/// cannot add any).
+#[test]
+fn overlapped_windows_preserve_work_and_never_slow_the_run() {
+    let workload = WorkloadSpec::Micro(MicroConfig {
+        n_threads: 4,
+        shared_pages: 2_048,
+        private_pages: 256,
+        ..Default::default()
+    });
+    let parse = |json: &str, key: &str| -> u64 {
+        let tag = format!("\"{key}\": ");
+        let rest = &json[json.find(&tag).expect("key present") + tag.len()..];
+        rest[..rest.find([',', '\n']).unwrap()].trim().parse().unwrap()
+    };
+    let serialized = replay_json_at(&workload, 64, 1, false);
+    let base_runtime = parse(&serialized, "runtime_ns");
+    let base_ops = parse(&serialized, "total_ops");
+    assert_eq!(parse(&serialized, "overlapped"), 0, "window 1 hides nothing");
+    for window in [4u32, 16] {
+        let overlapped = replay_json_at(&workload, 64, window, false);
+        assert_eq!(parse(&overlapped, "total_ops"), base_ops, "w{window}");
+        assert!(
+            parse(&overlapped, "runtime_ns") <= base_runtime,
+            "w{window} slowed the run"
+        );
+        assert!(
+            parse(&overlapped, "overlapped") > 0,
+            "w{window} overlapped no fabric time"
+        );
     }
 }
 
@@ -148,6 +229,114 @@ fn service_batched_dispatch_json_is_byte_identical() {
         report::service_json(&batched).render(),
         report::service_json(&scalar).render()
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The in-flight window's two invariants, checked from the batch's
+    /// own completion records over random schedules — chained (trace
+    /// replay) and fixed (dispatcher quanta, including tied preset
+    /// times) alike: (a) no more than `window` operations are ever in
+    /// flight at once, and (b) two operations that transitioned the same
+    /// directory region never overlap in time.
+    #[test]
+    fn window_bounds_inflight_ops_and_serializes_same_region(
+        seed in 0u64..10_000,
+        window in 2u32..8,
+        n_ops in 16usize..96,
+        write_ratio in 0u32..10,
+        chained in prop::bool::ANY,
+        fixed_step_ns in 0u64..200,
+    ) {
+        let mut cluster = MindCluster::new(MindConfig::small());
+        let pid = cluster.exec().unwrap();
+        let base = cluster.mmap(pid, 256 << 12).unwrap();
+        let mut rng = mind::sim::SimRng::new(seed);
+        let mut batch = if chained {
+            OpBatch::chained(SimTime::from_nanos(100))
+        } else {
+            OpBatch::fixed()
+        }
+        .with_window(window);
+        for i in 0..n_ops {
+            batch.push(MemOp {
+                // Fixed quanta preset issue times (all tied when the
+                // step is 0, the service dispatcher's shape).
+                at: SimTime::from_nanos(i as u64 * fixed_step_ns),
+                blade: rng.gen_below(2) as u16,
+                pdid: None,
+                vaddr: base + (rng.gen_below(256) << 12),
+                kind: if rng.gen_below(10) < write_ratio as u64 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            });
+        }
+        cluster.run_batch(SimTime::ZERO, &mut batch);
+        for i in 1..batch.len() {
+            prop_assert!(
+                batch.op(i).at >= batch.op(i - 1).at,
+                "issue times regressed at op {i}"
+            );
+        }
+        for i in 0..batch.len() {
+            prop_assert!(batch.result(i).is_ok());
+        }
+        for i in 0..batch.len() {
+            let issued = batch.op(i).at;
+            // (a) When op i issued, fewer than `window` earlier ops were
+            // still in flight (so op i fit in a slot). Chained issue
+            // times are monotone, so "in flight" is exactly: issued no
+            // later, completing strictly later.
+            let in_flight = (0..i)
+                .filter(|&j| batch.op(j).at <= issued && batch.completion(j) > issued)
+                .count();
+            prop_assert!(
+                in_flight < window as usize,
+                "op {i} issued with {in_flight} ops already in flight (window {window})"
+            );
+            // (b) Same-region transitions serialize: an earlier op that
+            // held the same directory region must have completed before
+            // this one issued.
+            for j in 0..i {
+                if batch.region(i).is_some() && batch.region(i) == batch.region(j) {
+                    prop_assert!(
+                        batch.completion(j) <= issued,
+                        "ops {j} and {i} overlapped on region {:?}",
+                        batch.region(i)
+                    );
+                }
+            }
+        }
+    }
+
+    /// At window 1, the overlapped invariants degenerate to full
+    /// serialization: every op issues at or after its predecessor's
+    /// completion and nothing is ever attributed to overlap.
+    #[test]
+    fn window_one_fully_serializes(seed in 0u64..10_000, n_ops in 8usize..48) {
+        let mut cluster = MindCluster::new(MindConfig::small());
+        let pid = cluster.exec().unwrap();
+        let base = cluster.mmap(pid, 64 << 12).unwrap();
+        let mut rng = mind::sim::SimRng::new(seed);
+        let mut batch = OpBatch::chained(SimTime::from_nanos(100)).with_window(1);
+        for _ in 0..n_ops {
+            batch.push(MemOp {
+                at: SimTime::ZERO,
+                blade: rng.gen_below(2) as u16,
+                pdid: None,
+                vaddr: base + (rng.gen_below(64) << 12),
+                kind: AccessKind::Read,
+            });
+        }
+        cluster.run_batch(SimTime::ZERO, &mut batch);
+        for i in 1..batch.len() {
+            prop_assert!(batch.op(i).at >= batch.completion(i - 1));
+            prop_assert_eq!(batch.outcome(i).latency.overlapped, SimTime::ZERO);
+        }
+    }
 }
 
 /// Baselines keep working unmodified through the default batched path:

@@ -38,6 +38,7 @@ fn run_cfg() -> RunConfig {
         think_time: SimTime::from_nanos(100),
         interleave: false,
         batch_ops: 1,
+        window: 1,
     }
 }
 

@@ -27,6 +27,7 @@ fn cfg(ops: u64, tpb: u16) -> RunConfig {
         think_time: SimTime::from_nanos(100),
         interleave: false,
         batch_ops: 1,
+        window: 1,
     }
 }
 
