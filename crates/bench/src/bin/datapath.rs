@@ -1,8 +1,41 @@
 //! The `datapath` figure: scalar vs op-batch pipeline replay throughput
-//! over batch sizes 1/8/64/256, writing `BENCH_datapath.json`. Pass
-//! `--quick` for the CI-sized variant. The `wall_*` values measure the
-//! host and vary run to run; the `sim_*` values are deterministic.
+//! over batch sizes 1/8/64/256 plus the sharded large-scenario scaling
+//! point, writing `BENCH_datapath.json`. Pass `--quick` for the CI-sized
+//! variant. The `wall_*` / `shard_wall_*` values measure the host and
+//! vary run to run; the `sim_*` values are deterministic.
+//!
+//! Under `--quick` the bin doubles as a perf-guard: it exits non-zero if
+//! any regime's `wall_speedup_b64` falls below [`GUARD_FLOOR`] — batching
+//! regressing below scalar parity on any regime is the bug this figure
+//! exists to catch. The floor sits under 1.0 only to absorb wall-clock
+//! noise on loaded CI hosts; the committed full-run figures keep every
+//! regime at or above parity.
+
+use mind_bench::figures::datapath::BATCH_SIZES;
+
+/// Minimum accepted `wall_speedup_b64` per regime under `--quick`.
+const GUARD_FLOOR: f64 = 0.95;
 
 fn main() {
-    mind_bench::figures::run_main("datapath");
+    let results = mind_bench::figures::run_main("datapath");
+    if !std::env::args().any(|a| a == "--quick") {
+        return;
+    }
+    assert!(BATCH_SIZES.contains(&64), "guard batch size must be swept");
+    let mut failed = false;
+    for r in results.iter().filter(|r| !r.name.ends_with("/shards")) {
+        let speedup = r.value("wall_speedup_b64");
+        if speedup < GUARD_FLOOR {
+            eprintln!(
+                "perf-guard: {} wall_speedup_b64 = {speedup:.3} < {GUARD_FLOOR} \
+                 (batching must not regress below scalar parity)",
+                r.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf-guard: every regime's wall_speedup_b64 >= {GUARD_FLOOR}");
 }

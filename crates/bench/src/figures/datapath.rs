@@ -16,7 +16,10 @@
 //! Unlike every other figure, the `wall_*` values measure the host and are
 //! **not** run-to-run deterministic; the `sim_*` values are. Measurements
 //! are paired (both pipelines run inside one scenario, best of
-//! [`MEASURE_PASSES`]) so engine-level parallelism mostly cancels out.
+//! [`MEASURE_PASSES`]) *and pass-interleaved*: each pass runs every
+//! (batch size × pipeline) cell once before the next pass starts, so slow
+//! host drift (thermal, background load) lands on every cell about
+//! equally instead of biasing whichever cell happened to run last.
 //!
 //! The figure also sweeps the **window axis** ([`WINDOWS`] ×
 //! [`WINDOW_BATCHES`]): simulated MOPS with the issue/complete datapath
@@ -26,14 +29,30 @@
 //! throughput by the batch-1 serialized baseline — the quantity that shows
 //! whether latency hiding buys back the coarse-quantum loss batching
 //! introduces on fault-dominated footprints.
+//!
+//! Finally the **shards axis** (`datapath/shards`): a large multi-tenant
+//! population — every tenant in its own protection domain — replayed
+//! fused and as 2/4 deterministic shards via
+//! [`mind_workloads::shard::run_sharded`]. The scenario first asserts the
+//! sharded replays are *byte-identical* to the fused serialized
+//! reference, then reports the wall-clock speedup sharding buys
+//! (`shard_speedup_s<K>`): per-tenant TCAM admission scans the rack-wide
+//! rule table, so the fused control plane pays O(tenants²) while each
+//! shard pays only for its slice. Like `wall_*`, `shard_wall_*` and
+//! `shard_speedup_*` measure the host; the `shard_sim_*` values are
+//! deterministic.
 
 use std::sync::Mutex;
 use std::time::Instant;
 
+use mind_core::cluster::MindConfig;
 use mind_core::system::{ConsistencyModel, ScalarLoop};
 use mind_harness::{Scenario, ScenarioOutput, ScenarioResult, SystemSpec, WorkloadSpec};
+use mind_service::{tenant_partitions, TenantGroupConfig};
+use mind_sim::SimTime;
 use mind_workloads::micro::MicroConfig;
-use mind_workloads::runner::{self, RunConfig};
+use mind_workloads::runner::{self, RunConfig, RunReport};
+use mind_workloads::{run_group, run_sharded, ShardSpec};
 
 use super::scaled_ops;
 use crate::print_table;
@@ -52,10 +71,19 @@ pub const WINDOWS: [u32; 2] = [4, 16];
 /// overlap: the window is intra-batch).
 pub const WINDOW_BATCHES: [u64; 3] = [8, 64, 256];
 
-/// Wall-clock passes per point; the fastest is reported.
+/// Wall-clock passes per point; the fastest is reported. Passes are
+/// interleaved across cells (pass-major order), not batched per cell.
 const MEASURE_PASSES: u32 = 5;
 
 const OPS_PER_THREAD: u64 = 30_000;
+
+/// Shard counts the scaling point sweeps (1 = the fused serialized
+/// reference).
+pub const SHARD_COUNTS: [u16; 3] = [1, 2, 4];
+
+/// Wall-clock passes for the sharded scaling point (each pass replays the
+/// whole population at every shard count, so fewer passes suffice).
+const SHARD_PASSES: u32 = 3;
 
 /// Serializes the wall-clock sections across this figure's scenarios, so
 /// a parallel engine does not run two measurements on sibling cores at
@@ -126,17 +154,34 @@ fn regimes() -> [Regime; 3] {
     ]
 }
 
-/// One measured point: host kops/s plus the deterministic sim results.
+/// One measured cell, folded across passes: host kops/s from the best
+/// pass plus the deterministic sim results (identical in every pass).
 struct Point {
-    kops: f64,
+    best_secs: f64,
+    executed: u64,
     sim_mops: f64,
     runtime_ns: u128,
 }
 
-/// Runs one regime at one batch size through either pipeline (`scalar`
-/// wraps the rack in [`ScalarLoop`], keeping the trait's per-op loop),
-/// returning the best wall-clock pass.
-fn run_point(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool) -> Point {
+impl Point {
+    fn new() -> Self {
+        Point {
+            best_secs: f64::INFINITY,
+            executed: 0,
+            sim_mops: 0.0,
+            runtime_ns: 0,
+        }
+    }
+
+    fn kops(&self) -> f64 {
+        self.executed as f64 / self.best_secs / 1e3
+    }
+}
+
+/// Runs one wall-clock pass of one regime at one batch size through
+/// either pipeline (`scalar` wraps the rack in [`ScalarLoop`], keeping
+/// the trait's per-op loop) and folds it into `point`.
+fn run_pass(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool, point: &mut Point) {
     let workload = WorkloadSpec::Micro(regime.micro);
     let regions = workload.regions();
     let run_cfg = RunConfig {
@@ -147,37 +192,26 @@ fn run_point(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool) -> Point {
     }
     .with_batch_ops(batch_ops);
 
-    let mut best_secs = f64::INFINITY;
-    let mut sim_mops = 0.0;
-    let mut runtime_ns = 0u128;
-    let mut executed = 0u64;
-    for _ in 0..MEASURE_PASSES {
-        let system = SystemSpec::mind_scaled(&regions, regime.n_compute, ConsistencyModel::Tso);
-        let mut wl = workload.build();
-        let report;
-        let start;
-        if scalar {
-            let mut sys = ScalarLoop(system.build());
-            start = Instant::now();
-            report = runner::run(&mut sys, wl.as_mut(), run_cfg);
-        } else {
-            let mut sys = system.build();
-            start = Instant::now();
-            report = runner::run(sys.as_mut(), wl.as_mut(), run_cfg);
-        }
-        let secs = start.elapsed().as_secs_f64().max(1e-9);
-        best_secs = best_secs.min(secs);
-        // Warmup ops run through the datapath too; count them as work done.
-        executed =
-            report.total_ops + run_cfg.warmup_ops_per_thread * regime.micro.n_threads as u64;
-        sim_mops = report.mops;
-        runtime_ns = report.runtime.as_nanos() as u128;
+    let system = SystemSpec::mind_scaled(&regions, regime.n_compute, ConsistencyModel::Tso);
+    let mut wl = workload.build();
+    let report;
+    let start;
+    if scalar {
+        let mut sys = ScalarLoop(system.build());
+        start = Instant::now();
+        report = runner::run(&mut sys, wl.as_mut(), run_cfg);
+    } else {
+        let mut sys = system.build();
+        start = Instant::now();
+        report = runner::run(sys.as_mut(), wl.as_mut(), run_cfg);
     }
-    Point {
-        kops: executed as f64 / best_secs / 1e3,
-        sim_mops,
-        runtime_ns,
-    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    point.best_secs = point.best_secs.min(secs);
+    // Warmup ops run through the datapath too; count them as work done.
+    point.executed =
+        report.total_ops + run_cfg.warmup_ops_per_thread * regime.micro.n_threads as u64;
+    point.sim_mops = report.mops;
+    point.runtime_ns = report.runtime.as_nanos() as u128;
 }
 
 /// One simulation-only windowed point: the regime replayed at the given
@@ -205,24 +239,99 @@ fn run_window_point(regime: &Regime, batch_ops: u64, window: u32, ops: u64) -> (
     )
 }
 
-/// Scenario table: one paired-measurement scenario per regime. At every
-/// batch size both pipelines replay the *identical* schedule, so
-/// `pipe_speedup` isolates the datapath amortization; `wall_speedup`
-/// additionally includes the effect of coarser issue quanta on the
-/// simulated workload itself.
+/// The large-scenario scaling point: `partitions` × `tenants_per_group`
+/// single-threaded tenants (16 384 in the full run), each in its own
+/// protection domain with a 16-page footprint, on a 16+16-blade rack. The
+/// population is confined by construction (single-threaded tenants never
+/// invalidate) and directory utilization stays at 1/4, so the sharded
+/// replay is byte-identical to the fused reference — which the scenario
+/// asserts before timing anything.
+fn shard_spec(quick: bool) -> ShardSpec {
+    let partitions: u16 = 16;
+    let tenants_per_group: u16 = if quick { 256 } else { 1024 };
+    ShardSpec {
+        name: "datapath/shards".to_string(),
+        base: MindConfig {
+            n_compute: partitions,
+            n_memory: partitions,
+            cache_pages: 4096,
+            blade_span: 1 << 27,
+            memory_blade_bytes: 1 << 27,
+            // 4 initial 16 KB regions per 64 KB tenant: 65 536 regions at
+            // the full population, 1/4 of capacity (the merge phase stays
+            // gated, condition 4 of the determinism contract).
+            dir_capacity: 262_144,
+            rule_capacity: 65_536,
+            ..MindConfig::default()
+        },
+        partitions,
+        run: RunConfig {
+            ops_per_thread: 8,
+            warmup_ops_per_thread: 0,
+            threads_per_blade: tenants_per_group,
+            ..Default::default()
+        }
+        .with_batch_ops(8),
+        horizon: SimTime::from_micros(50),
+        domain_per_thread: true,
+    }
+}
+
+/// The tenant population behind [`shard_spec`], keyed by global partition
+/// index so every shard count replays identical op streams.
+fn shard_population(quick: bool) -> TenantGroupConfig {
+    TenantGroupConfig {
+        tenants_per_group: if quick { 256 } else { 1024 },
+        pages_per_tenant: 16,
+        read_ratio: 0.7,
+        seed: 42,
+    }
+}
+
+/// The byte-identity key of a merged report: every integer the merge adds
+/// plus the recomputed floats (compared at the bit level).
+fn report_key(r: &RunReport) -> (u128, u64, u64, u64, u128, u128, u64, u64) {
+    (
+        r.runtime.as_nanos() as u128,
+        r.total_ops,
+        r.remote_ops,
+        r.flushed_pages,
+        r.sum_network_ns,
+        r.sum_remote_lat_ns,
+        r.latency.quantile(0.999),
+        r.mops.to_bits(),
+    )
+}
+
+/// Scenario table: one paired-measurement scenario per regime, plus the
+/// sharded scaling point. At every batch size both pipelines replay the
+/// *identical* schedule, so `pipe_speedup` isolates the datapath
+/// amortization; `wall_speedup` additionally includes the effect of
+/// coarser issue quanta on the simulated workload itself.
 pub fn build(quick: bool) -> Vec<Scenario> {
     let ops = scaled_ops(OPS_PER_THREAD, quick) / 4;
-    regimes()
+    let mut table: Vec<Scenario> = regimes()
         .into_iter()
         .map(|regime| {
             Scenario::custom(format!("datapath/{}", regime.key), move || {
                 let _serial = MEASURE_LOCK.lock().expect("measure lock");
                 let mut out = ScenarioOutput::default();
+                // Pass-major: each pass visits every (batch × pipeline)
+                // cell once, so host drift hits all cells evenly and the
+                // per-cell best-of stays a paired comparison.
+                let mut batched_pts: Vec<Point> = BATCH_SIZES.iter().map(|_| Point::new()).collect();
+                let mut scalar_pts: Vec<Point> = BATCH_SIZES.iter().map(|_| Point::new()).collect();
+                for _ in 0..MEASURE_PASSES {
+                    for (i, &batch) in BATCH_SIZES.iter().enumerate() {
+                        run_pass(&regime, batch, ops, false, &mut batched_pts[i]);
+                        run_pass(&regime, batch, ops, true, &mut scalar_pts[i]);
+                    }
+                }
                 let mut base_kops = 0.0;
                 let mut base_sim_mops = 0.0;
-                for &batch in &BATCH_SIZES {
-                    let batched = run_point(&regime, batch, ops, false);
-                    let scalar = run_point(&regime, batch, ops, true);
+                for (i, &batch) in BATCH_SIZES.iter().enumerate() {
+                    let batched = &batched_pts[i];
+                    let scalar = &scalar_pts[i];
                     // The equivalence guarantee, enforced in-figure: both
                     // pipelines simulated the exact same run.
                     assert_eq!(
@@ -233,19 +342,19 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                     out = out
                         .value(format!("sim_mops_b{batch}"), batched.sim_mops)
                         .value(format!("runtime_ns_b{batch}"), batched.runtime_ns as f64)
-                        .value(format!("wall_kops_b{batch}"), batched.kops)
-                        .value(format!("scalar_kops_b{batch}"), scalar.kops)
+                        .value(format!("wall_kops_b{batch}"), batched.kops())
+                        .value(format!("scalar_kops_b{batch}"), scalar.kops())
                         .value(
                             format!("pipe_speedup_b{batch}"),
-                            batched.kops / scalar.kops.max(1e-12),
+                            batched.kops() / scalar.kops().max(1e-12),
                         );
                     if batch == 1 {
-                        base_kops = batched.kops;
+                        base_kops = batched.kops();
                         base_sim_mops = batched.sim_mops;
                     } else {
                         out = out.value(
                             format!("wall_speedup_b{batch}"),
-                            batched.kops / base_kops.max(1e-12),
+                            batched.kops() / base_kops.max(1e-12),
                         );
                     }
                 }
@@ -276,7 +385,59 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                 out
             })
         })
-        .collect()
+        .collect();
+
+    table.push(Scenario::custom("datapath/shards".to_string(), move || {
+        let _serial = MEASURE_LOCK.lock().expect("measure lock");
+        let spec = shard_spec(quick);
+        let factory = tenant_partitions(shard_population(quick));
+        let tenants = spec.partitions as u64 * spec.run.threads_per_blade as u64;
+
+        // Determinism first: the fused serialized reference, then every
+        // shard count checked byte-identical against it before any
+        // wall-clock pass is trusted.
+        let reference = run_group(&spec, &factory);
+        assert_eq!(reference.invalidations, 0, "population must be confined");
+        for &shards in &SHARD_COUNTS {
+            let merged = run_sharded(&spec, shards, &factory);
+            assert_eq!(
+                report_key(&reference),
+                report_key(&merged),
+                "sharded replay diverged from the serialized reference at shards={shards}"
+            );
+            assert_eq!(reference.metrics, merged.metrics, "shards={shards}");
+            assert_eq!(reference.window_metrics, merged.window_metrics, "shards={shards}");
+        }
+
+        // Wall clock, pass-major across shard counts (same drift
+        // reasoning as the batch sweep).
+        let mut best = [f64::INFINITY; SHARD_COUNTS.len()];
+        for _ in 0..SHARD_PASSES {
+            for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+                let start = Instant::now();
+                let merged = run_sharded(&spec, shards, &factory);
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                best[i] = best[i].min(secs);
+                assert_eq!(report_key(&reference), report_key(&merged));
+            }
+        }
+
+        let mut out = ScenarioOutput::default()
+            .value("shard_tenants", tenants as f64)
+            .value("shard_total_ops", reference.total_ops as f64)
+            .value("shard_sim_runtime_ns", reference.runtime.as_nanos() as f64);
+        for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+            out = out.value(format!("shard_wall_secs_s{shards}"), best[i]);
+            if shards > 1 {
+                out = out.value(
+                    format!("shard_speedup_s{shards}"),
+                    best[0] / best[i].max(1e-12),
+                );
+            }
+        }
+        out
+    }));
+    table
 }
 
 /// Prints the datapath sweep tables.
@@ -351,5 +512,24 @@ pub fn present(results: &[ScenarioResult]) {
     );
     for regime in regimes() {
         println!("   {:<10} {}", regime.key, regime.title);
+    }
+
+    // The sharded scaling point rides as the table's last scenario.
+    if let Some(r) = results.iter().find(|r| r.name.ends_with("/shards")) {
+        let mut cells = vec![
+            format!("{:.0}", r.value("shard_tenants")),
+            format!("{:.0}", r.value("shard_total_ops")),
+        ];
+        for &shards in &SHARD_COUNTS {
+            cells.push(format!("{:.2}s", r.value(&format!("shard_wall_secs_s{shards}"))));
+        }
+        cells.push(format!("{:.2}x", r.value("shard_speedup_s2")));
+        cells.push(format!("{:.2}x", r.value("shard_speedup_s4")));
+        print_table(
+            "datapath — sharded large-scenario replay (byte-identical to the fused \
+             reference; wall seconds, speedup vs shards=1)",
+            &["tenants", "ops", "s=1", "s=2", "s=4", "speedup s2", "speedup s4"],
+            &[cells],
+        );
     }
 }

@@ -166,8 +166,9 @@ pub(crate) fn scaled_ops(full: u64, quick: bool) -> u64 {
 /// Entry point shared by the per-figure binaries: builds the named
 /// figure's table (honouring a `--quick` argument), executes it on the
 /// environment-sized engine, prints the tables, and writes
-/// `BENCH_<name>.json`.
-pub fn run_main(name: &str) {
+/// `BENCH_<name>.json`. Returns the results so a binary can gate on them
+/// (the `datapath` bin's `--quick` perf-guard).
+pub fn run_main(name: &str) -> Vec<ScenarioResult> {
     let quick = std::env::args().any(|a| a == "--quick");
     let figure = all()
         .into_iter()
@@ -178,6 +179,7 @@ pub fn run_main(name: &str) {
     (figure.present)(&results);
     let path = report::write_suite(figure.name, &results).expect("write BENCH json");
     println!("\nwrote {}", path.display());
+    results
 }
 
 /// Entry point shared by the multi-figure binaries (`suite`, `service`):

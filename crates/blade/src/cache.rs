@@ -65,6 +65,15 @@ pub struct InvalidationOutcome {
     pub downgraded: u32,
 }
 
+impl InvalidationOutcome {
+    /// Resets the outcome for reuse, keeping the `flushed` allocation.
+    pub fn clear(&mut self) {
+        self.flushed.clear();
+        self.unmapped = 0;
+        self.downgraded = 0;
+    }
+}
+
 /// Sentinel for "no frame" in the intrusive LRU list.
 const NO_FRAME: u32 = u32::MAX;
 
@@ -114,6 +123,9 @@ pub struct DramCache {
     pt: PageTable,
     frames: Vec<Frame>,
     resident: BTreeSet<u64>,
+    /// Reusable page-list buffer for region scans (no per-invalidation
+    /// allocation on the coherence hot path).
+    scan_scratch: Vec<u64>,
     lru_head: u32,
     lru_tail: u32,
     hits: u64,
@@ -131,6 +143,7 @@ impl DramCache {
             pt: PageTable::new(capacity_pages),
             frames: Vec::new(),
             resident: BTreeSet::new(),
+            scan_scratch: Vec::new(),
             lru_head: NO_FRAME,
             lru_tail: NO_FRAME,
             hits: 0,
@@ -334,17 +347,32 @@ impl DramCache {
         region_base: u64,
         size_log2: u8,
     ) -> InvalidationOutcome {
-        let end = region_base.saturating_add(1u64 << size_log2);
-        let pages: Vec<u64> = self.resident.range(region_base..end).copied().collect();
         let mut out = InvalidationOutcome::default();
-        for page in pages {
+        self.downgrade_region_keep_dirty_into(region_base, size_log2, &mut out);
+        out
+    }
+
+    /// [`DramCache::downgrade_region_keep_dirty`] writing into a reusable
+    /// outcome buffer (cleared first) instead of allocating one.
+    pub fn downgrade_region_keep_dirty_into(
+        &mut self,
+        region_base: u64,
+        size_log2: u8,
+        out: &mut InvalidationOutcome,
+    ) {
+        out.clear();
+        let end = region_base.saturating_add(1u64 << size_log2);
+        let mut pages = std::mem::take(&mut self.scan_scratch);
+        pages.clear();
+        pages.extend(self.resident.range(region_base..end).copied());
+        for &page in &pages {
             let pte = self.pt.lookup(page).expect("resident page mapped");
             if pte.writable {
                 self.pt.downgrade(page);
                 out.downgraded += 1;
             }
         }
-        out
+        self.scan_scratch = pages;
     }
 
     fn evict_lru(&mut self) -> Option<Evicted> {
@@ -391,10 +419,26 @@ impl DramCache {
         size_log2: u8,
         downgrade_to_shared: bool,
     ) -> InvalidationOutcome {
-        let end = region_base.saturating_add(1u64 << size_log2);
-        let pages: Vec<u64> = self.resident.range(region_base..end).copied().collect();
         let mut out = InvalidationOutcome::default();
-        for page in pages {
+        self.invalidate_region_into(region_base, size_log2, downgrade_to_shared, &mut out);
+        out
+    }
+
+    /// [`DramCache::invalidate_region`] writing into a reusable outcome
+    /// buffer (cleared first) instead of allocating one.
+    pub fn invalidate_region_into(
+        &mut self,
+        region_base: u64,
+        size_log2: u8,
+        downgrade_to_shared: bool,
+        out: &mut InvalidationOutcome,
+    ) {
+        out.clear();
+        let end = region_base.saturating_add(1u64 << size_log2);
+        let mut pages = std::mem::take(&mut self.scan_scratch);
+        pages.clear();
+        pages.extend(self.resident.range(region_base..end).copied());
+        for &page in &pages {
             let pte = self.pt.lookup(page).expect("resident page mapped");
             let f = pte.frame;
             let frame = &mut self.frames[f as usize];
@@ -416,7 +460,7 @@ impl DramCache {
                 out.unmapped += 1;
             }
         }
-        out
+        self.scan_scratch = pages;
     }
 
     /// Number of resident pages within a region (used by tests and the

@@ -237,6 +237,22 @@ impl MindCluster {
         self.controller.mmap(&mut self.engine, pid, len, pc)
     }
 
+    /// `mmap` (read-write) with placement confined to the memory blades in
+    /// `blades` — region ownership for partitioned runs (see
+    /// [`crate::shard`]): each partition's vmas stay on its own blade
+    /// slice, so its fabric traffic never shares a memory-blade link with
+    /// another partition's.
+    pub fn mmap_in(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        blades: std::ops::Range<u16>,
+    ) -> Result<u64, SysError> {
+        self.controller
+            .mmap_in(&mut self.engine, pid, len, PermClass::ReadWrite, blades)
+            .map(|v| v.base)
+    }
+
     /// `munmap`.
     pub fn munmap(&mut self, now: SimTime, pid: Pid, base: u64) -> Result<(), SysError> {
         self.controller.munmap(&mut self.engine, now, pid, base)

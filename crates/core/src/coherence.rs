@@ -14,7 +14,8 @@
 //! requested page (§4.3.1) — which feed the bounded-splitting algorithm.
 
 use mind_blade::{
-    page_base, DramCache, InvalidationQueue, MemoryBlade, PageData, TaggedLookup, PAGE_SIZE,
+    page_base, DramCache, InvalidationOutcome, InvalidationQueue, MemoryBlade, PageData,
+    TaggedLookup, PAGE_SIZE,
 };
 use mind_net::fabric::Fabric;
 use mind_net::link::LatencyConfig;
@@ -240,6 +241,10 @@ pub struct CoherenceEngine {
     batch: Option<Box<BatchLookaside>>,
     /// Retired lookaside recycled across batches (keeps its allocations).
     spare_batch: Option<Box<BatchLookaside>>,
+    /// Reusable multicast-delivery buffer for invalidation rounds.
+    deliveries_scratch: Vec<(u16, SimTime)>,
+    /// Reusable invalidation-outcome buffer (per-victim cache scans).
+    inval_scratch: InvalidationOutcome,
 }
 
 impl CoherenceEngine {
@@ -286,6 +291,8 @@ impl CoherenceEngine {
             ctrs: Counters::default(),
             batch: None,
             spare_batch: None,
+            deliveries_scratch: Vec::new(),
+            inval_scratch: InvalidationOutcome::default(),
         }
     }
 
@@ -947,22 +954,29 @@ impl CoherenceEngine {
         let round_id = self.acks.begin(t_switch, base, victims);
         let mut pending = victims;
         let mut t = t_switch;
+        // Reused across rounds and victims: no per-round allocations on
+        // the invalidation hot path.
+        let mut deliveries = std::mem::take(&mut self.deliveries_scratch);
+        let mut outcome = std::mem::take(&mut self.inval_scratch);
         while !pending.is_empty() {
             // Multicast to the remaining sharers; egress pruning drops
             // copies for blades outside `pending` (§4.3.2).
-            let deliveries = self.fabric.multicast_from_switch(t, pending, inval_bytes);
+            self.fabric
+                .multicast_from_switch_into(t, pending, inval_bytes, &mut deliveries);
             round.requests += deliveries.len() as u32;
-            for (victim, arrive) in deliveries {
+            for &(victim, arrive) in deliveries.iter() {
                 if self.failed[victim as usize] {
                     continue; // Failed blade: never ACKs.
                 }
                 // MOESI downgrades keep the dirty data at the old owner
                 // (no write-back); everything else flushes dirty pages.
-                let outcome = if downgrade && !flush_dirty {
-                    self.caches[victim as usize].downgrade_region_keep_dirty(base, k)
+                if downgrade && !flush_dirty {
+                    self.caches[victim as usize]
+                        .downgrade_region_keep_dirty_into(base, k, &mut outcome);
                 } else {
-                    self.caches[victim as usize].invalidate_region(base, k, downgrade)
-                };
+                    self.caches[victim as usize]
+                        .invalidate_region_into(base, k, downgrade, &mut outcome);
+                }
                 let n_flushed = outcome.flushed.len() as u32;
                 let touched = outcome.unmapped + outcome.downgraded;
                 // Handler work + synchronous TLB shootdown (batched per
@@ -978,7 +992,8 @@ impl CoherenceEngine {
                 let served = self.inv_queues[victim as usize].enqueue(arrive, service);
                 // Flush dirty pages to their memory blades.
                 let mut flush_done = served.done;
-                for (page, data) in outcome.flushed {
+                for fi in 0..outcome.flushed.len() {
+                    let (page, data) = (outcome.flushed[fi].0, outcome.flushed[fi].1.take());
                     if let Ok(done) = self.writeback(served.done, victim, page, data) {
                         flush_done = flush_done.max(done);
                     }
@@ -1029,6 +1044,8 @@ impl CoherenceEngine {
                 break;
             }
         }
+        self.deliveries_scratch = deliveries;
+        self.inval_scratch = outcome;
         round
     }
 

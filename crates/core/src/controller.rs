@@ -150,11 +150,27 @@ impl Controller {
         len: u64,
         pc: PermClass,
     ) -> Result<Vma, SysError> {
+        let all = 0..self.galloc.n_blades();
+        self.mmap_in(engine, pid, len, pc, all)
+    }
+
+    /// `mmap` with placement confined to the memory blades in `blades`:
+    /// the region-ownership path a partitioned simulation uses so each
+    /// partition's vmas live on its own blade slice. `mmap` is the
+    /// whole-rack special case.
+    pub fn mmap_in(
+        &mut self,
+        engine: &mut CoherenceEngine,
+        pid: Pid,
+        len: u64,
+        pc: PermClass,
+        blades: std::ops::Range<u16>,
+    ) -> Result<Vma, SysError> {
         self.control.handle_syscall();
         if !self.processes.contains_key(&pid) {
             return Err(SysError::NoProcess);
         }
-        let vma = self.galloc.alloc(len).ok_or(SysError::NoMem)?;
+        let vma = self.galloc.alloc_in(len, blades).ok_or(SysError::NoMem)?;
         // Grant over the reserved power-of-two extent: a single TCAM entry
         // (§4.2 "Optimizing for TCAM storage").
         let reserved = Vma::new(
@@ -399,6 +415,35 @@ mod tests {
             "other domains denied"
         );
         assert_eq!(ctl.grants().len(), 1);
+    }
+
+    #[test]
+    fn mmap_in_confines_placement_to_slice() {
+        let (mut ctl, mut eng) = setup();
+        let pid = ctl.exec();
+        for _ in 0..4 {
+            let vma = ctl
+                .mmap_in(&mut eng, pid, 1 << 20, PermClass::ReadWrite, 1..2)
+                .unwrap();
+            assert_eq!(ctl.allocator().blade_of(vma.base), Some(1));
+        }
+        assert_eq!(ctl.allocator().allocated_per_blade()[0], 0);
+        // An exhausted slice reports ENOMEM even though other blades fit.
+        let mut small = Controller::new(
+            1,
+            2,
+            1 << 16,
+            SimTime::from_micros(15),
+            SimTime::from_micros(2),
+        );
+        let pid = small.exec();
+        small
+            .mmap_in(&mut eng, pid, 1 << 16, PermClass::ReadWrite, 0..1)
+            .unwrap();
+        assert_eq!(
+            small.mmap_in(&mut eng, pid, 4096, PermClass::ReadWrite, 0..1),
+            Err(SysError::NoMem)
+        );
     }
 
     #[test]

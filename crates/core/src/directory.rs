@@ -148,6 +148,11 @@ pub struct RegionDirectory {
     slots: SlotStore<DirEntry>,
     /// Ordered mirror of region bases → size, for containing-region lookup.
     regions: BTreeMap<u64, u8>,
+    /// Bases whose epoch counters went zero → nonzero since the last drain.
+    /// Keeps per-epoch maintenance O(active regions), not O(capacity); may
+    /// hold stale or duplicate bases (split/merge/remove churn), which the
+    /// drain filters out.
+    touched: Vec<u64>,
     initial_region_log2: u8,
     /// Bumped on every change to the region *map* (create/split/merge/
     /// remove). A cached `(base, size)` resolution is valid exactly while
@@ -169,6 +174,7 @@ impl RegionDirectory {
         RegionDirectory {
             slots: SlotStore::new(capacity),
             regions: BTreeMap::new(),
+            touched: Vec::new(),
             initial_region_log2,
             generation: 0,
             splits: 0,
@@ -332,6 +338,9 @@ impl RegionDirectory {
         }
         let merged = a.merged_with(b);
         let parent_base = base & !(1u64 << k);
+        if merged.epoch_invalidations != 0 || merged.epoch_false_inv != 0 {
+            self.touched.push(parent_base);
+        }
         self.slots.remove(base);
         self.slots.remove(buddy_base);
         self.regions.remove(&base);
@@ -384,18 +393,33 @@ impl RegionDirectory {
         self.total_invalidations += 1;
         self.total_false_inv += false_invalidations as u64;
         if let Some(e) = self.slots.get_mut(base) {
+            if e.epoch_invalidations == 0 && e.epoch_false_inv == 0 {
+                self.touched.push(base);
+            }
             e.epoch_invalidations += 1;
             e.epoch_false_inv += false_invalidations;
         }
     }
 
-    /// Takes and resets all per-epoch counters, returning one
-    /// [`EpochCounter`] per region, sorted by base.
+    /// Takes and resets the per-epoch counters, returning one
+    /// [`EpochCounter`] per region *with activity this epoch*, sorted by
+    /// base. Regions that saw no invalidation traffic are not listed —
+    /// draining costs O(active regions), so the epoch driver stays cheap
+    /// even when the directory tracks tens of thousands of idle regions.
     pub fn drain_epoch_counters(&mut self) -> Vec<EpochCounter> {
-        let bases = self.slots.bases_sorted();
-        let mut out = Vec::with_capacity(bases.len());
-        for base in bases {
-            let e = self.slots.get_mut(base).expect("base listed");
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        let mut out = Vec::with_capacity(self.touched.len());
+        for i in 0..self.touched.len() {
+            let base = self.touched[i];
+            // Stale bases (split/removed since being touched) or zeroed
+            // entries (split children reuse the parent base) drop out here.
+            let Some(e) = self.slots.get_mut(base) else {
+                continue;
+            };
+            if e.epoch_invalidations == 0 && e.epoch_false_inv == 0 {
+                continue;
+            }
             out.push(EpochCounter {
                 base,
                 size_log2: e.size_log2,
@@ -405,7 +429,13 @@ impl RegionDirectory {
             e.epoch_false_inv = 0;
             e.epoch_invalidations = 0;
         }
+        self.touched.clear();
         out
+    }
+
+    /// Iterates `(base, size_log2)` over all tracked regions in base order.
+    pub fn regions_iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.regions.iter().map(|(&b, &k)| (b, k))
     }
 
     /// All region bases, sorted.
@@ -640,10 +670,31 @@ mod tests {
         );
         assert_eq!(d.total_false_invalidations(), 5);
         assert_eq!(d.total_invalidations(), 2);
-        // Second drain sees zeros.
+        // Second drain: no activity since the first, so nothing is listed.
         let again = d.drain_epoch_counters();
-        assert_eq!(again[0].false_inv, 0);
-        assert_eq!(again[0].invalidations, 0);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn drain_lists_only_active_regions() {
+        let mut d = dir();
+        let (a, _) = d.ensure_region(0x1_0000).unwrap();
+        let (_b, _) = d.ensure_region(0x8_0000).unwrap();
+        d.record_invalidation(a, 0);
+        d.record_invalidation(a, 4);
+        let drained = d.drain_epoch_counters();
+        assert_eq!(drained.len(), 1, "idle region not listed");
+        assert_eq!(drained[0].base, a);
+        assert_eq!(drained[0].invalidations, 2);
+        assert_eq!(drained[0].false_inv, 4);
+        // Merging actives carries the summed counters to the parent.
+        let (l, _r) = d.split(a).unwrap();
+        d.record_invalidation(l, 1);
+        let parent = d.merge(l).unwrap();
+        let drained = d.drain_epoch_counters();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].base, parent);
+        assert_eq!(drained[0].invalidations, 1);
     }
 
     #[test]

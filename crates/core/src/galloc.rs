@@ -168,10 +168,25 @@ impl GlobalAllocator {
     /// Allocates a vma of at least `len` bytes on the least-loaded blade
     /// that fits; returns `None` when no blade can satisfy it (ENOMEM).
     pub fn alloc(&mut self, len: u64) -> Option<Vma> {
+        self.alloc_in(len, 0..self.n_blades())
+    }
+
+    /// Allocates like [`GlobalAllocator::alloc`] but confined to the memory
+    /// blades in `blades`: balanced placement runs over that slice only, so
+    /// placement inside the slice is independent of load on blades outside
+    /// it. A partitioned simulation uses this to pin each partition's
+    /// regions onto its own blade slice (region ownership); `alloc` is the
+    /// whole-rack special case.
+    pub fn alloc_in(&mut self, len: u64, blades: std::ops::Range<u16>) -> Option<Vma> {
+        assert!(
+            blades.end <= self.n_blades(),
+            "blade slice {blades:?} exceeds rack ({} blades)",
+            self.n_blades()
+        );
         let size = pow2_alloc_size(len);
         // Least-allocated blade first (P2: global view); ties by index for
         // determinism.
-        let mut order: Vec<u16> = (0..self.n_blades()).collect();
+        let mut order: Vec<u16> = blades.collect();
         order.sort_by_key(|&b| (self.blades[b as usize].allocated(), b));
         for blade in order {
             if let Some(offset) = self.blades[blade as usize].alloc(size) {
@@ -323,6 +338,31 @@ mod tests {
         assert_eq!(v2.base - v1.base, 1 << 30);
         assert_eq!(g.blade_of(VA_BASE - 1), None);
         assert_eq!(g.blade_of(VA_BASE + (2u64 << 30)), None);
+    }
+
+    #[test]
+    fn alloc_in_confines_and_balances_within_slice() {
+        let mut g = GlobalAllocator::new(4, 1 << 30);
+        // Load blade 2 so the global least-loaded choice would avoid it...
+        g.alloc_in(1 << 24, 2..3).unwrap();
+        // ...yet slice-confined allocation must stay inside [2, 4) and
+        // balance within it, ignoring the empty blades 0 and 1.
+        let a = g.alloc_in(4096, 2..4).unwrap();
+        let b = g.alloc_in(4096, 2..4).unwrap();
+        assert_eq!(g.blade_of(a.base), Some(3), "least loaded in slice");
+        assert_eq!(g.blade_of(b.base), Some(3), "still lighter than blade 2");
+        let c = g.alloc_in(1 << 24, 2..4).unwrap();
+        assert_eq!(g.blade_of(c.base), Some(3));
+        let d = g.alloc_in(4096, 2..4).unwrap();
+        assert_eq!(g.blade_of(d.base), Some(2), "balance flips inside slice");
+        assert_eq!(g.allocated_per_blade()[..2], [0, 0], "slice confined");
+    }
+
+    #[test]
+    #[should_panic(expected = "blade slice")]
+    fn alloc_in_rejects_out_of_range_slice() {
+        let mut g = GlobalAllocator::new(2, 1 << 20);
+        g.alloc_in(4096, 1..3);
     }
 
     #[test]

@@ -33,7 +33,9 @@
 //!   baseline systems (GAM, FastSwap) for apples-to-apples evaluation;
 //! - [`window`]: the per-batch in-flight window that lets the
 //!   issue/complete datapath overlap independent page-fault round trips
-//!   (memory-level parallelism) while same-region transitions serialize.
+//!   (memory-level parallelism) while same-region transitions serialize;
+//! - [`shard`]: blade-slice partition layout and sub-cluster configs for
+//!   the deterministic sharded simulation (see `mind_workloads::shard`).
 //!
 //! ## Quick start
 //!
@@ -65,6 +67,7 @@ pub mod directory;
 pub mod failure;
 pub mod galloc;
 pub mod protect;
+pub mod shard;
 pub mod split;
 pub mod stt;
 pub mod system;

@@ -1,0 +1,213 @@
+//! Partitioning a rack for sharded simulation.
+//!
+//! A *partition* is a slice of the rack — a contiguous run of compute
+//! blades plus a contiguous run of memory blades — whose tenants never
+//! touch state outside the slice. When every partition is confined (its
+//! threads pinned to its compute slice, its vmas placed with
+//! [`crate::cluster::MindCluster::mmap_in`] on its memory slice, and no
+//! cross-partition sharing), the fused simulation decomposes exactly: the
+//! per-blade fabric links, caches, and directory regions a partition
+//! exercises are disjoint from every other partition's, so running each
+//! partition on its own sub-cluster reproduces the fused run's per-op
+//! timings bit for bit. `mind_workloads::shard` builds the sharded
+//! executor on top of this layout; this module owns the arithmetic.
+//!
+//! The layout is deliberately *symmetric*: every partition gets the same
+//! number of compute and memory blades, and [`MindConfig::partition`]
+//! scales the switch-resource capacities (directory slots, match-action
+//! rules) by the same factor, keeping per-partition pressure — and hence
+//! Bounded-Splitting behaviour — identical between the fused rack and the
+//! sub-clusters.
+
+use std::ops::Range;
+
+use crate::addr::VA_BASE;
+use crate::cluster::MindConfig;
+
+/// How a rack's blades divide into `partitions` symmetric slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionLayout {
+    /// Number of partitions.
+    pub partitions: u16,
+    /// Compute blades per partition.
+    pub compute_per_partition: u16,
+    /// Memory blades per partition.
+    pub memory_per_partition: u16,
+    /// Virtual address span per memory blade (for VA → partition lookups).
+    pub blade_span: u64,
+}
+
+impl PartitionLayout {
+    /// Computes the layout of `cfg` divided into `partitions` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or does not evenly divide both blade
+    /// counts — asymmetric partitions would not be interchangeable with
+    /// the sub-clusters [`MindConfig::partition`] builds.
+    pub fn new(cfg: &MindConfig, partitions: u16) -> Self {
+        assert!(partitions > 0, "at least one partition");
+        assert_eq!(
+            cfg.n_compute % partitions,
+            0,
+            "{} compute blades do not divide into {partitions} partitions",
+            cfg.n_compute
+        );
+        assert_eq!(
+            cfg.n_memory % partitions,
+            0,
+            "{} memory blades do not divide into {partitions} partitions",
+            cfg.n_memory
+        );
+        PartitionLayout {
+            partitions,
+            compute_per_partition: cfg.n_compute / partitions,
+            memory_per_partition: cfg.n_memory / partitions,
+            blade_span: cfg.blade_span,
+        }
+    }
+
+    /// The compute blades owned by partition `p`.
+    pub fn compute_slice(&self, p: u16) -> Range<u16> {
+        assert!(p < self.partitions, "partition {p} out of range");
+        p * self.compute_per_partition..(p + 1) * self.compute_per_partition
+    }
+
+    /// The memory blades owned by partition `p`.
+    pub fn memory_slice(&self, p: u16) -> Range<u16> {
+        assert!(p < self.partitions, "partition {p} out of range");
+        p * self.memory_per_partition..(p + 1) * self.memory_per_partition
+    }
+
+    /// The partition owning compute blade `blade`, if any.
+    pub fn owner_of_compute(&self, blade: u16) -> Option<u16> {
+        let p = blade / self.compute_per_partition;
+        (p < self.partitions).then_some(p)
+    }
+
+    /// The partition owning virtual address `vaddr` under the range
+    /// partition, if it falls on an owned memory blade.
+    pub fn owner_of_vaddr(&self, vaddr: u64) -> Option<u16> {
+        if vaddr < VA_BASE {
+            return None;
+        }
+        let blade = (vaddr - VA_BASE) / self.blade_span;
+        let p = blade / self.memory_per_partition as u64;
+        (p < self.partitions as u64).then_some(p as u16)
+    }
+}
+
+impl MindConfig {
+    /// The sub-cluster configuration hosting `1/factor` of this rack: blade
+    /// counts and switch-resource capacities divide by `factor`; per-blade
+    /// quantities (cache pages, blade span, latencies, splitting
+    /// parameters) are unchanged. A rack split this way is the unit a
+    /// sharded run simulates independently; `partition(1)` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` does not evenly divide the blade counts or the
+    /// directory/rule capacities — uneven shares would change the resource
+    /// pressure a partition sees relative to the fused rack.
+    pub fn partition(&self, factor: u16) -> MindConfig {
+        let layout = PartitionLayout::new(self, factor);
+        assert_eq!(
+            self.dir_capacity % factor as usize,
+            0,
+            "dir_capacity {} does not divide into {factor} partitions",
+            self.dir_capacity
+        );
+        assert_eq!(
+            self.rule_capacity % factor as usize,
+            0,
+            "rule_capacity {} does not divide into {factor} partitions",
+            self.rule_capacity
+        );
+        MindConfig {
+            n_compute: layout.compute_per_partition,
+            n_memory: layout.memory_per_partition,
+            dir_capacity: self.dir_capacity / factor as usize,
+            rule_capacity: self.rule_capacity / factor as usize,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n_compute: u16, n_memory: u16) -> MindConfig {
+        MindConfig {
+            n_compute,
+            n_memory,
+            dir_capacity: 4_000,
+            rule_capacity: 8_000,
+            ..MindConfig::small()
+        }
+    }
+
+    #[test]
+    fn slices_tile_the_rack_disjointly() {
+        let layout = PartitionLayout::new(&cfg(8, 4), 4);
+        let mut compute = Vec::new();
+        let mut memory = Vec::new();
+        for p in 0..4 {
+            compute.extend(layout.compute_slice(p));
+            memory.extend(layout.memory_slice(p));
+        }
+        assert_eq!(compute, (0..8).collect::<Vec<u16>>());
+        assert_eq!(memory, (0..4).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn ownership_matches_slices() {
+        let layout = PartitionLayout::new(&cfg(8, 4), 2);
+        assert_eq!(layout.owner_of_compute(0), Some(0));
+        assert_eq!(layout.owner_of_compute(3), Some(0));
+        assert_eq!(layout.owner_of_compute(4), Some(1));
+        assert_eq!(layout.owner_of_compute(8), None);
+        let span = layout.blade_span;
+        assert_eq!(layout.owner_of_vaddr(VA_BASE), Some(0));
+        assert_eq!(layout.owner_of_vaddr(VA_BASE + span * 2), Some(1));
+        assert_eq!(layout.owner_of_vaddr(VA_BASE + span * 4), None);
+        assert_eq!(layout.owner_of_vaddr(0), None);
+    }
+
+    #[test]
+    fn partition_divides_shared_resources_only() {
+        let base = cfg(8, 4);
+        let sub = base.partition(4);
+        assert_eq!(sub.n_compute, 2);
+        assert_eq!(sub.n_memory, 1);
+        assert_eq!(sub.dir_capacity, 1_000);
+        assert_eq!(sub.rule_capacity, 2_000);
+        assert_eq!(sub.cache_pages, base.cache_pages, "per-blade unchanged");
+        assert_eq!(sub.blade_span, base.blade_span);
+        assert_eq!(sub.split.epoch_len, base.split.epoch_len);
+    }
+
+    #[test]
+    fn partition_by_one_is_identity() {
+        let base = cfg(8, 4);
+        let sub = base.partition(1);
+        assert_eq!(sub.n_compute, base.n_compute);
+        assert_eq!(sub.n_memory, base.n_memory);
+        assert_eq!(sub.dir_capacity, base.dir_capacity);
+        assert_eq!(sub.rule_capacity, base.rule_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn uneven_compute_split_rejected() {
+        PartitionLayout::new(&cfg(6, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dir_capacity")]
+    fn uneven_dir_capacity_rejected() {
+        let mut base = cfg(8, 4);
+        base.dir_capacity = 4_001;
+        base.partition(4);
+    }
+}

@@ -135,8 +135,12 @@ impl BoundedSplitting {
     /// Executes one epoch at time `at` (public for targeted tests/benches).
     pub fn run_epoch(&mut self, at: SimTime, dir: &mut RegionDirectory) -> EpochReport {
         self.epochs_run += 1;
+        // `counters` lists only regions with activity this epoch; idle
+        // regions contribute zero to Σf and can never exceed t (≥ 1), so
+        // the split scan over it is exhaustive. N in t = Σf / (c·N) is the
+        // total region count, per §5.
         let counters = dir.drain_epoch_counters();
-        let n = counters.len().max(1);
+        let n = dir.entries().max(1);
         let total_f: u64 = counters.iter().map(|c| c.false_inv as u64).sum();
 
         // t = Σf / (c·N), at least 1 so zero-traffic epochs are stable.
@@ -172,15 +176,33 @@ impl BoundedSplitting {
         // sets.
         let mut merges = 0;
         if self.cfg.enable_merge && dir.utilization() > 0.5 {
-            let cold: Vec<u64> = counters
-                .iter()
-                .filter(|c| c.invalidations == 0 && c.false_inv == 0)
-                .map(|c| c.base)
-                .collect();
-            for base in cold {
-                // The region may already have merged as its buddy's partner
-                // (entry gone) — `merge` also re-checks compatibility.
-                if dir.entry(base).is_some() && dir.merge(base).is_some() {
+            // Regions are disjoint, so when both halves of a buddy pair
+            // exist they are adjacent in base order: one ordered pass finds
+            // every candidate pair. A pair merges (one level per epoch)
+            // only when neither half appears in the active list — `active`
+            // is sorted by base, so membership is a binary search. Cost is
+            // a cheap linear walk plus real work only on actual merges.
+            let active: Vec<u64> = counters.iter().map(|c| c.base).collect();
+            let mut candidates: Vec<u64> = Vec::new();
+            let mut prev: Option<(u64, u8)> = None;
+            for (base, k) in dir.regions_iter() {
+                if let Some((pb, pk)) = prev {
+                    if pk == k
+                        && pb & (1u64 << k) == 0
+                        && base == pb + (1u64 << k)
+                        && active.binary_search(&pb).is_err()
+                        && active.binary_search(&base).is_err()
+                    {
+                        candidates.push(pb);
+                        prev = None; // Pair consumed.
+                        continue;
+                    }
+                }
+                prev = Some((base, k));
+            }
+            for base in candidates {
+                // `merge` re-checks coherence compatibility (M/O states).
+                if dir.merge(base).is_some() {
                     merges += 1;
                 }
             }

@@ -269,6 +269,24 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
                     .collect(),
             ),
         ));
+        // The worst regime per batch size: the parity floor. A value
+        // below 1.0 here means batching made some regime's host replay
+        // *slower* than scalar — the regression class the datapath
+        // perf-guard gates on.
+        pairs.push((
+            "datapath_speedup_min".into(),
+            Json::Obj(
+                speedups
+                    .iter()
+                    .map(|(batch, xs)| {
+                        (
+                            batch.to_string(),
+                            Json::Num(xs.iter().copied().fold(f64::MAX, f64::min)),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
     }
     if !recoveries.is_empty() {
         // Geomean and worst-case recovery per window depth: ≥ 1.0 means
@@ -416,6 +434,10 @@ mod tests {
         assert!(
             doc.contains("\"datapath_speedup_max\": {\n      \"b64\": 8"),
             "max block missing or wrong: {doc}"
+        );
+        assert!(
+            doc.contains("\"datapath_speedup_min\": {\n      \"b64\": 2"),
+            "min block missing or wrong: {doc}"
         );
     }
 

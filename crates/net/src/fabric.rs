@@ -196,8 +196,22 @@ impl Fabric {
         sharers: BladeSet,
         bytes: u32,
     ) -> Vec<(u16, SimTime)> {
-        let after_pipeline = now + self.cfg.switch_pipeline;
         let mut deliveries = Vec::new();
+        self.multicast_from_switch_into(now, sharers, bytes, &mut deliveries);
+        deliveries
+    }
+
+    /// [`Fabric::multicast_from_switch`] writing into a reusable delivery
+    /// buffer (cleared first) instead of allocating one per round.
+    pub fn multicast_from_switch_into(
+        &mut self,
+        now: SimTime,
+        sharers: BladeSet,
+        bytes: u32,
+        deliveries: &mut Vec<(u16, SimTime)>,
+    ) {
+        deliveries.clear();
+        let after_pipeline = now + self.cfg.switch_pipeline;
         let members = self.all_compute_group.members();
         for blade in members.iter() {
             if sharers.contains(blade) {
@@ -215,7 +229,6 @@ impl Fabric {
                 self.multicast_pruned += 1;
             }
         }
-        deliveries
     }
 
     /// The rack-wide "all compute blades" multicast group.

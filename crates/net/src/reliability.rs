@@ -7,8 +7,7 @@
 //! their data for that address and removes the directory entry — preventing
 //! deadlock when a blade fails mid-transition.
 
-use std::collections::HashMap;
-
+use mind_sim::hash::FastMap;
 use mind_sim::SimTime;
 
 use crate::node::BladeSet;
@@ -48,7 +47,7 @@ struct Round {
 pub struct AckTracker {
     timeout: SimTime,
     max_retries: u32,
-    rounds: HashMap<RoundId, Round>,
+    rounds: FastMap<RoundId, Round>,
     next_round: RoundId,
     retransmissions: u64,
     resets: u64,
@@ -60,7 +59,7 @@ impl AckTracker {
         AckTracker {
             timeout,
             max_retries,
-            rounds: HashMap::new(),
+            rounds: FastMap::default(),
             next_round: 0,
             retransmissions: 0,
             resets: 0,

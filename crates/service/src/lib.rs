@@ -24,13 +24,20 @@
 //!   [`ServiceReport`] (per-class and per-tenant p50/p99/p99.9,
 //!   throughput, rejects) the figure suite serializes.
 
+//!
+//! [`shard`] additionally packages large static tenant populations as
+//! symmetric partitions for the deterministic sharded replay in
+//! `mind_workloads::shard`.
+
 pub mod admission;
 pub mod elastic;
 pub mod qos;
 pub mod service;
+pub mod shard;
 pub mod tenant;
 
 pub use admission::AdmitError;
 pub use qos::QosClass;
 pub use service::{ClassReport, MemoryService, ServiceConfig, ServiceReport};
+pub use shard::{tenant_partitions, TenantGroup, TenantGroupConfig};
 pub use tenant::{AccessPattern, Tenant, TenantId, TenantSlo, TenantWorkload};

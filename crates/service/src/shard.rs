@@ -1,0 +1,170 @@
+//! Shard-aware serving scenarios: a large static tenant population as a
+//! partitioned replay.
+//!
+//! The full [`crate::MemoryService`] event loop is globally coupled —
+//! admission reads rack-wide memory pressure and the elastic controller
+//! rebalances across every blade — so it cannot be sharded without
+//! changing its results. What *does* shard is the serving layer's steady
+//! state: thousands of admitted single-threaded tenants, each in its own
+//! protection domain, walking its own footprint. This module builds that
+//! population as symmetric [`TenantGroup`] partitions (one group per
+//! partition, one tenant per thread, patterns cycling per tenant exactly
+//! like the service's QoS-diverse populations) for
+//! `mind_workloads::shard::run_sharded` — the path the ROADMAP's
+//! 10⁴–10⁶-tenant scenarios go through.
+//!
+//! Every tenant is single-threaded, so writes stay on one compute blade
+//! and the population satisfies the sharding determinism contract (no
+//! invalidations) by construction.
+
+use mind_sim::SimRng;
+use mind_workloads::trace::{TraceOp, Workload};
+
+use crate::tenant::{AccessPattern, TenantWorkload};
+
+/// Parameters of one partitioned tenant population.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantGroupConfig {
+    /// Tenants per partition (each is one replay thread).
+    pub tenants_per_group: u16,
+    /// Footprint of each tenant, in 4 KB pages.
+    pub pages_per_tenant: u64,
+    /// Read fraction of every tenant's traffic.
+    pub read_ratio: f64,
+    /// Root seed; each (group, tenant) forks its own RNG from it.
+    pub seed: u64,
+}
+
+/// The access-pattern mix a tenant population cycles through — the same
+/// uniform/zipfian/scan diversity [`crate::ServiceConfig`] populations
+/// carry, keyed by *global* tenant index so the mix is identical however
+/// the groups are sharded.
+fn pattern_of(global_tenant: u64) -> AccessPattern {
+    match global_tenant % 3 {
+        0 => AccessPattern::Zipfian(0.99),
+        1 => AccessPattern::Uniform,
+        _ => AccessPattern::Scan,
+    }
+}
+
+/// One partition's worth of tenants as a single [`Workload`]: thread `t`
+/// is tenant `t`, region `t` is its footprint.
+#[derive(Debug)]
+pub struct TenantGroup {
+    group: u16,
+    tenants: Vec<TenantWorkload>,
+}
+
+impl TenantGroup {
+    /// Builds partition `group` of the population: RNGs fork from a
+    /// per-group root, so a group's op stream depends only on `(cfg,
+    /// group)` — not on which shard hosts it.
+    pub fn new(cfg: &TenantGroupConfig, group: u16) -> Self {
+        let mut root = SimRng::new(
+            cfg.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(group as u64 + 1)),
+        );
+        let tenants = (0..cfg.tenants_per_group)
+            .map(|t| {
+                let global = group as u64 * cfg.tenants_per_group as u64 + t as u64;
+                TenantWorkload::with_pattern(
+                    cfg.pages_per_tenant,
+                    cfg.read_ratio,
+                    pattern_of(global),
+                    root.fork(),
+                )
+            })
+            .collect();
+        TenantGroup {
+            group,
+            tenants,
+        }
+    }
+}
+
+impl Workload for TenantGroup {
+    fn name(&self) -> String {
+        format!("tenant-group{}(n={})", self.group, self.tenants.len())
+    }
+
+    fn regions(&self) -> Vec<u64> {
+        self.tenants
+            .iter()
+            .flat_map(|t| t.regions())
+            .collect()
+    }
+
+    fn n_threads(&self) -> u16 {
+        self.tenants.len() as u16
+    }
+
+    fn next_op(&mut self, thread: u16) -> TraceOp {
+        let mut op = self.tenants[thread as usize].next_op(0);
+        op.region = thread;
+        op
+    }
+}
+
+/// A [`mind_workloads::shard::PartitionFactory`] over this population:
+/// pass `&tenant_partitions(cfg)` to `run_group` / `run_sharded`.
+pub fn tenant_partitions(cfg: TenantGroupConfig) -> impl Fn(u16) -> Box<dyn Workload> {
+    move |group| Box::new(TenantGroup::new(&cfg, group))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TenantGroupConfig {
+        TenantGroupConfig {
+            tenants_per_group: 9,
+            pages_per_tenant: 16,
+            read_ratio: 0.7,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn group_exposes_one_thread_and_region_per_tenant() {
+        let g = TenantGroup::new(&cfg(), 0);
+        assert_eq!(g.n_threads(), 9);
+        assert_eq!(g.regions(), vec![16 << 12; 9]);
+    }
+
+    #[test]
+    fn ops_stay_in_the_issuing_tenants_region() {
+        let mut g = TenantGroup::new(&cfg(), 3);
+        for t in 0..9u16 {
+            for _ in 0..200 {
+                let op = g.next_op(t);
+                assert_eq!(op.region, t, "tenant confined to its own region");
+                assert!(op.offset < 16 << 12);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_are_deterministic_and_distinct() {
+        let mut a = TenantGroup::new(&cfg(), 5);
+        let mut b = TenantGroup::new(&cfg(), 5);
+        let mut c = TenantGroup::new(&cfg(), 6);
+        let mut same = true;
+        for _ in 0..100 {
+            assert_eq!(a.next_op(2), b.next_op(2), "same group, same stream");
+            same &= a.next_op(1) == c.next_op(1);
+        }
+        assert!(!same, "different groups draw different streams");
+    }
+
+    #[test]
+    fn pattern_mix_cycles_by_global_tenant_index() {
+        // Group boundaries must not reset the cycle: tenant 9 (group 1,
+        // local 0) continues where tenant 8 left off.
+        assert_eq!(pattern_of(0), AccessPattern::Zipfian(0.99));
+        assert_eq!(pattern_of(1), AccessPattern::Uniform);
+        assert_eq!(pattern_of(2), AccessPattern::Scan);
+        assert_eq!(pattern_of(9), AccessPattern::Zipfian(0.99));
+        let g1 = TenantGroup::new(&cfg(), 1);
+        assert_eq!(g1.tenants[0].pattern(), pattern_of(9));
+    }
+}

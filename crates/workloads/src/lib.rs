@@ -20,14 +20,19 @@
 //! [`runner`] replays any [`trace::Workload`] against any
 //! [`mind_core::system::MemorySystem`], maintaining per-thread virtual
 //! clocks and aggregating the latency breakdowns the figures report.
+//! [`shard`] scales that replay to partitioned multi-tenant scenarios: a
+//! fused serialized reference and a deterministic sharded executor over
+//! per-partition sub-clusters, merged exactly.
 
 pub mod gc;
 pub mod kvs;
 pub mod memcached;
 pub mod micro;
 pub mod runner;
+pub mod shard;
 pub mod tf;
 pub mod trace;
 
-pub use runner::{run, RunConfig, RunReport};
+pub use runner::{merge_reports, run, RunConfig, RunReport};
+pub use shard::{run_group, run_sharded, GroupRun, ShardSpec};
 pub use trace::{TraceOp, Workload};

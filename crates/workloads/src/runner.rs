@@ -12,12 +12,9 @@
 //! clock — the quantity Figure 5 reports (as inverse, normalized
 //! performance).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use mind_core::system::{MemOp, MemorySystem, OpBatch};
 use mind_sim::stats::{Histogram, Metrics};
-use mind_sim::SimTime;
+use mind_sim::{EventQueue, SimTime};
 
 use crate::trace::{TraceOp, Workload};
 
@@ -87,14 +84,30 @@ impl RunConfig {
 }
 
 /// Aggregated results of one replay.
+///
+/// All rates and means are derived from the integer fields below by
+/// [`merge_reports`]' shared arithmetic, so reports over disjoint
+/// partitions merge exactly: integers add, histograms and metrics merge
+/// bucket-wise, and the floats are recomputed from the sums.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Workload name; owned so swept scenarios carry their parameters.
     pub name: String,
     /// Max thread clock at completion.
     pub runtime: SimTime,
+    /// When the warmup phase ended (absolute sim time); the measured
+    /// window is `[warmup_end, warmup_end + runtime]`.
+    pub warmup_end: SimTime,
     /// Total operations executed.
     pub total_ops: u64,
+    /// Measured operations that went remote (page faults).
+    pub remote_ops: u64,
+    /// Invalidation messages during the measured window.
+    pub invalidations: u64,
+    /// Pages flushed during the measured window.
+    pub flushed_pages: u64,
+    /// Total latency of remote accesses (ns); `mean_remote_ns`'s numerator.
+    pub sum_remote_lat_ns: u128,
     /// Million operations per second (aggregate).
     pub mops: f64,
     /// Remote accesses (page faults) per operation.
@@ -144,6 +157,154 @@ fn blade_of(thread: u16, cfg: RunConfig, n_blades: u16) -> u16 {
     }
 }
 
+/// Integer accumulators for one measured window — the exact state two
+/// partitioned runs merge by addition.
+#[derive(Debug)]
+pub(crate) struct Accum {
+    pub(crate) total_ops: u64,
+    pub(crate) remote: u64,
+    pub(crate) invals: u64,
+    pub(crate) flushed: u64,
+    pub(crate) sum_fault: u128,
+    pub(crate) sum_network: u128,
+    pub(crate) sum_inv_queue: u128,
+    pub(crate) sum_inv_tlb: u128,
+    pub(crate) sum_software: u128,
+    pub(crate) sum_overlapped: u128,
+    pub(crate) sum_remote_lat: u128,
+    pub(crate) latency: Histogram,
+}
+
+impl Accum {
+    pub(crate) fn new() -> Self {
+        Accum {
+            total_ops: 0,
+            remote: 0,
+            invals: 0,
+            flushed: 0,
+            sum_fault: 0,
+            sum_network: 0,
+            sum_inv_queue: 0,
+            sum_inv_tlb: 0,
+            sum_software: 0,
+            sum_overlapped: 0,
+            sum_remote_lat: 0,
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Folds one executed batch into the accumulators, in op order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any op of the batch failed (callers reject failures
+    /// before accounting).
+    pub(crate) fn record_batch(&mut self, batch: &OpBatch) {
+        for result in batch.results() {
+            let outcome = result.as_ref().expect("callers reject failures");
+            let total_ns = outcome.latency.total().as_nanos();
+            self.total_ops += 1;
+            if outcome.remote {
+                self.remote += 1;
+                self.sum_remote_lat += total_ns as u128;
+            }
+            self.latency.record(total_ns);
+            self.invals += outcome.invalidations as u64;
+            self.flushed += outcome.flushed_pages as u64;
+            self.sum_fault += outcome.latency.fault.as_nanos() as u128;
+            self.sum_network += outcome.latency.network.as_nanos() as u128;
+            self.sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
+            self.sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
+            self.sum_software += outcome.latency.software.as_nanos() as u128;
+            self.sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
+        }
+    }
+}
+
+/// Builds the report from accumulated integers — the single place the
+/// derived floats are computed, shared by [`run`], the sharded executor,
+/// and [`merge_reports`] so a merge of one report reproduces it exactly.
+pub(crate) fn finish_report(
+    name: String,
+    warmup_end: SimTime,
+    end_clock: SimTime,
+    acc: Accum,
+    metrics: Metrics,
+    window_metrics: Metrics,
+) -> RunReport {
+    let runtime = end_clock.saturating_sub(warmup_end);
+    let secs = runtime.as_secs_f64().max(1e-12);
+    RunReport {
+        name,
+        runtime,
+        warmup_end,
+        total_ops: acc.total_ops,
+        remote_ops: acc.remote,
+        invalidations: acc.invals,
+        flushed_pages: acc.flushed,
+        sum_remote_lat_ns: acc.sum_remote_lat,
+        mops: acc.total_ops as f64 / secs / 1e6,
+        remote_per_op: acc.remote as f64 / acc.total_ops as f64,
+        invalidations_per_op: acc.invals as f64 / acc.total_ops as f64,
+        flushed_per_op: acc.flushed as f64 / acc.total_ops as f64,
+        sum_fault_ns: acc.sum_fault,
+        sum_network_ns: acc.sum_network,
+        sum_inv_queue_ns: acc.sum_inv_queue,
+        sum_inv_tlb_ns: acc.sum_inv_tlb,
+        sum_software_ns: acc.sum_software,
+        sum_overlapped_ns: acc.sum_overlapped,
+        mean_remote_ns: if acc.remote > 0 {
+            acc.sum_remote_lat as f64 / acc.remote as f64
+        } else {
+            0.0
+        },
+        latency: acc.latency,
+        metrics,
+        window_metrics,
+    }
+}
+
+/// Merges reports from disjoint partitions into the report the fused run
+/// over their union would produce: integers and histograms add, the
+/// measured window spans `[max warmup_end, max end-of-run]`, and every
+/// derived rate is recomputed from the merged integers through the same
+/// arithmetic as a direct run. Merging a single report reproduces it
+/// exactly — the `shards = 1` identity the sharded executor is checked
+/// against.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn merge_reports(name: impl Into<String>, reports: &[RunReport]) -> RunReport {
+    assert!(!reports.is_empty(), "nothing to merge");
+    let warmup_end = reports.iter().map(|r| r.warmup_end).max().expect("non-empty");
+    let end_clock = reports
+        .iter()
+        .map(|r| r.warmup_end + r.runtime)
+        .max()
+        .expect("non-empty");
+    let mut acc = Accum::new();
+    let mut metrics = Metrics::new();
+    let mut window_metrics = Metrics::new();
+    for r in reports {
+        acc.total_ops += r.total_ops;
+        acc.remote += r.remote_ops;
+        acc.invals += r.invalidations;
+        acc.flushed += r.flushed_pages;
+        acc.sum_fault += r.sum_fault_ns;
+        acc.sum_network += r.sum_network_ns;
+        acc.sum_inv_queue += r.sum_inv_queue_ns;
+        acc.sum_inv_tlb += r.sum_inv_tlb_ns;
+        acc.sum_software += r.sum_software_ns;
+        acc.sum_overlapped += r.sum_overlapped_ns;
+        acc.sum_remote_lat += r.sum_remote_lat_ns;
+        acc.latency.merge(&r.latency);
+        metrics.merge(&r.metrics);
+        window_metrics.merge(&r.window_metrics);
+    }
+    finish_report(name.into(), warmup_end, end_clock, acc, metrics, window_metrics)
+}
+
 /// Replays `ops_per_thread × n_threads` operations of `workload` against
 /// `system`.
 ///
@@ -171,10 +332,12 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         .map(|len| system.alloc(len))
         .collect();
 
-    // Min-heap of (clock, thread): the earliest thread issues next.
-    let mut heap: BinaryHeap<Reverse<(SimTime, u16)>> = (0..n_threads)
-        .map(|t| Reverse((SimTime::ZERO, t)))
-        .collect();
+    // Discrete-event schedule over threads: the earliest thread issues
+    // next; ties resolve in scheduling order (insertion seq).
+    let mut queue: EventQueue<u16> = EventQueue::new();
+    for t in 0..n_threads {
+        queue.schedule(SimTime::ZERO, t);
+    }
 
     // One reusable batch (and generator scratch) for the whole run.
     let batch_ops = cfg.batch_ops.max(1);
@@ -225,100 +388,60 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         turn_done + cfg.think_time
     };
 
-    // Warmup phase: populate caches, stabilize regions; untimed.
+    // Warmup phase: populate caches, stabilize regions; untimed. Threads
+    // finishing warmup seed the measured queue at their post-warmup
+    // clocks, in completion order.
     let mut warmup_end = SimTime::ZERO;
+    let mut measured: EventQueue<u16> = EventQueue::new();
     if cfg.warmup_ops_per_thread > 0 {
         let mut left: Vec<u64> = vec![cfg.warmup_ops_per_thread; n_threads as usize];
-        let mut next_heap = BinaryHeap::new();
-        while let Some(Reverse((clock, thread))) = heap.pop() {
+        while let Some(ev) = queue.pop() {
+            let (clock, thread) = (ev.at, ev.event);
             let n = batch_ops.min(left[thread as usize]);
             let next = issue_turn(system, workload, &mut batch, clock, thread, n as usize);
             warmup_end = warmup_end.max(next);
             left[thread as usize] -= n;
             if left[thread as usize] > 0 {
-                heap.push(Reverse((next, thread)));
+                queue.schedule(next, thread);
             } else {
-                next_heap.push(Reverse((next, thread)));
+                measured.schedule(next, thread);
             }
         }
-        heap = next_heap;
+    } else {
+        measured = queue;
     }
     let baseline_metrics = system.metrics();
 
     let mut remaining: Vec<u64> = vec![cfg.ops_per_thread; n_threads as usize];
+    let mut acc = Accum::new();
+    let mut end_clock = warmup_end;
 
-    let mut total_ops = 0u64;
-    let mut remote = 0u64;
-    let mut invals = 0u64;
-    let mut flushed = 0u64;
-    let mut sum_fault = 0u128;
-    let mut sum_network = 0u128;
-    let mut sum_inv_queue = 0u128;
-    let mut sum_inv_tlb = 0u128;
-    let mut sum_software = 0u128;
-    let mut sum_overlapped = 0u128;
-    let mut sum_remote_lat = 0u128;
-    let mut latency = Histogram::new();
-    let mut runtime = SimTime::ZERO;
-
-    while let Some(Reverse((clock, thread))) = heap.pop() {
+    while let Some(ev) = measured.pop() {
+        let (clock, thread) = (ev.at, ev.event);
         let n = batch_ops.min(remaining[thread as usize]);
         let next_clock = issue_turn(system, workload, &mut batch, clock, thread, n as usize);
 
         // One accounting flush per batch, in op order (issue_turn already
         // rejected any failed op).
-        for result in batch.results() {
-            let outcome = result.as_ref().expect("issue_turn rejects failures");
-            let total_ns = outcome.latency.total().as_nanos();
-            total_ops += 1;
-            if outcome.remote {
-                remote += 1;
-                sum_remote_lat += total_ns as u128;
-            }
-            latency.record(total_ns);
-            invals += outcome.invalidations as u64;
-            flushed += outcome.flushed_pages as u64;
-            sum_fault += outcome.latency.fault.as_nanos() as u128;
-            sum_network += outcome.latency.network.as_nanos() as u128;
-            sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
-            sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
-            sum_software += outcome.latency.software.as_nanos() as u128;
-            sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
-        }
+        acc.record_batch(&batch);
 
-        runtime = runtime.max(next_clock);
+        end_clock = end_clock.max(next_clock);
         remaining[thread as usize] -= n;
         if remaining[thread as usize] > 0 {
-            heap.push(Reverse((next_clock, thread)));
+            measured.schedule(next_clock, thread);
         }
     }
 
     // Report the measured window only.
-    let runtime = runtime.saturating_sub(warmup_end);
-    let secs = runtime.as_secs_f64().max(1e-12);
-    RunReport {
-        name: workload.name(),
-        runtime,
-        total_ops,
-        mops: total_ops as f64 / secs / 1e6,
-        remote_per_op: remote as f64 / total_ops as f64,
-        invalidations_per_op: invals as f64 / total_ops as f64,
-        flushed_per_op: flushed as f64 / total_ops as f64,
-        sum_fault_ns: sum_fault,
-        sum_network_ns: sum_network,
-        sum_inv_queue_ns: sum_inv_queue,
-        sum_inv_tlb_ns: sum_inv_tlb,
-        sum_software_ns: sum_software,
-        sum_overlapped_ns: sum_overlapped,
-        mean_remote_ns: if remote > 0 {
-            sum_remote_lat as f64 / remote as f64
-        } else {
-            0.0
-        },
-        latency,
-        window_metrics: system.metrics().diff(&baseline_metrics),
-        metrics: system.metrics(),
-    }
+    let window_metrics = system.metrics().diff(&baseline_metrics);
+    finish_report(
+        workload.name(),
+        warmup_end,
+        end_clock,
+        acc,
+        system.metrics(),
+        window_metrics,
+    )
 }
 
 #[cfg(test)]
@@ -599,6 +722,70 @@ mod tests {
                 threads_per_blade: 1,
                 ..Default::default()
             },
+        );
+    }
+
+    #[test]
+    fn merge_of_one_report_is_identity() {
+        let mut sys = MindCluster::new(MindConfig::small());
+        let mut wl = PingPong {
+            threads: 2,
+            rng: SimRng::new(5),
+        };
+        let cfg = RunConfig {
+            ops_per_thread: 300,
+            warmup_ops_per_thread: 50,
+            ..Default::default()
+        };
+        let a = run(&mut sys, &mut wl, cfg);
+        let m = merge_reports(a.name.clone(), std::slice::from_ref(&a));
+        assert_eq!(m.runtime, a.runtime);
+        assert_eq!(m.warmup_end, a.warmup_end);
+        assert_eq!(m.total_ops, a.total_ops);
+        assert_eq!(m.remote_ops, a.remote_ops);
+        assert_eq!(m.mops.to_bits(), a.mops.to_bits(), "floats recomputed bit-identically");
+        assert_eq!(m.mean_remote_ns.to_bits(), a.mean_remote_ns.to_bits());
+        assert_eq!(m.remote_per_op.to_bits(), a.remote_per_op.to_bits());
+        assert_eq!(m.latency.quantile(0.999), a.latency.quantile(0.999));
+        assert_eq!(m.metrics, a.metrics);
+        assert_eq!(m.window_metrics, a.window_metrics);
+    }
+
+    #[test]
+    fn merge_sums_integers_and_spans_windows() {
+        let mk = |seed: u64, ops: u64| {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = PingPong {
+                threads: 1,
+                rng: SimRng::new(seed),
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    ops_per_thread: ops,
+                    warmup_ops_per_thread: 20,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = mk(1, 200);
+        let b = mk(2, 300);
+        let m = merge_reports("merged", [a.clone(), b.clone()].as_slice());
+        assert_eq!(m.name, "merged");
+        assert_eq!(m.total_ops, a.total_ops + b.total_ops);
+        assert_eq!(m.remote_ops, a.remote_ops + b.remote_ops);
+        assert_eq!(m.invalidations, a.invalidations + b.invalidations);
+        assert_eq!(m.latency.count(), a.latency.count() + b.latency.count());
+        assert_eq!(m.warmup_end, a.warmup_end.max(b.warmup_end));
+        assert_eq!(
+            m.warmup_end + m.runtime,
+            (a.warmup_end + a.runtime).max(b.warmup_end + b.runtime),
+            "merged window ends at the latest partition end"
+        );
+        assert_eq!(
+            m.metrics.get("accesses"),
+            a.metrics.get("accesses") + b.metrics.get("accesses")
         );
     }
 

@@ -1,0 +1,585 @@
+//! Deterministic sharded simulation of partitioned scenarios.
+//!
+//! Big multi-tenant scenarios decompose into *partitions* — symmetric
+//! tenant groups confined to disjoint blade slices (see
+//! [`mind_core::shard`]). This module replays such scenarios two ways:
+//!
+//! - [`run_group`]: the **serialized reference** — every partition on one
+//!   fused rack, driven straight through a single
+//!   [`mind_sim::EventQueue`];
+//! - [`run_sharded`]: the same partitions split across `shards`
+//!   sub-clusters, each advanced through **conservative time windows** of
+//!   [`ShardSpec::horizon`] — no shard executes an event past the current
+//!   horizon until every shard has caught up to it — and merged with
+//!   [`merge_reports`] into one report.
+//!
+//! ## Determinism contract
+//!
+//! `run_sharded(spec, 1, ..)` is byte-identical to `run_group(spec, ..)`:
+//! windowing only pauses the pop loop (shard state cannot leak across the
+//! horizon because shards share nothing), and a merge of one report is
+//! the identity. For `shards > 1` the merged report is byte-identical to
+//! the fused reference whenever the scenario is *confined*:
+//!
+//! 1. partitions are structurally symmetric (same thread count and region
+//!    list shape), so [`MindConfig::partition`] gives every shard the
+//!    per-partition resource share the fused rack gives it;
+//! 2. each partition's threads run on its compute slice and its regions
+//!    are placed with `mmap_in` on its memory slice — both enforced here —
+//!    so caches and per-blade fabric links never carry another
+//!    partition's traffic;
+//! 3. no invalidations occur (read-only sharing, or writes only from a
+//!    single blade): Bounded Splitting's epoch threshold sums counters
+//!    over *all* regions, so any invalidation couples partitions through
+//!    the global total;
+//! 4. directory utilization stays at or below 1/2 (the epoch merge phase
+//!    is gated on `utilization > 0.5`, again a global quantity).
+//!
+//! Under 1–4 every quantity feeding an op's latency is partition-local,
+//! so per-op timings — and therefore the merged integer report — match
+//! the fused run exactly. Scenarios that break the contract still run and
+//! merge, but approximate the fused result instead of reproducing it.
+
+use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::controller::Pid;
+use mind_core::shard::PartitionLayout;
+use mind_core::system::{MemOp, OpBatch};
+use mind_sim::stats::Metrics;
+use mind_sim::{EventQueue, SimTime};
+
+use crate::runner::{finish_report, merge_reports, Accum, RunConfig, RunReport};
+use crate::trace::{TraceOp, Workload};
+
+/// A partitioned scenario: `partitions` symmetric tenant groups over a
+/// fused rack `base`, replayable fused ([`run_group`]) or sharded
+/// ([`run_sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Scenario name carried into the merged report.
+    pub name: String,
+    /// The fused rack hosting all partitions.
+    pub base: MindConfig,
+    /// Number of partitions; must divide the rack per
+    /// [`PartitionLayout`].
+    pub partitions: u16,
+    /// Per-thread replay parameters (shared by every partition).
+    pub run: RunConfig,
+    /// Conservative window length for [`run_sharded`]: shards advance in
+    /// lockstep quanta of this much simulated time.
+    pub horizon: SimTime,
+    /// `false` (the default shape): one process — one protection domain —
+    /// per partition. `true`: one process *per thread*, for multi-tenant
+    /// populations where every tenant is its own protection domain (the
+    /// `mind_service` isolation model); the partition workload must then
+    /// expose exactly one region per thread, with thread `t` owning
+    /// region `t`. Per-tenant domains never coalesce in the switch's
+    /// protection TCAM, so fused admission cost grows with the *rack's*
+    /// tenant count while each shard only pays for its own slice — the
+    /// effect the large-scenario scaling point measures.
+    pub domain_per_thread: bool,
+}
+
+/// Builds the workload of one partition, keyed by its *global* partition
+/// index so a partition generates the identical op stream whichever shard
+/// (or the fused rack) hosts it.
+pub type PartitionFactory<'a> = dyn Fn(u16) -> Box<dyn Workload> + 'a;
+
+struct PartitionState {
+    /// Protection domains: one entry (per-partition mode) or one per
+    /// thread (per-thread mode, thread `t` runs in `pids[t]`).
+    pids: Vec<Pid>,
+    workload: Box<dyn Workload>,
+    bases: Vec<u64>,
+    compute_lo: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Warmup,
+    Measured,
+    Done,
+}
+
+/// One group of partitions co-hosted on one cluster, advanced event by
+/// event: the whole scenario (the fused reference) or one shard of it.
+pub struct GroupRun {
+    name: String,
+    cluster: MindCluster,
+    run_cfg: RunConfig,
+    parts: Vec<PartitionState>,
+    threads_per_partition: u16,
+    domain_per_thread: bool,
+    phase: Phase,
+    queue: EventQueue<u32>,
+    measured: EventQueue<u32>,
+    warmup_left: Vec<u64>,
+    remaining: Vec<u64>,
+    warmup_end: SimTime,
+    baseline: Option<Metrics>,
+    acc: Accum,
+    end_clock: SimTime,
+    batch: OpBatch,
+    ops_buf: Vec<TraceOp>,
+}
+
+impl GroupRun {
+    /// Assembles a cluster of `cfg` hosting the global partitions
+    /// `first..first + partitions`: per partition, one process, threads
+    /// pinned to its compute slice, regions `mmap_in`-confined to its
+    /// memory slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions are not symmetric, do not fit their
+    /// slices, `run.interleave` is set (interleaved thread placement is
+    /// not partition-confined), or `domain_per_thread` is set and a
+    /// partition does not expose exactly one region per thread.
+    pub fn new(
+        name: String,
+        cfg: MindConfig,
+        first: u16,
+        partitions: u16,
+        run: RunConfig,
+        domain_per_thread: bool,
+        factory: &PartitionFactory,
+    ) -> Self {
+        assert!(!run.interleave, "interleaved placement is not partition-confined");
+        let layout = PartitionLayout::new(&cfg, partitions);
+        let mut cluster = MindCluster::new(cfg);
+        let mut parts = Vec::with_capacity(partitions as usize);
+        let mut threads_per_partition = None;
+        for lp in 0..partitions {
+            let workload = factory(first + lp);
+            let nt = workload.n_threads();
+            assert_eq!(
+                *threads_per_partition.get_or_insert(nt),
+                nt,
+                "partitions must be symmetric in thread count"
+            );
+            let regions = workload.regions();
+            let pids: Vec<Pid> = if domain_per_thread {
+                assert_eq!(
+                    regions.len(),
+                    nt as usize,
+                    "per-thread domains need one region per thread"
+                );
+                (0..nt)
+                    .map(|_| cluster.exec().expect("exec cannot fail"))
+                    .collect()
+            } else {
+                vec![cluster.exec().expect("exec cannot fail")]
+            };
+            let slice = layout.memory_slice(lp);
+            let bases: Vec<u64> = regions
+                .into_iter()
+                .enumerate()
+                .map(|(r, len)| {
+                    let pid = pids[if domain_per_thread { r } else { 0 }];
+                    cluster
+                        .mmap_in(pid, len, slice.clone())
+                        .expect("partition regions fit its memory-blade slice")
+                })
+                .collect();
+            parts.push(PartitionState {
+                pids,
+                workload,
+                bases,
+                compute_lo: layout.compute_slice(lp).start,
+            });
+        }
+        let tpp = threads_per_partition.expect("at least one partition");
+        assert!(
+            tpp.div_ceil(run.threads_per_blade) <= layout.compute_per_partition,
+            "partition threads need {} compute blades, slice has {}",
+            tpp.div_ceil(run.threads_per_blade),
+            layout.compute_per_partition
+        );
+
+        let total = partitions as u32 * tpp as u32;
+        let mut queue = EventQueue::new();
+        for gt in 0..total {
+            queue.schedule(SimTime::ZERO, gt);
+        }
+        let warmup = run.warmup_ops_per_thread;
+        let (phase, queue, measured, baseline) = if warmup > 0 {
+            (Phase::Warmup, queue, EventQueue::new(), None)
+        } else {
+            // No warmup: the seeded queue is the measured queue and the
+            // baseline snapshot is the post-setup state, exactly as in
+            // `runner::run`.
+            let baseline = cluster.metrics_snapshot();
+            (Phase::Measured, EventQueue::new(), queue, Some(baseline))
+        };
+        GroupRun {
+            name,
+            run_cfg: run,
+            parts,
+            threads_per_partition: tpp,
+            domain_per_thread,
+            phase,
+            queue,
+            measured,
+            warmup_left: vec![warmup; total as usize],
+            remaining: vec![run.ops_per_thread; total as usize],
+            warmup_end: SimTime::ZERO,
+            baseline,
+            acc: Accum::new(),
+            end_clock: SimTime::ZERO,
+            batch: OpBatch::chained(run.think_time).with_window(run.window),
+            ops_buf: Vec::new(),
+            cluster,
+        }
+    }
+
+    /// Issues one scheduling turn for global thread `gt` at `clock`;
+    /// returns the thread's clock after its last completion + think time.
+    fn turn(&mut self, clock: SimTime, gt: u32, n: u64) -> SimTime {
+        let lp = (gt / self.threads_per_partition as u32) as usize;
+        let t = (gt % self.threads_per_partition as u32) as u16;
+        let part = &mut self.parts[lp];
+        let blade = part.compute_lo + t / self.run_cfg.threads_per_blade;
+        let pdid = Some(part.pids[if self.domain_per_thread { t as usize } else { 0 }]);
+        self.ops_buf.clear();
+        part.workload.fill_ops(t, n as usize, &mut self.ops_buf);
+        self.batch.clear();
+        for op in &self.ops_buf {
+            self.batch.push(MemOp {
+                at: SimTime::ZERO,
+                blade,
+                pdid,
+                vaddr: part.bases[op.region as usize] + op.offset,
+                kind: op.kind,
+            });
+        }
+        self.cluster.run_batch(clock, &mut self.batch);
+        for (op, result) in self.batch.ops().iter().zip(self.batch.results()) {
+            if let Err(e) = result {
+                panic!("sharded access failed at {:#x}: {e}", op.vaddr);
+            }
+        }
+        let turn_done = (0..self.batch.len())
+            .map(|i| self.batch.completion(i))
+            .max()
+            .expect("turns are non-empty");
+        turn_done + self.run_cfg.think_time
+    }
+
+    /// Executes every event at or before `horizon`, in timestamp order
+    /// (ties by schedule order). Returns `true` once the group has no
+    /// work left. Within a phase, pops never go backwards in time; the
+    /// warmup→measured transition is a barrier exactly as in
+    /// [`crate::runner::run`].
+    pub fn advance_until(&mut self, horizon: SimTime) -> bool {
+        let batch_ops = self.run_cfg.batch_ops.max(1);
+        loop {
+            match self.phase {
+                Phase::Warmup => {
+                    while let Some(at) = self.queue.peek_time() {
+                        if at > horizon {
+                            return false;
+                        }
+                        let ev = self.queue.pop().expect("peeked event exists");
+                        let gt = ev.event;
+                        let n = batch_ops.min(self.warmup_left[gt as usize]);
+                        let next = self.turn(ev.at, gt, n);
+                        self.warmup_end = self.warmup_end.max(next);
+                        self.warmup_left[gt as usize] -= n;
+                        if self.warmup_left[gt as usize] > 0 {
+                            self.queue.schedule(next, gt);
+                        } else {
+                            self.measured.schedule(next, gt);
+                        }
+                    }
+                    // Warmup drained: snapshot the baseline and switch.
+                    self.baseline = Some(self.cluster.metrics_snapshot());
+                    self.end_clock = self.warmup_end;
+                    self.phase = Phase::Measured;
+                }
+                Phase::Measured => {
+                    while let Some(at) = self.measured.peek_time() {
+                        if at > horizon {
+                            return false;
+                        }
+                        let ev = self.measured.pop().expect("peeked event exists");
+                        let gt = ev.event;
+                        let n = batch_ops.min(self.remaining[gt as usize]);
+                        let next = self.turn(ev.at, gt, n);
+                        self.acc.record_batch(&self.batch);
+                        self.end_clock = self.end_clock.max(next);
+                        self.remaining[gt as usize] -= n;
+                        if self.remaining[gt as usize] > 0 {
+                            self.measured.schedule(next, gt);
+                        }
+                    }
+                    self.phase = Phase::Done;
+                }
+                Phase::Done => return true,
+            }
+        }
+    }
+
+    /// Whether every thread has finished its measured ops.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Finalizes this group's report (measured window only).
+    pub fn finish(self) -> RunReport {
+        assert!(self.is_done(), "finish before the group completed");
+        let metrics = self.cluster.metrics_snapshot();
+        let window_metrics = metrics.diff(self.baseline.as_ref().expect("baseline snapshotted"));
+        finish_report(
+            self.name,
+            self.warmup_end,
+            self.end_clock.max(self.warmup_end),
+            self.acc,
+            metrics,
+            window_metrics,
+        )
+    }
+}
+
+/// The serialized reference: every partition fused on one rack, driven
+/// straight through in a single pass.
+pub fn run_group(spec: &ShardSpec, factory: &PartitionFactory) -> RunReport {
+    let mut group = GroupRun::new(
+        spec.name.clone(),
+        spec.base,
+        0,
+        spec.partitions,
+        spec.run,
+        spec.domain_per_thread,
+        factory,
+    );
+    let done = group.advance_until(SimTime::MAX);
+    debug_assert!(done, "an unbounded horizon drains the group");
+    group.finish()
+}
+
+/// Replays the scenario as `shards` independent sub-clusters advanced in
+/// conservative windows of `spec.horizon`, then merges the per-shard
+/// reports. See the module docs for when the result is byte-identical to
+/// [`run_group`].
+///
+/// # Panics
+///
+/// Panics if `shards` does not divide `spec.partitions` (or the rack's
+/// resources, per [`MindConfig::partition`]), or `spec.horizon` is zero.
+pub fn run_sharded(spec: &ShardSpec, shards: u16, factory: &PartitionFactory) -> RunReport {
+    assert!(shards >= 1, "at least one shard");
+    assert_eq!(
+        spec.partitions % shards,
+        0,
+        "{} partitions do not divide into {shards} shards",
+        spec.partitions
+    );
+    assert!(spec.horizon > SimTime::ZERO, "conservative window must advance");
+    let sub = spec.base.partition(shards);
+    let per_shard = spec.partitions / shards;
+    let mut groups: Vec<GroupRun> = (0..shards)
+        .map(|s| {
+            GroupRun::new(
+                format!("{}/shard{s}", spec.name),
+                sub,
+                s * per_shard,
+                per_shard,
+                spec.run,
+                spec.domain_per_thread,
+                factory,
+            )
+        })
+        .collect();
+    let mut horizon = spec.horizon;
+    loop {
+        let mut all_done = true;
+        for g in groups.iter_mut() {
+            all_done &= g.advance_until(horizon);
+        }
+        if all_done {
+            break;
+        }
+        horizon += spec.horizon;
+    }
+    let reports: Vec<RunReport> = groups.into_iter().map(GroupRun::finish).collect();
+    merge_reports(spec.name.clone(), &reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mind_core::system::AccessKind;
+    use mind_sim::SimRng;
+
+    /// A single-threaded tenant touching its own pages; writes stay on
+    /// one blade, so the confinement contract holds.
+    struct Tenant {
+        pages: u64,
+        rng: SimRng,
+    }
+
+    impl Workload for Tenant {
+        fn name(&self) -> String {
+            "tenant".to_string()
+        }
+        fn regions(&self) -> Vec<u64> {
+            vec![self.pages << 12]
+        }
+        fn n_threads(&self) -> u16 {
+            1
+        }
+        fn next_op(&mut self, _thread: u16) -> TraceOp {
+            TraceOp {
+                region: 0,
+                offset: self.rng.gen_below(self.pages) << 12,
+                kind: if self.rng.gen_bool(0.3) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            }
+        }
+    }
+
+    fn spec(partitions: u16, horizon_us: u64) -> ShardSpec {
+        ShardSpec {
+            name: "shard-test".to_string(),
+            base: MindConfig {
+                n_compute: partitions,
+                n_memory: partitions,
+                cache_pages: 512,
+                blade_span: 1 << 26,
+                memory_blade_bytes: 1 << 26,
+                dir_capacity: 4096,
+                rule_capacity: 4096,
+                ..MindConfig::default()
+            },
+            partitions,
+            run: RunConfig {
+                ops_per_thread: 200,
+                warmup_ops_per_thread: 40,
+                ..Default::default()
+            },
+            horizon: SimTime::from_micros(horizon_us),
+            domain_per_thread: false,
+        }
+    }
+
+    fn factory(p: u16) -> Box<dyn Workload> {
+        Box::new(Tenant {
+            pages: 32,
+            rng: SimRng::new(1000 + p as u64),
+        })
+    }
+
+    fn key(r: &RunReport) -> (SimTime, SimTime, u64, u64, u64, u64, u128, u128, u64) {
+        (
+            r.runtime,
+            r.warmup_end,
+            r.total_ops,
+            r.remote_ops,
+            r.invalidations,
+            r.flushed_pages,
+            r.sum_network_ns,
+            r.sum_remote_lat_ns,
+            r.latency.quantile(0.999),
+        )
+    }
+
+    #[test]
+    fn one_shard_matches_serialized_reference_exactly() {
+        let s = spec(4, 50);
+        let fused = run_group(&s, &factory);
+        let sharded = run_sharded(&s, 1, &factory);
+        assert_eq!(key(&fused), key(&sharded));
+        assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
+        assert_eq!(fused.metrics, sharded.metrics);
+        assert_eq!(fused.window_metrics, sharded.window_metrics);
+    }
+
+    #[test]
+    fn sharded_partitions_reproduce_the_fused_run() {
+        let s = spec(4, 50);
+        let fused = run_group(&s, &factory);
+        assert_eq!(fused.invalidations, 0, "scenario must be confined");
+        for shards in [2u16, 4] {
+            let sharded = run_sharded(&s, shards, &factory);
+            assert_eq!(key(&fused), key(&sharded), "shards = {shards}");
+            assert_eq!(fused.metrics, sharded.metrics, "shards = {shards}");
+            assert_eq!(fused.window_metrics, sharded.window_metrics);
+            assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
+        }
+    }
+
+    #[test]
+    fn per_thread_domains_reproduce_the_fused_run() {
+        // Same scenario, but every tenant in its own protection domain
+        // (the multi-tenant isolation shape). Pid values differ between
+        // the fused and sharded runs; nothing timing-visible does.
+        let mut s = spec(4, 50);
+        s.domain_per_thread = true;
+        let fused = run_group(&s, &factory);
+        assert_eq!(fused.invalidations, 0, "scenario must be confined");
+        for shards in [2u16, 4] {
+            let sharded = run_sharded(&s, shards, &factory);
+            assert_eq!(key(&fused), key(&sharded), "shards = {shards}");
+            assert_eq!(fused.metrics, sharded.metrics, "shards = {shards}");
+            assert_eq!(fused.window_metrics, sharded.window_metrics);
+            assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one region per thread")]
+    fn per_thread_domains_require_region_per_thread() {
+        struct TwoRegions;
+        impl Workload for TwoRegions {
+            fn name(&self) -> String {
+                "two-regions".to_string()
+            }
+            fn regions(&self) -> Vec<u64> {
+                vec![1 << 16, 1 << 16]
+            }
+            fn n_threads(&self) -> u16 {
+                1
+            }
+            fn next_op(&mut self, _thread: u16) -> TraceOp {
+                TraceOp {
+                    region: 0,
+                    offset: 0,
+                    kind: AccessKind::Read,
+                }
+            }
+        }
+        let mut s = spec(2, 50);
+        s.domain_per_thread = true;
+        run_group(&s, &|_| Box::new(TwoRegions));
+    }
+
+    #[test]
+    fn horizon_length_never_changes_the_result() {
+        let s = spec(2, 1000);
+        let reference = run_sharded(&s, 2, &factory);
+        for horizon_us in [1u64, 7, 333, 1_000_000] {
+            let mut alt = spec(2, horizon_us);
+            alt.name = s.name.clone();
+            let got = run_sharded(&alt, 2, &factory);
+            assert_eq!(key(&reference), key(&got), "horizon {horizon_us}us");
+            assert_eq!(reference.metrics, got.metrics);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not partition-confined")]
+    fn interleaved_placement_rejected() {
+        let mut s = spec(2, 50);
+        s.run.interleave = true;
+        run_group(&s, &factory);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn uneven_shard_split_rejected() {
+        let s = spec(4, 50);
+        run_sharded(&s, 3, &factory);
+    }
+}

@@ -19,6 +19,7 @@ use mind::workloads::kvs::KvsConfig;
 use mind::workloads::memcached::MemcachedConfig;
 use mind::workloads::micro::MicroConfig;
 use mind::workloads::runner::{self, RunConfig};
+use mind::workloads::{run_group, run_sharded, ShardSpec};
 
 const BATCH_SIZES: [u64; 3] = [1, 8, 64];
 
@@ -337,6 +338,64 @@ proptest! {
             prop_assert_eq!(batch.outcome(i).latency.overlapped, SimTime::ZERO);
         }
     }
+}
+
+/// The batching guarantee composes with sharding: at every batch size,
+/// the sharded windowed replay merges to the same report as the fused
+/// serialized reference. Batch size regroups each thread's schedule —
+/// identically on every shard — so the conservative windows still line up.
+#[test]
+fn sharded_replay_matches_fused_at_every_batch_size() {
+    let factory = |p: u16| {
+        WorkloadSpec::Micro(MicroConfig {
+            n_threads: 2,
+            shared_pages: 256,
+            private_pages: 64,
+            seed: 31 + p as u64,
+            ..Default::default()
+        })
+        .build()
+    };
+    for batch_ops in BATCH_SIZES {
+        let spec = ShardSpec {
+            name: format!("equiv/sharded/b{batch_ops}"),
+            base: MindConfig {
+                n_compute: 2,
+                n_memory: 2,
+                cache_pages: 1_024,
+                blade_span: 1 << 26,
+                memory_blade_bytes: 1 << 26,
+                dir_capacity: 8_192,
+                rule_capacity: 4_096,
+                ..MindConfig::default()
+            },
+            partitions: 2,
+            run: RunConfig {
+                ops_per_thread: 300,
+                warmup_ops_per_thread: 60,
+                threads_per_blade: 2,
+                ..Default::default()
+            }
+            .with_batch_ops(batch_ops),
+            horizon: SimTime::from_micros(50),
+            domain_per_thread: false,
+        };
+        let fused = runner_json(run_group(&spec, &factory));
+        let sharded = runner_json(run_sharded(&spec, 2, &factory));
+        assert_eq!(
+            sharded, fused,
+            "sharded replay diverged from the fused reference at batch_ops {batch_ops}"
+        );
+    }
+}
+
+/// Renders a group/merged report as suite JSON for byte comparison.
+fn runner_json(report: mind::workloads::RunReport) -> String {
+    let result = ScenarioResult {
+        name: report.name.clone(),
+        output: mind::harness::ScenarioOutput::from_report(report),
+    };
+    report::suite_json("batch_equivalence", &[result]).render()
 }
 
 /// Baselines keep working unmodified through the default batched path:

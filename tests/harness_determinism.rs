@@ -3,13 +3,15 @@
 //! run — thread scheduling decides only *when* a scenario runs, never
 //! *what* it computes.
 
+use mind::core::cluster::MindConfig;
 use mind::core::system::ConsistencyModel;
 use mind::harness::{report, Engine, Scenario, ScenarioOutput, ServiceSpec, SystemSpec, WorkloadSpec};
-use mind::service::ServiceConfig;
+use mind::service::{tenant_partitions, ServiceConfig, TenantGroupConfig};
 use mind::sim::SimTime;
 use mind::workloads::kvs::KvsConfig;
 use mind::workloads::micro::MicroConfig;
 use mind::workloads::runner::RunConfig;
+use mind::workloads::{run_sharded, ShardSpec};
 
 /// A small but representative table: all three system kinds, two workload
 /// families, plus a custom scenario — and uneven per-scenario costs so a
@@ -89,6 +91,41 @@ fn table() -> Vec<Scenario> {
         micro,
         run.with_batch_ops(16),
     ));
+
+    // A sharded large-scenario replay: the merged windowed report must be
+    // just as worker-count independent as any single-cluster scenario.
+    scenarios.push(Scenario::custom("det/sharded", || {
+        let spec = ShardSpec {
+            name: "det/sharded".to_string(),
+            base: MindConfig {
+                n_compute: 2,
+                n_memory: 2,
+                cache_pages: 512,
+                blade_span: 1 << 26,
+                memory_blade_bytes: 1 << 26,
+                dir_capacity: 8_192,
+                rule_capacity: 4_096,
+                ..MindConfig::default()
+            },
+            partitions: 2,
+            run: RunConfig {
+                ops_per_thread: 400,
+                warmup_ops_per_thread: 80,
+                threads_per_blade: 2,
+                ..Default::default()
+            }
+            .with_batch_ops(8),
+            horizon: SimTime::from_micros(50),
+            domain_per_thread: true,
+        };
+        let factory = tenant_partitions(TenantGroupConfig {
+            tenants_per_group: 2,
+            pages_per_tenant: 16,
+            read_ratio: 0.7,
+            seed: 42,
+        });
+        ScenarioOutput::from_report(run_sharded(&spec, 2, &factory))
+    }));
     scenarios
 }
 

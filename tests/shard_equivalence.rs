@@ -1,0 +1,212 @@
+//! The sharded simulation's core guarantee: replaying a partitioned
+//! scenario as `shards` independent sub-clusters advanced through
+//! conservative time windows renders **byte-identical** BENCH JSON to the
+//! serialized fused reference — for `shards = 1` unconditionally, and for
+//! `shards > 1` whenever the scenario honours the confinement contract
+//! spelled out in `mind_workloads::shard` (symmetric partitions, slice
+//! confinement, zero invalidations, directory utilization at or below
+//! one half).
+//!
+//! Three scenario families cover the contract's surface: a micro-style
+//! partition (shared + private regions, writes confined to one blade), a
+//! read-only YCSB-C KVS partition, and the `mind_service` multi-tenant
+//! population with one protection domain per tenant.
+
+use proptest::prelude::*;
+
+use mind::core::cluster::MindConfig;
+use mind::harness::{report, ScenarioOutput, ScenarioResult, WorkloadSpec};
+use mind::service::{tenant_partitions, TenantGroupConfig};
+use mind::sim::{EventQueue, SimRng, SimTime};
+use mind::workloads::kvs::KvsConfig;
+use mind::workloads::micro::MicroConfig;
+use mind::workloads::runner::{RunConfig, RunReport};
+use mind::workloads::shard::PartitionFactory;
+use mind::workloads::{run_group, run_sharded, ShardSpec};
+
+/// A four-partition rack whose resources divide evenly into 1, 2, or 4
+/// shards; the directory is sized so even fully split regions stay well
+/// under the contract's 1/2 utilization ceiling.
+fn rack(partitions: u16) -> MindConfig {
+    MindConfig {
+        n_compute: partitions,
+        n_memory: partitions,
+        cache_pages: 1_024,
+        blade_span: 1 << 26,
+        memory_blade_bytes: 1 << 26,
+        dir_capacity: 16_384,
+        rule_capacity: 8_192,
+        ..MindConfig::default()
+    }
+}
+
+fn spec(name: &str, threads_per_partition: u16, domain_per_thread: bool) -> ShardSpec {
+    ShardSpec {
+        name: name.to_string(),
+        base: rack(4),
+        partitions: 4,
+        run: RunConfig {
+            ops_per_thread: 240,
+            warmup_ops_per_thread: 40,
+            // The whole partition on one compute blade: writes then touch
+            // a single cache, so no invalidations couple the partitions.
+            threads_per_blade: threads_per_partition,
+            ..Default::default()
+        }
+        .with_batch_ops(8),
+        horizon: SimTime::from_micros(50),
+        domain_per_thread,
+    }
+}
+
+/// Renders a group/merged report exactly as the bench suite would.
+fn bench_json(report: RunReport) -> String {
+    let result = ScenarioResult {
+        name: report.name.clone(),
+        output: ScenarioOutput::from_report(report),
+    };
+    report::suite_json("shard_equivalence", &[result]).render()
+}
+
+/// The fused reference versus every shard count, compared on the full
+/// rendered BENCH JSON (values, metrics, series — everything).
+fn assert_shards_reproduce_fused(spec: &ShardSpec, factory: &PartitionFactory) {
+    let fused = run_group(spec, factory);
+    assert_eq!(
+        fused.invalidations, 0,
+        "{}: scenario must be confined for the contract to hold",
+        spec.name
+    );
+    assert!(fused.total_ops > 0, "{}: the run did work", spec.name);
+    let reference = bench_json(fused);
+    for shards in [1u16, 2, 4] {
+        let merged = bench_json(run_sharded(spec, shards, factory));
+        assert_eq!(
+            merged, reference,
+            "{} BENCH JSON diverged from the fused reference at shards = {shards}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn micro_partitions_render_identical_bench_json() {
+    let factory = |p: u16| {
+        WorkloadSpec::Micro(MicroConfig {
+            n_threads: 4,
+            shared_pages: 512,
+            private_pages: 64,
+            seed: 7 + p as u64,
+            ..Default::default()
+        })
+        .build()
+    };
+    assert_shards_reproduce_fused(&spec("shard-equiv/micro", 4, false), &factory);
+}
+
+#[test]
+fn kvs_ycsb_c_partitions_render_identical_bench_json() {
+    // YCSB-C is read-only, so even cross-blade sharing inside a
+    // partition cannot generate invalidations.
+    let factory = |p: u16| {
+        WorkloadSpec::Kvs(KvsConfig {
+            n_partitions: 4,
+            partition_pages: 64,
+            seed: 17 + p as u64,
+            ..KvsConfig::ycsb_c(4)
+        })
+        .build()
+    };
+    assert_shards_reproduce_fused(&spec("shard-equiv/kvs", 4, false), &factory);
+}
+
+#[test]
+fn service_tenant_partitions_render_identical_bench_json() {
+    // The mind_service population: one replay thread, one region, and —
+    // via `domain_per_thread` — one protection domain per tenant.
+    let factory = tenant_partitions(TenantGroupConfig {
+        tenants_per_group: 8,
+        pages_per_tenant: 16,
+        read_ratio: 0.7,
+        seed: 42,
+    });
+    assert_shards_reproduce_fused(&spec("shard-equiv/service", 8, true), &factory);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The conservative-window drain never executes an event out of
+    /// timestamp order: within every horizon window, pops are
+    /// nondecreasing in time and never pass the window's horizon, and the
+    /// clock never regresses across windows — even while handlers keep
+    /// rescheduling follow-up events at or after the current time,
+    /// exactly as a partition's turn loop does.
+    #[test]
+    fn windowed_drain_pops_stay_in_timestamp_order(
+        seed in 0u64..10_000,
+        horizon_ns in 1u64..5_000,
+        n_events in 1usize..64,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        for id in 0..n_events as u32 {
+            queue.schedule(SimTime::from_nanos(rng.gen_below(10_000)), id);
+        }
+        let step = SimTime::from_nanos(horizon_ns);
+        let mut horizon = step;
+        let mut clock = SimTime::ZERO;
+        let mut reschedules_left = n_events;
+        let mut popped = 0usize;
+        while !queue.is_empty() {
+            let mut window_clock = SimTime::ZERO;
+            while let Some(at) = queue.peek_time() {
+                if at > horizon {
+                    break;
+                }
+                let ev = queue.pop().expect("peeked event exists");
+                prop_assert!(ev.at <= horizon, "event executed past the horizon");
+                prop_assert!(ev.at >= window_clock, "pops regressed within a window");
+                prop_assert!(ev.at >= clock, "the clock went backwards across windows");
+                window_clock = ev.at;
+                clock = ev.at;
+                popped += 1;
+                if reschedules_left > 0 && rng.gen_bool(0.5) {
+                    reschedules_left -= 1;
+                    queue.schedule(ev.at + SimTime::from_nanos(rng.gen_below(3_000)), ev.event);
+                }
+            }
+            horizon += step;
+        }
+        prop_assert_eq!(popped, n_events + (n_events - reschedules_left));
+    }
+
+    /// The window length is a scheduling knob, never a semantic one: any
+    /// horizon merges to the same report as the fused reference.
+    #[test]
+    fn random_horizons_never_change_the_merged_report(
+        horizon_us in 1u64..2_000,
+        shard_choice in 0usize..3,
+    ) {
+        let shards = [1u16, 2, 4][shard_choice];
+        let factory = tenant_partitions(TenantGroupConfig {
+            tenants_per_group: 2,
+            pages_per_tenant: 8,
+            read_ratio: 0.7,
+            seed: 9,
+        });
+        let mut s = spec("shard-equiv/horizon", 2, true);
+        s.run.ops_per_thread = 60;
+        s.run.warmup_ops_per_thread = 10;
+        s.horizon = SimTime::from_micros(horizon_us);
+        let fused = bench_json(run_group(&s, &factory));
+        let merged = bench_json(run_sharded(&s, shards, &factory));
+        prop_assert_eq!(
+            merged,
+            fused,
+            "horizon {}us diverged at shards = {}",
+            horizon_us,
+            shards
+        );
+    }
+}
