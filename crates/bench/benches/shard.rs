@@ -1,0 +1,49 @@
+//! Criterion benchmark for the multi-core sharded executor: host-side
+//! cost of replaying a partitioned multi-tenant population fused, sharded
+//! single-threaded, and sharded on 2/4 OS threads. Every cell replays the
+//! byte-identical simulation (the equivalence suite asserts it), so the
+//! axis isolates pure driver cost: sharding shrinks the per-tenant TCAM
+//! admission scans, threads spread the shard sub-clusters across cores
+//! (`cargo bench --bench shard`); `BENCH_datapath.json` (the `datapath`
+//! bin) reports the same sweep as wall seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mind_service::{population_spec, tenant_partitions, TenantGroupConfig};
+use mind_workloads::{run_group, run_sharded_threads};
+
+/// A population small enough to iterate under criterion but large enough
+/// that the per-tenant admission cost dominates: 16 × 64 = 1024 tenants.
+fn population() -> TenantGroupConfig {
+    TenantGroupConfig {
+        tenants_per_group: 64,
+        pages_per_tenant: 16,
+        read_ratio: 0.7,
+        seed: 42,
+    }
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let population = population();
+    let spec = population_spec("bench/shard", 16, population);
+    let factory = tenant_partitions(population);
+
+    let mut group = c.benchmark_group("shard");
+    group.bench_function("fused", |b| {
+        b.iter(|| run_group(&spec, &factory).expect("confined population"))
+    });
+    for shards in [4u16, 16] {
+        group.bench_function(&format!("s{shards}_t1"), |b| {
+            b.iter(|| run_sharded_threads(&spec, shards, 1, &factory).expect("confined"))
+        });
+    }
+    for threads in [2usize, 4] {
+        group.bench_function(&format!("s16_t{threads}"), |b| {
+            b.iter(|| run_sharded_threads(&spec, 16, threads, &factory).expect("confined"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -1,19 +1,29 @@
 //! The `datapath` figure: scalar vs op-batch pipeline replay throughput
 //! over batch sizes 1/8/64/256 plus the sharded large-scenario scaling
-//! point, writing `BENCH_datapath.json`. Pass `--quick` for the CI-sized
-//! variant. The `wall_*` / `shard_wall_*` values measure the host and
-//! vary run to run; the `sim_*` values are deterministic.
+//! points (shard counts, OS-thread counts, and the 131 072-tenant XL
+//! population), writing `BENCH_datapath.json`. Pass `--quick` for the
+//! CI-sized variant. The `wall_*` / `shard_wall_*` / `shard_xl_wall_*`
+//! values measure the host and vary run to run; the `sim_*` values are
+//! deterministic.
 //!
 //! Under `--quick` the bin doubles as a perf-guard: it exits non-zero if
-//! any regime's `wall_speedup_b64` falls below [`GUARD_FLOOR`] — batching
-//! regressing below scalar parity on any regime is the bug this figure
-//! exists to catch. The floor sits under 1.0 only to absorb wall-clock
-//! noise on loaded CI hosts; the committed full-run figures keep every
-//! regime at or above parity.
+//!
+//! - any regime's `wall_speedup_b64` falls below [`GUARD_FLOOR`] —
+//!   batching regressing below scalar parity on any regime is the bug
+//!   this figure exists to catch; or
+//! - the multi-core shard driver at the top shard count
+//!   (`shard_speedup_s4_t4`) falls below [`GUARD_FLOOR`] × the
+//!   single-threaded figure (`shard_speedup_s4`) — threads must never
+//!   cost wall time, and on a multi-core host they must gain it.
+//!
+//! The floor sits under 1.0 only to absorb wall-clock noise on loaded
+//! (or single-core) CI hosts; the committed full-run figures keep every
+//! guarded ratio at or above parity.
 
-use mind_bench::figures::datapath::BATCH_SIZES;
+use mind_bench::figures::datapath::{BATCH_SIZES, SHARD_COUNTS, SHARD_THREADS};
 
-/// Minimum accepted `wall_speedup_b64` per regime under `--quick`.
+/// Minimum accepted `wall_speedup_b64` per regime — and minimum accepted
+/// multi-thread/single-thread shard-speedup ratio — under `--quick`.
 const GUARD_FLOOR: f64 = 0.95;
 
 fn main() {
@@ -23,7 +33,10 @@ fn main() {
     }
     assert!(BATCH_SIZES.contains(&64), "guard batch size must be swept");
     let mut failed = false;
-    for r in results.iter().filter(|r| !r.name.ends_with("/shards")) {
+    for r in results
+        .iter()
+        .filter(|r| !r.name.ends_with("/shards") && !r.name.ends_with("/shards_xl"))
+    {
         let speedup = r.value("wall_speedup_b64");
         if speedup < GUARD_FLOOR {
             eprintln!(
@@ -34,8 +47,28 @@ fn main() {
             failed = true;
         }
     }
+    // The multi-core gate: at the top shard count, the threaded driver
+    // must keep (on one core) or beat (on many) the single-threaded
+    // sharded wall clock.
+    let top_shards = *SHARD_COUNTS.last().expect("non-empty");
+    let top_threads = *SHARD_THREADS.last().expect("non-empty");
+    if let Some(r) = results.iter().find(|r| r.name.ends_with("/shards")) {
+        let single = r.value(&format!("shard_speedup_s{top_shards}"));
+        let threaded = r.value(&format!("shard_speedup_s{top_shards}_t{top_threads}"));
+        if threaded < GUARD_FLOOR * single {
+            eprintln!(
+                "perf-guard: shard_speedup_s{top_shards}_t{top_threads} = {threaded:.3} < \
+                 {GUARD_FLOOR} x shard_speedup_s{top_shards} ({single:.3}) \
+                 (OS threads must not cost sharded wall time)"
+            );
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("perf-guard: every regime's wall_speedup_b64 >= {GUARD_FLOOR}");
+    println!(
+        "perf-guard: every regime's wall_speedup_b64 >= {GUARD_FLOOR}, and \
+         shard_speedup_s{top_shards}_t{top_threads} held >= {GUARD_FLOOR} x single-threaded"
+    );
 }

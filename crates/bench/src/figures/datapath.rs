@@ -33,26 +33,34 @@
 //! Finally the **shards axis** (`datapath/shards`): a large multi-tenant
 //! population — every tenant in its own protection domain — replayed
 //! fused and as 2/4 deterministic shards via
-//! [`mind_workloads::shard::run_sharded`]. The scenario first asserts the
-//! sharded replays are *byte-identical* to the fused serialized
-//! reference, then reports the wall-clock speedup sharding buys
-//! (`shard_speedup_s<K>`): per-tenant TCAM admission scans the rack-wide
-//! rule table, so the fused control plane pays O(tenants²) while each
-//! shard pays only for its slice. Like `wall_*`, `shard_wall_*` and
-//! `shard_speedup_*` measure the host; the `shard_sim_*` values are
-//! deterministic.
+//! [`mind_workloads::shard::run_sharded_threads`]. The scenario first
+//! asserts every (shard count × thread count) replay is *byte-identical*
+//! to the fused serialized reference, then reports the wall-clock speedup
+//! sharding buys (`shard_speedup_s<K>`): per-tenant TCAM admission scans
+//! the rack-wide rule table, so the fused control plane pays O(tenants²)
+//! while each shard pays only for its slice. The **threads axis**
+//! (`shard_wall_secs_s<K>_t<T>` / `shard_speedup_s<K>_t<T>`) re-measures
+//! the top shard count with 1/2/4 OS threads driving the shard
+//! sub-clusters — identical output, multi-core wall clock. Like `wall_*`,
+//! `shard_wall_*` and `shard_speedup_*` measure the host; the
+//! `shard_sim_*` values are deterministic.
+//!
+//! `datapath/shards_xl` scales the same population to 131 072 tenants —
+//! affordable only sharded ([`XL_SHARDS`] ways) and only because the
+//! shard driver is multi-core. With no affordable fused reference,
+//! determinism is asserted as byte-identity across thread counts, and
+//! those identity runs double as the `shard_xl_wall_secs_t<T>`
+//! measurements.
 
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mind_core::cluster::MindConfig;
 use mind_core::system::{ConsistencyModel, ScalarLoop};
 use mind_harness::{Scenario, ScenarioOutput, ScenarioResult, SystemSpec, WorkloadSpec};
-use mind_service::{tenant_partitions, TenantGroupConfig};
-use mind_sim::SimTime;
+use mind_service::{population_spec, tenant_partitions, TenantGroupConfig};
 use mind_workloads::micro::MicroConfig;
 use mind_workloads::runner::{self, RunConfig, RunReport};
-use mind_workloads::{run_group, run_sharded, ShardSpec};
+use mind_workloads::{run_group, run_sharded_threads, ShardSpec};
 
 use super::scaled_ops;
 use crate::print_table;
@@ -80,6 +88,13 @@ const OPS_PER_THREAD: u64 = 30_000;
 /// Shard counts the scaling point sweeps (1 = the fused serialized
 /// reference).
 pub const SHARD_COUNTS: [u16; 3] = [1, 2, 4];
+
+/// OS-thread counts the multi-core axis sweeps at the top shard count
+/// (1 = the single-threaded sharded driver the original figure measured).
+pub const SHARD_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Shard count of the 131 072-tenant `datapath/shards_xl` point.
+pub const XL_SHARDS: u16 = 16;
 
 /// Wall-clock passes for the sharded scaling point (each pass replays the
 /// whole population at every shard count, so fewer passes suffice).
@@ -241,40 +256,14 @@ fn run_window_point(regime: &Regime, batch_ops: u64, window: u32, ops: u64) -> (
 
 /// The large-scenario scaling point: `partitions` × `tenants_per_group`
 /// single-threaded tenants (16 384 in the full run), each in its own
-/// protection domain with a 16-page footprint, on a 16+16-blade rack. The
-/// population is confined by construction (single-threaded tenants never
-/// invalidate) and directory utilization stays at 1/4, so the sharded
-/// replay is byte-identical to the fused reference — which the scenario
-/// asserts before timing anything.
+/// protection domain with a 16-page footprint, on a 16+16-blade rack
+/// sized by [`mind_service::population_spec`]. The population is confined
+/// by construction (single-threaded tenants never invalidate) and
+/// directory utilization stays at 1/4, so the sharded replay is
+/// byte-identical to the fused reference — which the scenario asserts
+/// before timing anything.
 fn shard_spec(quick: bool) -> ShardSpec {
-    let partitions: u16 = 16;
-    let tenants_per_group: u16 = if quick { 256 } else { 1024 };
-    ShardSpec {
-        name: "datapath/shards".to_string(),
-        base: MindConfig {
-            n_compute: partitions,
-            n_memory: partitions,
-            cache_pages: 4096,
-            blade_span: 1 << 27,
-            memory_blade_bytes: 1 << 27,
-            // 4 initial 16 KB regions per 64 KB tenant: 65 536 regions at
-            // the full population, 1/4 of capacity (the merge phase stays
-            // gated, condition 4 of the determinism contract).
-            dir_capacity: 262_144,
-            rule_capacity: 65_536,
-            ..MindConfig::default()
-        },
-        partitions,
-        run: RunConfig {
-            ops_per_thread: 8,
-            warmup_ops_per_thread: 0,
-            threads_per_blade: tenants_per_group,
-            ..Default::default()
-        }
-        .with_batch_ops(8),
-        horizon: SimTime::from_micros(50),
-        domain_per_thread: true,
-    }
+    population_spec("datapath/shards", 16, shard_population(quick))
 }
 
 /// The tenant population behind [`shard_spec`], keyed by global partition
@@ -282,6 +271,26 @@ fn shard_spec(quick: bool) -> ShardSpec {
 fn shard_population(quick: bool) -> TenantGroupConfig {
     TenantGroupConfig {
         tenants_per_group: if quick { 256 } else { 1024 },
+        pages_per_tenant: 16,
+        read_ratio: 0.7,
+        seed: 42,
+    }
+}
+
+/// The multi-core scaling point: the shard population grown to 131 072
+/// tenants (16 × 8192, `--quick` included) — a footprint whose fused
+/// O(tenants²) admission makes the serialized reference unaffordable, so
+/// the point runs sharded only, at [`XL_SHARDS`] shards. Determinism is
+/// asserted the way the multi-core contract states it: the merged report
+/// is byte-identical across every thread count in [`SHARD_THREADS`].
+fn shard_xl_spec() -> ShardSpec {
+    population_spec("datapath/shards_xl", 16, shard_xl_population())
+}
+
+/// The tenant population behind [`shard_xl_spec`].
+fn shard_xl_population() -> TenantGroupConfig {
+    TenantGroupConfig {
+        tenants_per_group: 8192,
         pages_per_tenant: 16,
         read_ratio: 0.7,
         seed: 42,
@@ -394,30 +403,47 @@ pub fn build(quick: bool) -> Vec<Scenario> {
         let tenants = spec.partitions as u64 * spec.run.threads_per_blade as u64;
 
         // Determinism first: the fused serialized reference, then every
-        // shard count checked byte-identical against it before any
-        // wall-clock pass is trusted.
-        let reference = run_group(&spec, &factory);
+        // (shard count × thread count) cell checked byte-identical
+        // against it before any wall-clock pass is trusted. Thread
+        // counts are asserted explicitly — the multi-core driver's
+        // contract is that they are invisible in the output.
+        let reference = run_group(&spec, &factory).expect("confined population");
         assert_eq!(reference.invalidations, 0, "population must be confined");
         for &shards in &SHARD_COUNTS {
-            let merged = run_sharded(&spec, shards, &factory);
-            assert_eq!(
-                report_key(&reference),
-                report_key(&merged),
-                "sharded replay diverged from the serialized reference at shards={shards}"
-            );
-            assert_eq!(reference.metrics, merged.metrics, "shards={shards}");
-            assert_eq!(reference.window_metrics, merged.window_metrics, "shards={shards}");
+            for &threads in &SHARD_THREADS {
+                let merged =
+                    run_sharded_threads(&spec, shards, threads, &factory).expect("confined");
+                assert_eq!(
+                    report_key(&reference),
+                    report_key(&merged),
+                    "sharded replay diverged from the serialized reference at \
+                     shards={shards} threads={threads}"
+                );
+                assert_eq!(reference.metrics, merged.metrics, "shards={shards}");
+                assert_eq!(reference.window_metrics, merged.window_metrics, "shards={shards}");
+            }
         }
 
-        // Wall clock, pass-major across shard counts (same drift
-        // reasoning as the batch sweep).
+        // Wall clock, pass-major across cells (same drift reasoning as
+        // the batch sweep): the classic shard axis single-threaded, plus
+        // the thread axis at the top shard count.
+        let top_shards = *SHARD_COUNTS.last().expect("non-empty");
         let mut best = [f64::INFINITY; SHARD_COUNTS.len()];
+        let mut best_threads = [f64::INFINITY; SHARD_THREADS.len()];
         for _ in 0..SHARD_PASSES {
             for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
                 let start = Instant::now();
-                let merged = run_sharded(&spec, shards, &factory);
+                let merged = run_sharded_threads(&spec, shards, 1, &factory).expect("confined");
                 let secs = start.elapsed().as_secs_f64().max(1e-9);
                 best[i] = best[i].min(secs);
+                assert_eq!(report_key(&reference), report_key(&merged));
+            }
+            for (i, &threads) in SHARD_THREADS.iter().enumerate() {
+                let start = Instant::now();
+                let merged =
+                    run_sharded_threads(&spec, top_shards, threads, &factory).expect("confined");
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                best_threads[i] = best_threads[i].min(secs);
                 assert_eq!(report_key(&reference), report_key(&merged));
             }
         }
@@ -432,6 +458,69 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                 out = out.value(
                     format!("shard_speedup_s{shards}"),
                     best[0] / best[i].max(1e-12),
+                );
+            }
+        }
+        for (i, &threads) in SHARD_THREADS.iter().enumerate() {
+            out = out.value(
+                format!("shard_wall_secs_s{top_shards}_t{threads}"),
+                best_threads[i],
+            );
+            out = out.value(
+                format!("shard_speedup_s{top_shards}_t{threads}"),
+                best[0] / best_threads[i].max(1e-12),
+            );
+        }
+        out
+    }));
+
+    table.push(Scenario::custom("datapath/shards_xl".to_string(), move || {
+        let _serial = MEASURE_LOCK.lock().expect("measure lock");
+        let spec = shard_xl_spec();
+        let factory = tenant_partitions(shard_xl_population());
+        let tenants = spec.partitions as u64 * spec.run.threads_per_blade as u64;
+
+        // No fused reference at this scale (per-tenant TCAM admission
+        // makes the fused control plane pay O(tenants²)); determinism is
+        // asserted as the multi-core contract states it — byte-identical
+        // merged reports across thread counts — and the identity runs
+        // double as the wall-clock measurements (one pass per cell).
+        let mut reference: Option<RunReport> = None;
+        let mut wall = [f64::INFINITY; SHARD_THREADS.len()];
+        for (i, &threads) in SHARD_THREADS.iter().enumerate() {
+            let start = Instant::now();
+            let merged =
+                run_sharded_threads(&spec, XL_SHARDS, threads, &factory).expect("confined");
+            wall[i] = start.elapsed().as_secs_f64().max(1e-9);
+            match &reference {
+                None => {
+                    assert_eq!(merged.invalidations, 0, "population must be confined");
+                    reference = Some(merged);
+                }
+                Some(reference) => {
+                    assert_eq!(
+                        report_key(reference),
+                        report_key(&merged),
+                        "thread count changed the merged report at threads={threads}"
+                    );
+                    assert_eq!(reference.metrics, merged.metrics, "threads={threads}");
+                    assert_eq!(reference.window_metrics, merged.window_metrics);
+                }
+            }
+        }
+        let reference = reference.expect("at least one thread count");
+
+        let mut out = ScenarioOutput::default()
+            .value("shard_xl_tenants", tenants as f64)
+            .value("shard_xl_shards", XL_SHARDS as f64)
+            .value("shard_xl_total_ops", reference.total_ops as f64)
+            .value("shard_xl_sim_runtime_ns", reference.runtime.as_nanos() as f64);
+        for (i, &threads) in SHARD_THREADS.iter().enumerate() {
+            out = out.value(format!("shard_xl_wall_secs_t{threads}"), wall[i]);
+            if threads > 1 {
+                out = out.value(
+                    format!("shard_xl_speedup_t{threads}"),
+                    wall[0] / wall[i].max(1e-12),
                 );
             }
         }
@@ -514,7 +603,7 @@ pub fn present(results: &[ScenarioResult]) {
         println!("   {:<10} {}", regime.key, regime.title);
     }
 
-    // The sharded scaling point rides as the table's last scenario.
+    // The sharded scaling point rides as the table's last scenarios.
     if let Some(r) = results.iter().find(|r| r.name.ends_with("/shards")) {
         let mut cells = vec![
             format!("{:.0}", r.value("shard_tenants")),
@@ -529,6 +618,45 @@ pub fn present(results: &[ScenarioResult]) {
             "datapath — sharded large-scenario replay (byte-identical to the fused \
              reference; wall seconds, speedup vs shards=1)",
             &["tenants", "ops", "s=1", "s=2", "s=4", "speedup s2", "speedup s4"],
+            &[cells],
+        );
+        let top_shards = *SHARD_COUNTS.last().expect("non-empty");
+        let mut cells = vec![format!("s={top_shards}")];
+        for &threads in &SHARD_THREADS {
+            cells.push(format!(
+                "{:.2}s",
+                r.value(&format!("shard_wall_secs_s{top_shards}_t{threads}"))
+            ));
+        }
+        for &threads in &SHARD_THREADS {
+            cells.push(format!(
+                "{:.2}x",
+                r.value(&format!("shard_speedup_s{top_shards}_t{threads}"))
+            ));
+        }
+        print_table(
+            "datapath — multi-core shard execution (OS threads over the same shards; \
+             byte-identical output, speedup vs shards=1 single-threaded)",
+            &["cell", "t=1", "t=2", "t=4", "speedup t1", "speedup t2", "speedup t4"],
+            &[cells],
+        );
+    }
+    if let Some(r) = results.iter().find(|r| r.name.ends_with("/shards_xl")) {
+        let mut cells = vec![
+            format!("{:.0}", r.value("shard_xl_tenants")),
+            format!("{:.0}", r.value("shard_xl_shards")),
+            format!("{:.0}", r.value("shard_xl_total_ops")),
+        ];
+        for &threads in &SHARD_THREADS {
+            cells.push(format!(
+                "{:.2}s",
+                r.value(&format!("shard_xl_wall_secs_t{threads}"))
+            ));
+        }
+        print_table(
+            "datapath — 131 072-tenant sharded replay (no affordable fused reference; \
+             byte-identical across thread counts; wall seconds per thread count)",
+            &["tenants", "shards", "ops", "t=1", "t=2", "t=4"],
             &[cells],
         );
     }

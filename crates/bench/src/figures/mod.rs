@@ -138,6 +138,12 @@ pub fn all() -> Vec<Figure> {
             present: service::elastic_present,
         },
         Figure {
+            name: "service_scale",
+            title: "service: 10^5-tenant sharded populations on the multi-core executor",
+            build: service::scale_build,
+            present: service::scale_present,
+        },
+        Figure {
             name: "datapath",
             title: "datapath: scalar vs op-batch pipeline replay throughput",
             build: datapath::build,

@@ -1,6 +1,7 @@
 //! The `service` figure family: the multi-tenant serving layer
-//! (`mind_service`) swept along its three new axes — offered load vs QoS
-//! class, tenant churn, and per-tenant elasticity.
+//! (`mind_service`) swept along its four axes — offered load vs QoS
+//! class, tenant churn, per-tenant elasticity, and static population
+//! scale (10⁵ tenants through the multi-core sharded executor).
 //!
 //! These figures go beyond the paper: §4.2's protection domains and the
 //! controller's round-robin placement exist there as *mechanisms*; here
@@ -8,9 +9,12 @@
 //! arriving, leaving, and contending at once — and judged by the numbers
 //! an operator owes each tenant (p50/p99/p99.9, throughput, rejects).
 
-use mind_harness::{Scenario, ScenarioResult, ServiceSpec};
-use mind_service::{AccessPattern, ServiceConfig};
+use mind_harness::{Scenario, ScenarioOutput, ScenarioResult, ServiceSpec};
+use mind_service::{
+    population_spec, tenant_partitions, AccessPattern, ServiceConfig, TenantGroupConfig,
+};
 use mind_sim::SimTime;
+use mind_workloads::{run_group, run_sharded};
 
 use crate::print_table;
 
@@ -240,6 +244,102 @@ pub fn elastic_present(results: &[ScenarioResult]) {
         "service — elastic blade assignment vs per-tenant offered load (20 k/s per blade)",
         &[
             "req/s/tenant", "tenants", "mean peak blades", "max peak", "ops", "MOPS",
+        ],
+        &rows,
+    );
+}
+
+// ---- service_scale: 10^5-tenant static populations, sharded ----
+//
+// The serving layer's steady state scaled past what the event loop (or
+// the fused replay) can host: 4 096 -> 131 072 single-threaded tenants
+// built by `mind_service::population_spec` and replayed through the
+// multi-core sharded executor. The smallest point is also replayed fused
+// and checked byte-identical — the determinism contract extends to the
+// larger points by construction (same population shape, same confinement).
+// Expected shape: simulated MOPS grows roughly linearly with the tenant
+// count (tenants are independent), while fused-equivalent wall cost would
+// grow quadratically — the reason only the sharded path reaches 10^5.
+
+/// Tenants-per-partition sweep of the scale family (16 partitions each:
+/// 4 096, 16 384, and 131 072 total tenants). `--quick` drops the
+/// largest point; the `datapath/shards_xl` perf point covers it in CI.
+const SCALE_GROUPS: [u16; 3] = [256, 1024, 8192];
+
+/// Shards the scale points replay at.
+const SCALE_SHARDS: u16 = 16;
+
+fn scale_points(quick: bool) -> Vec<u16> {
+    let mut points: Vec<u16> = SCALE_GROUPS.to_vec();
+    if quick {
+        points.pop();
+    }
+    points
+}
+
+/// Scenario table for the population-scale figure.
+pub fn scale_build(quick: bool) -> Vec<Scenario> {
+    scale_points(quick)
+        .into_iter()
+        .map(|tenants_per_group| {
+            Scenario::custom(
+                format!("service_scale/tenants{}", 16 * tenants_per_group as u32),
+                move || {
+                    let population = TenantGroupConfig {
+                        tenants_per_group,
+                        pages_per_tenant: 16,
+                        read_ratio: 0.7,
+                        seed: 42,
+                    };
+                    let spec = population_spec("service_scale", 16, population);
+                    let factory = tenant_partitions(population);
+                    let merged =
+                        run_sharded(&spec, SCALE_SHARDS, &factory).expect("confined population");
+                    assert_eq!(merged.invalidations, 0, "population must be confined");
+                    if tenants_per_group == SCALE_GROUPS[0] {
+                        // Affordable only here: the fused serialized
+                        // reference, asserting the contract end to end.
+                        let fused = run_group(&spec, &factory).expect("confined population");
+                        assert_eq!(fused.runtime, merged.runtime, "sharded replay diverged");
+                        assert_eq!(fused.total_ops, merged.total_ops);
+                        assert_eq!(fused.mops.to_bits(), merged.mops.to_bits());
+                        assert_eq!(fused.metrics, merged.metrics);
+                    }
+                    ScenarioOutput::default()
+                        .value("tenants", 16.0 * tenants_per_group as f64)
+                        .value("total_ops", merged.total_ops as f64)
+                        .value("sim_runtime_ns", merged.runtime.as_nanos() as f64)
+                        .value("sim_mops", merged.mops)
+                        .value("remote_per_op", merged.remote_per_op)
+                        .value("p999_ns", merged.latency.quantile(0.999) as f64)
+                },
+            )
+        })
+        .collect()
+}
+
+/// Prints the population-scale figure.
+pub fn scale_present(results: &[ScenarioResult]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.value("tenants")),
+                format!("{:.0}", r.value("total_ops")),
+                format!("{:.3}", r.value("sim_runtime_ns") / 1e6),
+                format!("{:.3}", r.value("sim_mops")),
+                format!("{:.2}", r.value("remote_per_op")),
+                us(r.value("p999_ns") as u64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "service — sharded static populations ({SCALE_SHARDS} shards, multi-core; \
+             smallest point asserted byte-identical to the fused reference)"
+        ),
+        &[
+            "tenants", "ops", "sim ms", "sim MOPS", "remote/op", "p99.9(us)",
         ],
         &rows,
     );

@@ -19,10 +19,54 @@
 //! Bounded-Splitting behaviour — identical between the fused rack and the
 //! sub-clusters.
 
+use std::fmt;
 use std::ops::Range;
 
 use crate::addr::VA_BASE;
 use crate::cluster::MindConfig;
+
+/// Why a rack cannot divide into the requested partitions. Each variant
+/// names the invariant that failed, so a misconfigured sharded scenario
+/// reports *what* to fix instead of aborting mid-setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Zero partitions requested.
+    ZeroPartitions,
+    /// Compute blades do not divide evenly into the partitions.
+    UnevenCompute { blades: u16, partitions: u16 },
+    /// Memory blades do not divide evenly into the partitions.
+    UnevenMemory { blades: u16, partitions: u16 },
+    /// Directory slots do not divide evenly into the partitions.
+    UnevenDirCapacity { capacity: usize, partitions: u16 },
+    /// Match-action rules do not divide evenly into the partitions.
+    UnevenRuleCapacity { capacity: usize, partitions: u16 },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PartitionError::ZeroPartitions => write!(f, "at least one partition required"),
+            PartitionError::UnevenCompute { blades, partitions } => write!(
+                f,
+                "{blades} compute blades do not divide into {partitions} partitions"
+            ),
+            PartitionError::UnevenMemory { blades, partitions } => write!(
+                f,
+                "{blades} memory blades do not divide into {partitions} partitions"
+            ),
+            PartitionError::UnevenDirCapacity { capacity, partitions } => write!(
+                f,
+                "dir_capacity {capacity} does not divide into {partitions} partitions"
+            ),
+            PartitionError::UnevenRuleCapacity { capacity, partitions } => write!(
+                f,
+                "rule_capacity {capacity} does not divide into {partitions} partitions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 /// How a rack's blades divide into `partitions` symmetric slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,27 +88,39 @@ impl PartitionLayout {
     ///
     /// Panics if `partitions` is zero or does not evenly divide both blade
     /// counts — asymmetric partitions would not be interchangeable with
-    /// the sub-clusters [`MindConfig::partition`] builds.
+    /// the sub-clusters [`MindConfig::partition`] builds. Fallible setup
+    /// paths use [`PartitionLayout::try_new`] instead.
     pub fn new(cfg: &MindConfig, partitions: u16) -> Self {
-        assert!(partitions > 0, "at least one partition");
-        assert_eq!(
-            cfg.n_compute % partitions,
-            0,
-            "{} compute blades do not divide into {partitions} partitions",
-            cfg.n_compute
-        );
-        assert_eq!(
-            cfg.n_memory % partitions,
-            0,
-            "{} memory blades do not divide into {partitions} partitions",
-            cfg.n_memory
-        );
-        PartitionLayout {
+        match Self::try_new(cfg, partitions) {
+            Ok(layout) => layout,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Computes the layout of `cfg` divided into `partitions` slices,
+    /// reporting which symmetry invariant failed instead of panicking.
+    pub fn try_new(cfg: &MindConfig, partitions: u16) -> Result<Self, PartitionError> {
+        if partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        if !cfg.n_compute.is_multiple_of(partitions) {
+            return Err(PartitionError::UnevenCompute {
+                blades: cfg.n_compute,
+                partitions,
+            });
+        }
+        if !cfg.n_memory.is_multiple_of(partitions) {
+            return Err(PartitionError::UnevenMemory {
+                blades: cfg.n_memory,
+                partitions,
+            });
+        }
+        Ok(PartitionLayout {
             partitions,
             compute_per_partition: cfg.n_compute / partitions,
             memory_per_partition: cfg.n_memory / partitions,
             blade_span: cfg.blade_span,
-        }
+        })
     }
 
     /// The compute blades owned by partition `p`.
@@ -108,28 +164,39 @@ impl MindConfig {
     ///
     /// Panics if `factor` does not evenly divide the blade counts or the
     /// directory/rule capacities — uneven shares would change the resource
-    /// pressure a partition sees relative to the fused rack.
+    /// pressure a partition sees relative to the fused rack. Fallible
+    /// setup paths use [`MindConfig::try_partition`] instead.
     pub fn partition(&self, factor: u16) -> MindConfig {
-        let layout = PartitionLayout::new(self, factor);
-        assert_eq!(
-            self.dir_capacity % factor as usize,
-            0,
-            "dir_capacity {} does not divide into {factor} partitions",
-            self.dir_capacity
-        );
-        assert_eq!(
-            self.rule_capacity % factor as usize,
-            0,
-            "rule_capacity {} does not divide into {factor} partitions",
-            self.rule_capacity
-        );
-        MindConfig {
+        match self.try_partition(factor) {
+            Ok(sub) => sub,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The sub-cluster configuration hosting `1/factor` of this rack,
+    /// reporting which divisibility invariant failed instead of
+    /// panicking.
+    pub fn try_partition(&self, factor: u16) -> Result<MindConfig, PartitionError> {
+        let layout = PartitionLayout::try_new(self, factor)?;
+        if !self.dir_capacity.is_multiple_of(factor as usize) {
+            return Err(PartitionError::UnevenDirCapacity {
+                capacity: self.dir_capacity,
+                partitions: factor,
+            });
+        }
+        if !self.rule_capacity.is_multiple_of(factor as usize) {
+            return Err(PartitionError::UnevenRuleCapacity {
+                capacity: self.rule_capacity,
+                partitions: factor,
+            });
+        }
+        Ok(MindConfig {
             n_compute: layout.compute_per_partition,
             n_memory: layout.memory_per_partition,
             dir_capacity: self.dir_capacity / factor as usize,
             rule_capacity: self.rule_capacity / factor as usize,
             ..*self
-        }
+        })
     }
 }
 
@@ -209,5 +276,42 @@ mod tests {
         let mut base = cfg(8, 4);
         base.dir_capacity = 4_001;
         base.partition(4);
+    }
+
+    #[test]
+    fn try_new_names_the_failed_invariant() {
+        assert_eq!(
+            PartitionLayout::try_new(&cfg(8, 4), 0),
+            Err(PartitionError::ZeroPartitions)
+        );
+        assert_eq!(
+            PartitionLayout::try_new(&cfg(6, 4), 4),
+            Err(PartitionError::UnevenCompute { blades: 6, partitions: 4 })
+        );
+        assert_eq!(
+            PartitionLayout::try_new(&cfg(8, 6), 4),
+            Err(PartitionError::UnevenMemory { blades: 6, partitions: 4 })
+        );
+        assert!(PartitionLayout::try_new(&cfg(8, 4), 4).is_ok());
+    }
+
+    #[test]
+    fn try_partition_names_the_failed_capacity() {
+        let mut base = cfg(8, 4);
+        base.dir_capacity = 4_001;
+        assert_eq!(
+            base.try_partition(4).unwrap_err(),
+            PartitionError::UnevenDirCapacity { capacity: 4_001, partitions: 4 }
+        );
+        base.dir_capacity = 4_000;
+        base.rule_capacity = 8_001;
+        assert_eq!(
+            base.try_partition(4).unwrap_err(),
+            PartitionError::UnevenRuleCapacity { capacity: 8_001, partitions: 4 }
+        );
+        base.rule_capacity = 8_000;
+        assert!(base.try_partition(4).is_ok());
+        let display = format!("{}", PartitionError::UnevenCompute { blades: 6, partitions: 4 });
+        assert!(display.contains("6 compute blades"), "{display}");
     }
 }

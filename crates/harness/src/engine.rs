@@ -9,9 +9,19 @@
 //! never *what* it computes; reassembling results by index erases the
 //! scheduling order. `MIND_THREADS=1` forces a serial run (the reference
 //! ordering the determinism tests compare against).
+//!
+//! While a table runs, the engine claims its extra workers from the
+//! process-wide [`mind_sim::threads`] budget. The worker count itself is
+//! an explicit override (`MIND_THREADS` or [`Engine::new`]) and is
+//! honoured verbatim; the claim exists so *nested* polite consumers —
+//! a scenario calling `mind_workloads::shard::run_sharded` inside a
+//! worker — see no headroom and degrade to their sequential path instead
+//! of multiplying the two thread counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use mind_sim::threads;
 
 use crate::scenario::{Scenario, ScenarioResult};
 
@@ -71,8 +81,13 @@ impl Engine {
         let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
 
+        // Account the extra workers in the process-wide ledger for the
+        // duration of the table (released on drop).
+        let workers = self.threads.min(n);
+        let _claim = threads::budget().claim(workers - 1);
+
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {

@@ -39,5 +39,5 @@ pub mod tenant;
 pub use admission::AdmitError;
 pub use qos::QosClass;
 pub use service::{ClassReport, MemoryService, ServiceConfig, ServiceReport};
-pub use shard::{tenant_partitions, TenantGroup, TenantGroupConfig};
+pub use shard::{population_spec, tenant_partitions, TenantGroup, TenantGroupConfig};
 pub use tenant::{AccessPattern, Tenant, TenantId, TenantSlo, TenantWorkload};

@@ -17,8 +17,11 @@
 //! and the population satisfies the sharding determinism contract (no
 //! invalidations) by construction.
 
-use mind_sim::SimRng;
+use mind_core::cluster::MindConfig;
+use mind_sim::{SimRng, SimTime};
+use mind_workloads::runner::RunConfig;
 use mind_workloads::trace::{TraceOp, Workload};
+use mind_workloads::ShardSpec;
 
 use crate::tenant::{AccessPattern, TenantWorkload};
 
@@ -111,6 +114,57 @@ pub fn tenant_partitions(cfg: TenantGroupConfig) -> impl Fn(u16) -> Box<dyn Work
     move |group| Box::new(TenantGroup::new(&cfg, group))
 }
 
+/// Sizes a rack and [`ShardSpec`] for `partitions × cfg.tenants_per_group`
+/// tenants — the constructor behind the 10⁵-tenant scenario family.
+///
+/// Every capacity scales with the population so the determinism contract
+/// holds at any size:
+///
+/// - one compute and one memory blade per partition, the blade sized to
+///   2× the partition's aggregate footprint;
+/// - directory capacity at 4× the initial region-entry population (16 KB
+///   initial regions), keeping utilization at ¼ — half the contract's ½
+///   ceiling;
+/// - rule capacity at 4 rules per tenant (each tenant is its own
+///   protection domain), rounded to a power of two so every shard count
+///   that divides `partitions` also divides the capacities.
+///
+/// The returned spec replays 8-op turns in batches of 8 with no warmup
+/// and a 50 µs conservative window; pair it with
+/// [`tenant_partitions`]`(cfg)`.
+pub fn population_spec(name: &str, partitions: u16, cfg: TenantGroupConfig) -> ShardSpec {
+    let total = partitions as u64 * cfg.tenants_per_group as u64;
+    let region_bytes = cfg.pages_per_tenant << 12;
+    // Initial directory entries materialize at 16 KB granularity.
+    let entries_per_tenant = (region_bytes >> 14).max(1);
+    let dir_capacity = (entries_per_tenant * total * 4).next_power_of_two() as usize;
+    let rule_capacity = (total * 4).next_power_of_two() as usize;
+    let blade_bytes = (cfg.tenants_per_group as u64 * region_bytes * 2).next_power_of_two();
+    ShardSpec {
+        name: name.to_string(),
+        base: MindConfig {
+            n_compute: partitions,
+            n_memory: partitions,
+            cache_pages: 4096,
+            blade_span: blade_bytes,
+            memory_blade_bytes: blade_bytes,
+            dir_capacity,
+            rule_capacity,
+            ..MindConfig::default()
+        },
+        partitions,
+        run: RunConfig {
+            ops_per_thread: 8,
+            warmup_ops_per_thread: 0,
+            threads_per_blade: cfg.tenants_per_group,
+            ..Default::default()
+        }
+        .with_batch_ops(8),
+        horizon: SimTime::from_micros(50),
+        domain_per_thread: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +208,47 @@ mod tests {
             same &= a.next_op(1) == c.next_op(1);
         }
         assert!(!same, "different groups draw different streams");
+    }
+
+    #[test]
+    fn population_spec_scales_capacities_with_the_population() {
+        // The committed datapath/shards geometry: 16 × 1024 tenants of 16
+        // pages each must come out exactly as the hand-sized original.
+        let pop = TenantGroupConfig {
+            tenants_per_group: 1024,
+            pages_per_tenant: 16,
+            read_ratio: 0.7,
+            seed: 42,
+        };
+        let spec = population_spec("pop", 16, pop);
+        assert_eq!(spec.base.n_compute, 16);
+        assert_eq!(spec.base.dir_capacity, 262_144, "1/4 utilization");
+        assert_eq!(spec.base.rule_capacity, 65_536);
+        assert_eq!(spec.base.memory_blade_bytes, 1 << 27);
+        assert_eq!(spec.run.threads_per_blade, 1024);
+        assert!(spec.domain_per_thread);
+        // Power-of-two capacities divide every power-of-two shard count.
+        for shards in [1u16, 2, 4, 8, 16] {
+            assert!(spec.base.try_partition(shards).is_ok(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn population_spec_is_confined_at_small_scale() {
+        let pop = TenantGroupConfig {
+            tenants_per_group: 8,
+            pages_per_tenant: 16,
+            read_ratio: 0.7,
+            seed: 7,
+        };
+        let spec = population_spec("pop-small", 4, pop);
+        let factory = tenant_partitions(pop);
+        let fused = mind_workloads::run_group(&spec, &factory).expect("confined population");
+        assert_eq!(fused.invalidations, 0, "single-threaded tenants never share");
+        let sharded = mind_workloads::run_sharded(&spec, 4, &factory).expect("confined population");
+        assert_eq!(fused.total_ops, sharded.total_ops);
+        assert_eq!(fused.runtime, sharded.runtime);
+        assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
     }
 
     #[test]

@@ -15,8 +15,10 @@ pub mod event;
 pub mod hash;
 pub mod rng;
 pub mod stats;
+pub mod threads;
 pub mod time;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
+pub use threads::{ThreadBudget, ThreadReservation};
 pub use time::SimTime;

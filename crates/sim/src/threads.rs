@@ -1,0 +1,201 @@
+//! A process-wide thread budget for nested parallelism.
+//!
+//! Two layers of this workspace run on OS threads: the harness engine
+//! fans scenarios across `MIND_THREADS` workers, and the sharded executor
+//! ([`mind_workloads::shard`]) advances shard sub-clusters on threads of
+//! its own. Neither layer knows about the other, so without coordination
+//! an engine worker that starts a sharded replay would multiply the two
+//! counts and oversubscribe the host. This module is that coordination: a
+//! single process-wide [`ThreadBudget`] sized to the machine (or to
+//! `MIND_THREAD_BUDGET`), from which every layer accounts for the *extra*
+//! threads it spins up.
+//!
+//! Two disciplines, one ledger:
+//!
+//! - [`ThreadBudget::reserve`] asks for up to `want` extra threads and is
+//!   granted only what the ledger has left — the polite default. A nested
+//!   consumer inside a fully-subscribed engine is granted zero extras and
+//!   degrades to its sequential path.
+//! - [`ThreadBudget::claim`] takes exactly `n` extra slots even past the
+//!   total — for explicit operator overrides (`MIND_THREADS=7`,
+//!   `MIND_SHARD_THREADS=4`, an explicit API thread count). The ledger
+//!   then shows no headroom, so *other* polite consumers stop spawning;
+//!   the override itself is honoured verbatim.
+//!
+//! Thread counts never affect simulation results anywhere in this
+//! workspace (parallel output is byte-identical to serial by
+//! construction), so the budget is purely a performance valve: granting
+//! fewer threads than asked can never change what a run computes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the process-wide budget total
+/// (defaults to the machine's available parallelism).
+pub const BUDGET_ENV: &str = "MIND_THREAD_BUDGET";
+
+/// The process-wide ledger of threads in use.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    /// Target concurrency: threads the process should keep busy at once.
+    total: usize,
+    /// Threads currently accounted for, including the calling thread's
+    /// own slot (the ledger starts at 1, never 0).
+    in_use: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// A budget targeting `total` concurrent threads (min 1). The calling
+    /// thread's slot is pre-accounted.
+    pub fn new(total: usize) -> Self {
+        ThreadBudget {
+            total: total.max(1),
+            in_use: AtomicUsize::new(1),
+        }
+    }
+
+    /// Target concurrency of this budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Extra threads the ledger has left to grant (0 when oversubscribed).
+    pub fn available(&self) -> usize {
+        self.total.saturating_sub(self.in_use.load(Ordering::Acquire))
+    }
+
+    /// Reserves up to `want` extra threads, granting what is available.
+    /// The grant is released when the returned [`ThreadReservation`] drops.
+    pub fn reserve(&self, want: usize) -> ThreadReservation<'_> {
+        let mut current = self.in_use.load(Ordering::Acquire);
+        loop {
+            let granted = self.total.saturating_sub(current).min(want);
+            if granted == 0 {
+                return ThreadReservation { budget: self, granted: 0 };
+            }
+            match self.in_use.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return ThreadReservation { budget: self, granted },
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Claims exactly `n` extra threads, even past the total — the
+    /// explicit-override discipline. The ledger may go oversubscribed;
+    /// polite [`ThreadBudget::reserve`] callers then get nothing until
+    /// the returned [`ThreadReservation`] drops.
+    pub fn claim(&self, n: usize) -> ThreadReservation<'_> {
+        self.in_use.fetch_add(n, Ordering::AcqRel);
+        ThreadReservation { budget: self, granted: n }
+    }
+}
+
+/// A live grant from a [`ThreadBudget`]; gives the slots back on drop.
+#[derive(Debug)]
+pub struct ThreadReservation<'a> {
+    budget: &'a ThreadBudget,
+    granted: usize,
+}
+
+impl ThreadReservation<'_> {
+    /// Extra threads this reservation holds (beyond the caller's own).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// Total parallel lanes the holder may run: its own thread plus the
+    /// granted extras.
+    pub fn lanes(&self) -> usize {
+        self.granted + 1
+    }
+}
+
+impl Drop for ThreadReservation<'_> {
+    fn drop(&mut self) {
+        self.budget.in_use.fetch_sub(self.granted, Ordering::AcqRel);
+    }
+}
+
+/// The process-wide budget: `MIND_THREAD_BUDGET` if set and parseable,
+/// otherwise the machine's available parallelism.
+pub fn budget() -> &'static ThreadBudget {
+    static BUDGET: OnceLock<ThreadBudget> = OnceLock::new();
+    BUDGET.get_or_init(|| {
+        let total = std::env::var(BUDGET_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadBudget::new(total)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_grants_only_whats_left() {
+        let b = ThreadBudget::new(4);
+        assert_eq!(b.available(), 3, "own slot pre-accounted");
+        let r1 = b.reserve(2);
+        assert_eq!(r1.granted(), 2);
+        assert_eq!(r1.lanes(), 3);
+        let r2 = b.reserve(5);
+        assert_eq!(r2.granted(), 1, "only one slot left");
+        let r3 = b.reserve(1);
+        assert_eq!(r3.granted(), 0, "exhausted");
+        assert_eq!(r3.lanes(), 1, "degrades to sequential");
+        drop(r1);
+        assert_eq!(b.available(), 2);
+    }
+
+    #[test]
+    fn claim_oversubscribes_and_releases() {
+        let b = ThreadBudget::new(2);
+        let c = b.claim(6);
+        assert_eq!(c.granted(), 6);
+        assert_eq!(b.available(), 0, "oversubscribed");
+        assert_eq!(b.reserve(1).granted(), 0, "polite callers starved");
+        drop(c);
+        assert_eq!(b.available(), 1);
+    }
+
+    #[test]
+    fn zero_total_clamps_to_one() {
+        let b = ThreadBudget::new(0);
+        assert_eq!(b.total(), 1);
+        assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn process_budget_is_a_singleton() {
+        assert!(std::ptr::eq(budget(), budget()));
+        assert!(budget().total() >= 1);
+    }
+
+    #[test]
+    fn reservations_are_concurrency_safe() {
+        let b = ThreadBudget::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        let r = b.reserve(2);
+                        std::hint::black_box(r.granted());
+                    }
+                });
+            }
+        });
+        assert_eq!(b.available(), 7, "all grants returned");
+    }
+}

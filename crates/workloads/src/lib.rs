@@ -34,5 +34,8 @@ pub mod tf;
 pub mod trace;
 
 pub use runner::{merge_reports, run, RunConfig, RunReport};
-pub use shard::{run_group, run_sharded, GroupRun, ShardSpec};
+pub use shard::{
+    run_group, run_sharded, run_sharded_threads, GroupRun, ShardError, ShardSpec,
+    SHARD_THREADS_ENV,
+};
 pub use trace::{TraceOp, Workload};

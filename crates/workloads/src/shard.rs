@@ -13,6 +13,23 @@
 //!   horizon until every shard has caught up to it — and merged with
 //!   [`merge_reports`] into one report.
 //!
+//! ## Multi-core execution
+//!
+//! Shards share nothing, so [`run_sharded`] advances them on real OS
+//! threads: every conservative window is a *parallel epoch*. A reusable
+//! pool of scoped worker threads (each owning a disjoint slice of the
+//! shard list) advances its shards to the current horizon, a barrier
+//! waits for the slowest, and only then does any worker step to the next
+//! horizon. Workers never exchange simulation state — the only shared
+//! word is the count of unfinished shards — and the final merge folds
+//! per-shard reports **in shard-index order, never completion order**, so
+//! the merged report is byte-identical whatever the thread count. The
+//! driver picks its thread count from the process-wide
+//! [`mind_sim::threads`] budget (override with [`SHARD_THREADS_ENV`], or
+//! call [`run_sharded_threads`] for an exact count), degrading to the
+//! sequential single-thread path when the budget is spent — a scheduling
+//! decision only, never a semantic one.
+//!
 //! ## Determinism contract
 //!
 //! `run_sharded(spec, 1, ..)` is byte-identical to `run_group(spec, ..)`:
@@ -39,16 +56,144 @@
 //! so per-op timings — and therefore the merged integer report — match
 //! the fused run exactly. Scenarios that break the contract still run and
 //! merge, but approximate the fused result instead of reproducing it.
+//!
+//! Structural violations of the contract (asymmetric partitions, slices
+//! that do not fit, initial directory utilization past the ½ ceiling) are
+//! rejected up front with a typed [`ShardError`] naming the invariant,
+//! instead of aborting mid-replay.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::controller::Pid;
-use mind_core::shard::PartitionLayout;
+use mind_core::shard::{PartitionError, PartitionLayout};
 use mind_core::system::{MemOp, OpBatch};
 use mind_sim::stats::Metrics;
-use mind_sim::{EventQueue, SimTime};
+use mind_sim::{threads, EventQueue, SimTime};
 
 use crate::runner::{finish_report, merge_reports, Accum, RunConfig, RunReport};
 use crate::trace::{TraceOp, Workload};
+
+/// Environment variable overriding the shard-thread count [`run_sharded`]
+/// uses (exact, like an explicit [`run_sharded_threads`] call). Unset,
+/// the driver asks the process-wide [`mind_sim::threads`] budget for one
+/// thread per shard and runs with whatever is granted.
+pub const SHARD_THREADS_ENV: &str = "MIND_SHARD_THREADS";
+
+/// Why a partitioned scenario cannot be (de)composed: each variant names
+/// the confinement invariant that failed, so callers see *what* to fix
+/// instead of a panic mid-setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// The rack itself does not divide into symmetric slices (blade
+    /// counts or switch-resource capacities uneven).
+    Partition(PartitionError),
+    /// `run.interleave` was set; interleaved thread placement is not
+    /// partition-confined.
+    InterleavedPlacement,
+    /// A partition's thread count differs from the first partition's —
+    /// partitions must be structurally symmetric.
+    AsymmetricThreads {
+        /// Global index of the offending partition.
+        partition: u16,
+        /// Its thread count.
+        threads: u16,
+        /// The thread count every partition must share.
+        expected: u16,
+    },
+    /// `domain_per_thread` requires exactly one region per thread.
+    RegionPerThread {
+        /// Global index of the offending partition.
+        partition: u16,
+        /// Regions it exposes.
+        regions: usize,
+        /// Threads (= required regions) it runs.
+        threads: u16,
+    },
+    /// A partition's threads need more compute blades than its slice has.
+    ComputeSliceOverflow {
+        /// Blades the partition's threads need under `threads_per_blade`.
+        needed: u16,
+        /// Blades its compute slice holds.
+        available: u16,
+    },
+    /// A partition region does not fit its memory-blade slice.
+    MemorySliceOverflow {
+        /// Global index of the offending partition.
+        partition: u16,
+        /// Size of the region that failed to place, in bytes.
+        region_bytes: u64,
+    },
+    /// The shard count does not evenly divide the partitions.
+    UnevenShards {
+        /// Partitions in the scenario.
+        partitions: u16,
+        /// Requested shard count.
+        shards: u16,
+    },
+    /// The conservative window length is zero — shards would never
+    /// advance.
+    ZeroHorizon,
+    /// Initial directory utilization exceeds the determinism contract's
+    /// ½ ceiling (the epoch merge phase would engage, a global coupling).
+    DirectoryOverUtilized {
+        /// Initial directory population (at least one entry per mmap'd
+        /// region materializes on first touch).
+        entries: usize,
+        /// The cluster's directory capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ShardError::Partition(e) => write!(f, "{e}"),
+            ShardError::InterleavedPlacement => {
+                write!(f, "interleaved placement is not partition-confined")
+            }
+            ShardError::AsymmetricThreads { partition, threads, expected } => write!(
+                f,
+                "partition {partition} runs {threads} threads, expected {expected}: \
+                 partitions must be symmetric in thread count"
+            ),
+            ShardError::RegionPerThread { partition, regions, threads } => write!(
+                f,
+                "partition {partition} exposes {regions} regions for {threads} threads: \
+                 per-thread domains need exactly one region per thread"
+            ),
+            ShardError::ComputeSliceOverflow { needed, available } => write!(
+                f,
+                "partition threads need {needed} compute blades, slice has {available}"
+            ),
+            ShardError::MemorySliceOverflow { partition, region_bytes } => write!(
+                f,
+                "partition {partition} region of {region_bytes} bytes does not fit \
+                 its memory-blade slice"
+            ),
+            ShardError::UnevenShards { partitions, shards } => write!(
+                f,
+                "{partitions} partitions do not divide into {shards} shards"
+            ),
+            ShardError::ZeroHorizon => write!(f, "conservative window must advance"),
+            ShardError::DirectoryOverUtilized { entries, capacity } => write!(
+                f,
+                "initial directory utilization {entries}/{capacity} exceeds the \
+                 determinism contract's 1/2 ceiling"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<PartitionError> for ShardError {
+    fn from(e: PartitionError) -> Self {
+        ShardError::Partition(e)
+    }
+}
 
 /// A partitioned scenario: `partitions` symmetric tenant groups over a
 /// fused rack `base`, replayable fused ([`run_group`]) or sharded
@@ -128,12 +273,14 @@ impl GroupRun {
     /// pinned to its compute slice, regions `mmap_in`-confined to its
     /// memory slice.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the partitions are not symmetric, do not fit their
+    /// Returns the [`ShardError`] naming the violated invariant if the
+    /// partitions are not symmetric, do not fit their compute or memory
     /// slices, `run.interleave` is set (interleaved thread placement is
-    /// not partition-confined), or `domain_per_thread` is set and a
-    /// partition does not expose exactly one region per thread.
+    /// not partition-confined), `domain_per_thread` is set and a
+    /// partition does not expose exactly one region per thread, or the
+    /// initial directory utilization exceeds the contract's ½ ceiling.
     pub fn new(
         name: String,
         cfg: MindConfig,
@@ -142,27 +289,36 @@ impl GroupRun {
         run: RunConfig,
         domain_per_thread: bool,
         factory: &PartitionFactory,
-    ) -> Self {
-        assert!(!run.interleave, "interleaved placement is not partition-confined");
-        let layout = PartitionLayout::new(&cfg, partitions);
+    ) -> Result<Self, ShardError> {
+        if run.interleave {
+            return Err(ShardError::InterleavedPlacement);
+        }
+        let layout = PartitionLayout::try_new(&cfg, partitions)?;
+        let dir_capacity = cfg.dir_capacity;
         let mut cluster = MindCluster::new(cfg);
         let mut parts = Vec::with_capacity(partitions as usize);
         let mut threads_per_partition = None;
+        let mut total_regions = 0usize;
         for lp in 0..partitions {
             let workload = factory(first + lp);
             let nt = workload.n_threads();
-            assert_eq!(
-                *threads_per_partition.get_or_insert(nt),
-                nt,
-                "partitions must be symmetric in thread count"
-            );
+            let expected = *threads_per_partition.get_or_insert(nt);
+            if nt != expected {
+                return Err(ShardError::AsymmetricThreads {
+                    partition: first + lp,
+                    threads: nt,
+                    expected,
+                });
+            }
             let regions = workload.regions();
             let pids: Vec<Pid> = if domain_per_thread {
-                assert_eq!(
-                    regions.len(),
-                    nt as usize,
-                    "per-thread domains need one region per thread"
-                );
+                if regions.len() != nt as usize {
+                    return Err(ShardError::RegionPerThread {
+                        partition: first + lp,
+                        regions: regions.len(),
+                        threads: nt,
+                    });
+                }
                 (0..nt)
                     .map(|_| cluster.exec().expect("exec cannot fail"))
                     .collect()
@@ -170,16 +326,18 @@ impl GroupRun {
                 vec![cluster.exec().expect("exec cannot fail")]
             };
             let slice = layout.memory_slice(lp);
-            let bases: Vec<u64> = regions
-                .into_iter()
-                .enumerate()
-                .map(|(r, len)| {
-                    let pid = pids[if domain_per_thread { r } else { 0 }];
-                    cluster
-                        .mmap_in(pid, len, slice.clone())
-                        .expect("partition regions fit its memory-blade slice")
-                })
-                .collect();
+            total_regions += regions.len();
+            let mut bases = Vec::with_capacity(regions.len());
+            for (r, len) in regions.into_iter().enumerate() {
+                let pid = pids[if domain_per_thread { r } else { 0 }];
+                let base = cluster.mmap_in(pid, len, slice.clone()).map_err(|_| {
+                    ShardError::MemorySliceOverflow {
+                        partition: first + lp,
+                        region_bytes: len,
+                    }
+                })?;
+                bases.push(base);
+            }
             parts.push(PartitionState {
                 pids,
                 workload,
@@ -188,12 +346,27 @@ impl GroupRun {
             });
         }
         let tpp = threads_per_partition.expect("at least one partition");
-        assert!(
-            tpp.div_ceil(run.threads_per_blade) <= layout.compute_per_partition,
-            "partition threads need {} compute blades, slice has {}",
-            tpp.div_ceil(run.threads_per_blade),
-            layout.compute_per_partition
-        );
+        let blades_needed = tpp.div_ceil(run.threads_per_blade);
+        if blades_needed > layout.compute_per_partition {
+            return Err(ShardError::ComputeSliceOverflow {
+                needed: blades_needed,
+                available: layout.compute_per_partition,
+            });
+        }
+        // Contract condition 4, checked where it is cheap and actionable:
+        // the initial region population must leave the epoch merge phase
+        // gated (it engages above ½ utilization, a globally-coupled
+        // quantity). Directory entries materialize on first touch — one
+        // per mmap'd region at minimum — so a directory too small to hold
+        // the region population at ≤ ½ utilization is over-committed from
+        // the start, and that is the misconfiguration signal worth naming.
+        let entries = total_regions.max(cluster.directory_entries());
+        if entries * 2 > dir_capacity {
+            return Err(ShardError::DirectoryOverUtilized {
+                entries,
+                capacity: dir_capacity,
+            });
+        }
 
         let total = partitions as u32 * tpp as u32;
         let mut queue = EventQueue::new();
@@ -210,7 +383,7 @@ impl GroupRun {
             let baseline = cluster.metrics_snapshot();
             (Phase::Measured, EventQueue::new(), queue, Some(baseline))
         };
-        GroupRun {
+        Ok(GroupRun {
             name,
             run_cfg: run,
             parts,
@@ -228,7 +401,7 @@ impl GroupRun {
             batch: OpBatch::chained(run.think_time).with_window(run.window),
             ops_buf: Vec::new(),
             cluster,
-        }
+        })
     }
 
     /// Issues one scheduling turn for global thread `gt` at `clock`;
@@ -341,7 +514,12 @@ impl GroupRun {
 
 /// The serialized reference: every partition fused on one rack, driven
 /// straight through in a single pass.
-pub fn run_group(spec: &ShardSpec, factory: &PartitionFactory) -> RunReport {
+///
+/// # Errors
+///
+/// Returns the [`ShardError`] naming the violated confinement invariant
+/// (see [`GroupRun::new`]).
+pub fn run_group(spec: &ShardSpec, factory: &PartitionFactory) -> Result<RunReport, ShardError> {
     let mut group = GroupRun::new(
         spec.name.clone(),
         spec.base,
@@ -350,31 +528,85 @@ pub fn run_group(spec: &ShardSpec, factory: &PartitionFactory) -> RunReport {
         spec.run,
         spec.domain_per_thread,
         factory,
-    );
+    )?;
     let done = group.advance_until(SimTime::MAX);
     debug_assert!(done, "an unbounded horizon drains the group");
-    group.finish()
+    Ok(group.finish())
 }
 
 /// Replays the scenario as `shards` independent sub-clusters advanced in
-/// conservative windows of `spec.horizon`, then merges the per-shard
-/// reports. See the module docs for when the result is byte-identical to
-/// [`run_group`].
+/// conservative windows of `spec.horizon` — in parallel on OS threads
+/// when the process-wide thread budget has headroom — then merges the
+/// per-shard reports in shard-index order. See the module docs for when
+/// the result is byte-identical to [`run_group`]; it is *always*
+/// byte-identical across thread counts.
 ///
-/// # Panics
+/// The thread count is [`SHARD_THREADS_ENV`] when set, otherwise one
+/// thread per shard capped by what [`mind_sim::threads::budget`] has left
+/// (an engine already saturating the machine degrades this to the
+/// sequential path). For an explicit count use [`run_sharded_threads`].
 ///
-/// Panics if `shards` does not divide `spec.partitions` (or the rack's
-/// resources, per [`MindConfig::partition`]), or `spec.horizon` is zero.
-pub fn run_sharded(spec: &ShardSpec, shards: u16, factory: &PartitionFactory) -> RunReport {
-    assert!(shards >= 1, "at least one shard");
-    assert_eq!(
-        spec.partitions % shards,
-        0,
-        "{} partitions do not divide into {shards} shards",
-        spec.partitions
-    );
-    assert!(spec.horizon > SimTime::ZERO, "conservative window must advance");
-    let sub = spec.base.partition(shards);
+/// # Errors
+///
+/// Returns the [`ShardError`] naming the violated invariant: an uneven
+/// shard split, a zero horizon, an asymmetric rack partition, or any
+/// confinement failure from [`GroupRun::new`].
+pub fn run_sharded(
+    spec: &ShardSpec,
+    shards: u16,
+    factory: &PartitionFactory,
+) -> Result<RunReport, ShardError> {
+    match std::env::var(SHARD_THREADS_ENV)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        Some(n) => run_sharded_threads(spec, shards, n, factory),
+        None => {
+            let grant = threads::budget().reserve((shards as usize).saturating_sub(1));
+            run_sharded_inner(spec, shards, grant.lanes(), factory)
+        }
+    }
+}
+
+/// [`run_sharded`] with an explicit thread count (clamped to the shard
+/// count; 1 runs the sequential reference path). The count is honoured
+/// verbatim — it is *claimed* from the process-wide budget rather than
+/// negotiated, so concurrent polite consumers back off instead.
+///
+/// # Errors
+///
+/// As [`run_sharded`].
+pub fn run_sharded_threads(
+    spec: &ShardSpec,
+    shards: u16,
+    threads_wanted: usize,
+    factory: &PartitionFactory,
+) -> Result<RunReport, ShardError> {
+    let lanes = threads_wanted.max(1).min(shards.max(1) as usize);
+    let _claim = threads::budget().claim(lanes - 1);
+    run_sharded_inner(spec, shards, lanes, factory)
+}
+
+/// The shard driver behind both public entry points: builds the
+/// sub-cluster groups, advances them through conservative windows on
+/// `lanes` threads, and merges in shard-index order.
+fn run_sharded_inner(
+    spec: &ShardSpec,
+    shards: u16,
+    lanes: usize,
+    factory: &PartitionFactory,
+) -> Result<RunReport, ShardError> {
+    if shards == 0 || !spec.partitions.is_multiple_of(shards) {
+        return Err(ShardError::UnevenShards {
+            partitions: spec.partitions,
+            shards,
+        });
+    }
+    if spec.horizon == SimTime::ZERO {
+        return Err(ShardError::ZeroHorizon);
+    }
+    let sub = spec.base.try_partition(shards)?;
     let per_shard = spec.partitions / shards;
     let mut groups: Vec<GroupRun> = (0..shards)
         .map(|s| {
@@ -388,21 +620,82 @@ pub fn run_sharded(spec: &ShardSpec, shards: u16, factory: &PartitionFactory) ->
                 factory,
             )
         })
-        .collect();
-    let mut horizon = spec.horizon;
-    loop {
-        let mut all_done = true;
-        for g in groups.iter_mut() {
-            all_done &= g.advance_until(horizon);
+        .collect::<Result<_, _>>()?;
+
+    let lanes = lanes.max(1).min(groups.len());
+    if lanes == 1 {
+        let mut horizon = spec.horizon;
+        loop {
+            let mut all_done = true;
+            for g in groups.iter_mut() {
+                all_done &= g.advance_until(horizon);
+            }
+            if all_done {
+                break;
+            }
+            horizon += spec.horizon;
         }
-        if all_done {
-            break;
-        }
-        horizon += spec.horizon;
+    } else {
+        advance_parallel(&mut groups, spec.horizon, lanes);
     }
+
+    // Merge strictly by shard index — the groups vector is still in
+    // construction order here regardless of which worker finished last.
     let reports: Vec<RunReport> = groups.into_iter().map(GroupRun::finish).collect();
-    merge_reports(spec.name.clone(), &reports)
+    Ok(merge_reports(spec.name.clone(), &reports))
 }
+
+/// Advances every group through successive conservative windows on
+/// `lanes` scoped OS threads.
+///
+/// Protocol per epoch: each worker advances its own disjoint slice of the
+/// group list to the shared horizon, then all workers meet at a barrier;
+/// between that barrier and a second one every worker reads the shared
+/// count of unfinished groups (no one mutates it in that span, so all
+/// workers read the same value and take the same branch); after the
+/// second barrier they either all exit or all step to the next horizon.
+/// Workers share no simulation state whatsoever — each [`GroupRun`] is
+/// fully owned by exactly one worker for the whole run — so preemption
+/// and completion order cannot influence any simulated quantity.
+fn advance_parallel(groups: &mut [GroupRun], step: SimTime, lanes: usize) {
+    let unfinished = AtomicUsize::new(groups.len());
+    let per_lane = groups.len().div_ceil(lanes);
+    let slices: Vec<&mut [GroupRun]> = groups.chunks_mut(per_lane).collect();
+    let barrier = Barrier::new(slices.len());
+    std::thread::scope(|scope| {
+        for slice in slices {
+            scope.spawn(|| {
+                let mut horizon = step;
+                let mut done = vec![false; slice.len()];
+                loop {
+                    for (g, d) in slice.iter_mut().zip(done.iter_mut()) {
+                        if !*d && g.advance_until(horizon) {
+                            *d = true;
+                            unfinished.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                    barrier.wait();
+                    let all_done = unfinished.load(Ordering::Acquire) == 0;
+                    barrier.wait();
+                    if all_done {
+                        break;
+                    }
+                    horizon += step;
+                }
+            });
+        }
+    });
+}
+
+// The Send audit, enforced at compile time: a shard's whole execution
+// state — sub-cluster, event queues, partition workloads, RNGs — must be
+// movable to its worker thread. `Workload: Send` (the trait's supertrait)
+// closes the only open edge; everything else is plain owned data.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MindCluster>();
+    assert_send::<GroupRun>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -488,8 +781,8 @@ mod tests {
     #[test]
     fn one_shard_matches_serialized_reference_exactly() {
         let s = spec(4, 50);
-        let fused = run_group(&s, &factory);
-        let sharded = run_sharded(&s, 1, &factory);
+        let fused = run_group(&s, &factory).expect("confined scenario");
+        let sharded = run_sharded(&s, 1, &factory).expect("confined scenario");
         assert_eq!(key(&fused), key(&sharded));
         assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
         assert_eq!(fused.metrics, sharded.metrics);
@@ -499,10 +792,10 @@ mod tests {
     #[test]
     fn sharded_partitions_reproduce_the_fused_run() {
         let s = spec(4, 50);
-        let fused = run_group(&s, &factory);
+        let fused = run_group(&s, &factory).expect("confined scenario");
         assert_eq!(fused.invalidations, 0, "scenario must be confined");
         for shards in [2u16, 4] {
-            let sharded = run_sharded(&s, shards, &factory);
+            let sharded = run_sharded(&s, shards, &factory).expect("confined scenario");
             assert_eq!(key(&fused), key(&sharded), "shards = {shards}");
             assert_eq!(fused.metrics, sharded.metrics, "shards = {shards}");
             assert_eq!(fused.window_metrics, sharded.window_metrics);
@@ -517,10 +810,10 @@ mod tests {
         // the fused and sharded runs; nothing timing-visible does.
         let mut s = spec(4, 50);
         s.domain_per_thread = true;
-        let fused = run_group(&s, &factory);
+        let fused = run_group(&s, &factory).expect("confined scenario");
         assert_eq!(fused.invalidations, 0, "scenario must be confined");
         for shards in [2u16, 4] {
-            let sharded = run_sharded(&s, shards, &factory);
+            let sharded = run_sharded(&s, shards, &factory).expect("confined scenario");
             assert_eq!(key(&fused), key(&sharded), "shards = {shards}");
             assert_eq!(fused.metrics, sharded.metrics, "shards = {shards}");
             assert_eq!(fused.window_metrics, sharded.window_metrics);
@@ -529,7 +822,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one region per thread")]
+    fn thread_count_never_changes_the_result() {
+        // The multi-core contract: byte-identical reports across thread
+        // counts, including counts that do not divide the shard count and
+        // counts past it (clamped).
+        let s = spec(4, 50);
+        let reference = run_sharded_threads(&s, 4, 1, &factory).expect("confined scenario");
+        for threads in [2usize, 3, 4, 16] {
+            let got = run_sharded_threads(&s, 4, threads, &factory).expect("confined scenario");
+            assert_eq!(key(&reference), key(&got), "threads = {threads}");
+            assert_eq!(reference.metrics, got.metrics, "threads = {threads}");
+            assert_eq!(reference.window_metrics, got.window_metrics);
+            assert_eq!(reference.mops.to_bits(), got.mops.to_bits());
+        }
+    }
+
+    #[test]
     fn per_thread_domains_require_region_per_thread() {
         struct TwoRegions;
         impl Workload for TwoRegions {
@@ -552,34 +860,84 @@ mod tests {
         }
         let mut s = spec(2, 50);
         s.domain_per_thread = true;
-        run_group(&s, &|_| Box::new(TwoRegions));
+        let err = run_group(&s, &|_| Box::new(TwoRegions)).unwrap_err();
+        assert_eq!(
+            err,
+            ShardError::RegionPerThread {
+                partition: 0,
+                regions: 2,
+                threads: 1
+            }
+        );
+        assert!(err.to_string().contains("one region per thread"), "{err}");
     }
 
     #[test]
     fn horizon_length_never_changes_the_result() {
         let s = spec(2, 1000);
-        let reference = run_sharded(&s, 2, &factory);
+        let reference = run_sharded(&s, 2, &factory).expect("confined scenario");
         for horizon_us in [1u64, 7, 333, 1_000_000] {
             let mut alt = spec(2, horizon_us);
             alt.name = s.name.clone();
-            let got = run_sharded(&alt, 2, &factory);
+            let got = run_sharded(&alt, 2, &factory).expect("confined scenario");
             assert_eq!(key(&reference), key(&got), "horizon {horizon_us}us");
             assert_eq!(reference.metrics, got.metrics);
         }
     }
 
     #[test]
-    #[should_panic(expected = "not partition-confined")]
     fn interleaved_placement_rejected() {
         let mut s = spec(2, 50);
         s.run.interleave = true;
-        run_group(&s, &factory);
+        let err = run_group(&s, &factory).unwrap_err();
+        assert_eq!(err, ShardError::InterleavedPlacement);
+        assert!(err.to_string().contains("not partition-confined"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "do not divide")]
     fn uneven_shard_split_rejected() {
         let s = spec(4, 50);
-        run_sharded(&s, 3, &factory);
+        let err = run_sharded(&s, 3, &factory).unwrap_err();
+        assert_eq!(
+            err,
+            ShardError::UnevenShards {
+                partitions: 4,
+                shards: 3
+            }
+        );
+        assert!(err.to_string().contains("do not divide"), "{err}");
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let mut s = spec(2, 50);
+        s.horizon = SimTime::ZERO;
+        assert_eq!(run_sharded(&s, 2, &factory).unwrap_err(), ShardError::ZeroHorizon);
+    }
+
+    #[test]
+    fn asymmetric_rack_surfaces_partition_error() {
+        let mut s = spec(4, 50);
+        s.base.n_compute = 3;
+        let err = run_sharded(&s, 2, &factory).unwrap_err();
+        assert!(
+            matches!(err, ShardError::Partition(PartitionError::UnevenCompute { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn over_utilized_directory_rejected() {
+        // One tenant spanning many pages against a directory too small to
+        // hold the initial regions at ≤ ½ utilization.
+        let mut s = spec(2, 50);
+        s.base.dir_capacity = 2;
+        s.base.rule_capacity = 2;
+        let err = run_group(&s, &factory).unwrap_err();
+        assert!(
+            matches!(err, ShardError::DirectoryOverUtilized { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("1/2 ceiling"), "{err}");
     }
 }

@@ -21,7 +21,13 @@ pub struct TraceOp {
 /// randomness derives from per-thread forks of a seed RNG, so the operation
 /// stream of a thread is independent of global interleaving — the property
 /// that makes cross-system comparisons exact.
-pub trait Workload {
+///
+/// `Send` is a supertrait so a whole replay — generator included — can be
+/// moved onto a worker thread: the multi-core sharded executor advances
+/// each shard's sub-cluster (and the partition workloads it owns) on its
+/// own OS thread. Generators are plain owned state (forked RNGs, cursors,
+/// configs), so this costs implementors nothing.
+pub trait Workload: Send {
     /// Name for reports ("TF", "GC", "MA", "MC", ...). Owned so
     /// parameterized workloads can carry their sweep parameters (e.g.
     /// `micro(r=0.5,s=1)`) into the report instead of a shared static label.

@@ -380,8 +380,8 @@ fn sharded_replay_matches_fused_at_every_batch_size() {
             horizon: SimTime::from_micros(50),
             domain_per_thread: false,
         };
-        let fused = runner_json(run_group(&spec, &factory));
-        let sharded = runner_json(run_sharded(&spec, 2, &factory));
+        let fused = runner_json(run_group(&spec, &factory).expect("confined scenario"));
+        let sharded = runner_json(run_sharded(&spec, 2, &factory).expect("confined scenario"));
         assert_eq!(
             sharded, fused,
             "sharded replay diverged from the fused reference at batch_ops {batch_ops}"

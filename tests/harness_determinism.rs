@@ -124,7 +124,7 @@ fn table() -> Vec<Scenario> {
             read_ratio: 0.7,
             seed: 42,
         });
-        ScenarioOutput::from_report(run_sharded(&spec, 2, &factory))
+        ScenarioOutput::from_report(run_sharded(&spec, 2, &factory).expect("confined scenario"))
     }));
     scenarios
 }

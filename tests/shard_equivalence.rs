@@ -11,18 +11,25 @@
 //! partition (shared + private regions, writes confined to one blade), a
 //! read-only YCSB-C KVS partition, and the `mind_service` multi-tenant
 //! population with one protection domain per tenant.
+//!
+//! The guarantee extends across the executor's **OS-thread axis**: every
+//! (shard count × thread count) cell must render the identical JSON —
+//! thread counts (and thus completion order) are scheduling decisions,
+//! never semantic ones — including when the sharded run is itself nested
+//! inside a parallel harness engine (`MIND_THREADS`, exercised by the CI
+//! matrix).
 
 use proptest::prelude::*;
 
 use mind::core::cluster::MindConfig;
-use mind::harness::{report, ScenarioOutput, ScenarioResult, WorkloadSpec};
+use mind::harness::{report, Engine, Scenario, ScenarioOutput, ScenarioResult, WorkloadSpec};
 use mind::service::{tenant_partitions, TenantGroupConfig};
 use mind::sim::{EventQueue, SimRng, SimTime};
 use mind::workloads::kvs::KvsConfig;
 use mind::workloads::micro::MicroConfig;
 use mind::workloads::runner::{RunConfig, RunReport};
 use mind::workloads::shard::PartitionFactory;
-use mind::workloads::{run_group, run_sharded, ShardSpec};
+use mind::workloads::{run_group, run_sharded, run_sharded_threads, ShardSpec};
 
 /// A four-partition rack whose resources divide evenly into 1, 2, or 4
 /// shards; the directory is sized so even fully split regions stay well
@@ -68,10 +75,11 @@ fn bench_json(report: RunReport) -> String {
     report::suite_json("shard_equivalence", &[result]).render()
 }
 
-/// The fused reference versus every shard count, compared on the full
-/// rendered BENCH JSON (values, metrics, series — everything).
+/// The fused reference versus every (shard count × OS-thread count)
+/// cell, compared on the full rendered BENCH JSON (values, metrics,
+/// series — everything).
 fn assert_shards_reproduce_fused(spec: &ShardSpec, factory: &PartitionFactory) {
-    let fused = run_group(spec, factory);
+    let fused = run_group(spec, factory).expect("confined scenario");
     assert_eq!(
         fused.invalidations, 0,
         "{}: scenario must be confined for the contract to hold",
@@ -80,12 +88,17 @@ fn assert_shards_reproduce_fused(spec: &ShardSpec, factory: &PartitionFactory) {
     assert!(fused.total_ops > 0, "{}: the run did work", spec.name);
     let reference = bench_json(fused);
     for shards in [1u16, 2, 4] {
-        let merged = bench_json(run_sharded(spec, shards, factory));
-        assert_eq!(
-            merged, reference,
-            "{} BENCH JSON diverged from the fused reference at shards = {shards}",
-            spec.name
-        );
+        for threads in [1usize, 2, 4] {
+            let merged = bench_json(
+                run_sharded_threads(spec, shards, threads, factory).expect("confined scenario"),
+            );
+            assert_eq!(
+                merged, reference,
+                "{} BENCH JSON diverged from the fused reference at \
+                 shards = {shards}, threads = {threads}",
+                spec.name
+            );
+        }
     }
 }
 
@@ -131,6 +144,42 @@ fn service_tenant_partitions_render_identical_bench_json() {
         seed: 42,
     });
     assert_shards_reproduce_fused(&spec("shard-equiv/service", 8, true), &factory);
+}
+
+#[test]
+fn sharded_runs_nested_in_a_parallel_engine_render_identical_bench_json() {
+    // The whole stack at once: a scenario table whose cells each run a
+    // multi-threaded sharded replay, executed under the environment-sized
+    // engine (the CI matrix sets MIND_THREADS to 1 and 4) and under a
+    // serial engine. The rendered suite JSON must match byte for byte —
+    // engine workers, shard threads, and the budget's arbitration between
+    // them are all scheduling-only.
+    let table = || -> Vec<Scenario> {
+        [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                Scenario::custom(format!("shard-equiv/nested-t{threads}"), move || {
+                    let factory = tenant_partitions(TenantGroupConfig {
+                        tenants_per_group: 8,
+                        pages_per_tenant: 16,
+                        read_ratio: 0.7,
+                        seed: 42,
+                    });
+                    let s = spec("shard-equiv/nested", 8, true);
+                    let merged = run_sharded_threads(&s, 4, threads, &factory)
+                        .expect("confined scenario");
+                    ScenarioOutput::from_report(merged)
+                })
+            })
+            .collect()
+    };
+    let serial = report::suite_json("shard_equivalence", &Engine::new(1).run(table())).render();
+    let parallel =
+        report::suite_json("shard_equivalence", &Engine::from_env().run(table())).render();
+    assert_eq!(
+        serial, parallel,
+        "suite JSON diverged between a serial and an environment-sized engine"
+    );
 }
 
 proptest! {
@@ -199,14 +248,45 @@ proptest! {
         s.run.ops_per_thread = 60;
         s.run.warmup_ops_per_thread = 10;
         s.horizon = SimTime::from_micros(horizon_us);
-        let fused = bench_json(run_group(&s, &factory));
-        let merged = bench_json(run_sharded(&s, shards, &factory));
+        let fused = bench_json(run_group(&s, &factory).expect("confined scenario"));
+        let merged = bench_json(run_sharded(&s, shards, &factory).expect("confined scenario"));
         prop_assert_eq!(
             merged,
             fused,
             "horizon {}us diverged at shards = {}",
             horizon_us,
             shards
+        );
+    }
+
+    /// The window-epoch merge never depends on OS-thread completion
+    /// order: any thread count — dividing the shard count or not, larger
+    /// than it or not — merges to the same report, at any window length.
+    /// (Thread counts shift which worker owns which shards and how often
+    /// the barrier rotates the finishing order; none of it may show.)
+    #[test]
+    fn random_thread_counts_never_change_the_merged_report(
+        threads in 1usize..9,
+        horizon_us in 1u64..500,
+    ) {
+        let factory = tenant_partitions(TenantGroupConfig {
+            tenants_per_group: 2,
+            pages_per_tenant: 8,
+            read_ratio: 0.7,
+            seed: 9,
+        });
+        let mut s = spec("shard-equiv/threads", 2, true);
+        s.run.ops_per_thread = 60;
+        s.run.warmup_ops_per_thread = 10;
+        s.horizon = SimTime::from_micros(horizon_us);
+        let reference = bench_json(run_sharded_threads(&s, 4, 1, &factory).expect("confined"));
+        let merged = bench_json(run_sharded_threads(&s, 4, threads, &factory).expect("confined"));
+        prop_assert_eq!(
+            merged,
+            reference,
+            "threads = {} diverged at horizon {}us",
+            threads,
+            horizon_us
         );
     }
 }
