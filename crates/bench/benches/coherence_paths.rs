@@ -135,6 +135,7 @@ fn bench_trace_replay(c: &mut Criterion) {
                         interleave: false,
                         batch_ops: 1,
                         window: 1,
+                        ..Default::default()
                     },
                 )
             },

@@ -185,7 +185,18 @@ pub fn run_main(name: &str) -> Vec<ScenarioResult> {
     (figure.present)(&results);
     let path = report::write_suite(figure.name, &results).expect("write BENCH json");
     println!("\nwrote {}", path.display());
+    write_trace_if_enabled(figure.name, &results);
     results
+}
+
+/// Writes `TRACE_<suite>.json` when `MIND_TRACE` enables tracing —
+/// disabled runs produce no trace files, so the default BENCH output set
+/// is unchanged.
+fn write_trace_if_enabled(suite: &str, results: &[ScenarioResult]) {
+    if mind_sim::env::trace_level().enabled() {
+        let path = report::write_trace(suite, results).expect("write TRACE json");
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Entry point shared by the multi-figure binaries (`suite`, `service`):
@@ -220,4 +231,5 @@ pub fn run_suite(suite: &str, figures: &[Figure], quick: bool) {
 
     let path = report::write_suite(suite, &results).expect("write BENCH json");
     println!("\nwrote {}", path.display());
+    write_trace_if_enabled(suite, &results);
 }

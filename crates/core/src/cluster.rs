@@ -75,6 +75,10 @@ pub struct MindConfig {
     pub syscall_cost: SimTime,
     /// Control-plane cost per rule install over PCIe.
     pub rule_install_cost: SimTime,
+    /// Deterministic tracing (defaults to resolving `MIND_TRACE`;
+    /// propagated unchanged into shard sub-clusters by
+    /// [`MindConfig::try_partition`]).
+    pub trace: mind_obs::TraceConfig,
 }
 
 impl Default for MindConfig {
@@ -94,6 +98,7 @@ impl Default for MindConfig {
             latency: LatencyConfig::default(),
             syscall_cost: SimTime::from_micros(15),
             rule_install_cost: SimTime::from_micros(2),
+            trace: mind_obs::TraceConfig::default(),
         }
     }
 }
@@ -180,7 +185,7 @@ pub struct MindCluster {
 impl MindCluster {
     /// Builds the rack.
     pub fn new(cfg: MindConfig) -> Self {
-        let engine = CoherenceEngine::new(
+        let mut engine = CoherenceEngine::new(
             cfg.n_compute,
             cfg.n_memory,
             cfg.cache_pages,
@@ -192,6 +197,7 @@ impl MindCluster {
             cfg.latency,
             cfg.coherence,
         );
+        engine.set_trace(mind_obs::TraceBuf::new(cfg.trace));
         let controller = Controller::new(
             cfg.n_compute,
             cfg.n_memory,
@@ -402,6 +408,18 @@ impl MindCluster {
         let mut prev_issue = now;
         for i in 0..batch.len() {
             let op = batch.op(i);
+            // The op's ungated issue time: what `at` would be with an
+            // infinite window and no region conflicts (trace attribution
+            // only — never feeds back into the simulation).
+            let ungated = if chained {
+                if i == 0 {
+                    now
+                } else {
+                    prev_issue + gap
+                }
+            } else {
+                op.at.max(prev_issue)
+            };
             // Slot gate.
             let mut at = if chained {
                 if i == 0 {
@@ -420,6 +438,19 @@ impl MindCluster {
             // Region gate: serialize behind in-flight same-region ops.
             at = at.max(window.region_release(page_base(op.vaddr)));
             window.retire_through(at);
+            if self.engine.trace.enabled() {
+                let stall = at.saturating_sub(ungated);
+                if stall > SimTime::ZERO {
+                    self.engine.trace.record(
+                        ungated,
+                        op.blade as u32,
+                        mind_obs::EventKind::WindowStall,
+                        stall,
+                        window.in_flight() as u64,
+                        0,
+                    );
+                }
+            }
             self.tick(at);
             let pdid = op.pdid.or(default_pid).expect("exec a process before replay");
             match self.engine.issue(at, op.blade, pdid, op.vaddr, op.kind) {
@@ -436,6 +467,14 @@ impl MindCluster {
                     outcome.latency.network = outcome.latency.network.saturating_sub(hidden);
                     outcome.latency.overlapped = hidden;
                     window.admit(issued.complete_at, issued.region);
+                    self.engine.trace.record(
+                        at,
+                        op.blade as u32,
+                        mind_obs::EventKind::WindowAdmit,
+                        SimTime::ZERO,
+                        window.in_flight() as u64,
+                        0,
+                    );
                     batch.record_with_region(i, at, Ok(outcome), issued.region);
                 }
                 // A refused op occupies no slot; the next op's issue chains
@@ -648,6 +687,19 @@ impl MindCluster {
     pub fn engine(&self) -> &CoherenceEngine {
         &self.engine
     }
+
+    /// The deterministic event sink (live when the config enables
+    /// tracing). Callers above the datapath — the serving layer, the
+    /// shard executor — record their control-plane events here so one
+    /// buffer per (sub-)cluster carries the whole story.
+    pub fn trace(&mut self) -> &mut mind_obs::TraceBuf {
+        &mut self.engine.trace
+    }
+
+    /// Extracts the recorded trace (`None` when tracing is disabled).
+    pub fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        self.engine.take_trace()
+    }
 }
 
 impl MemorySystem for MindCluster {
@@ -684,6 +736,10 @@ impl MemorySystem for MindCluster {
     /// per-op table walks amortized across the batch.
     fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
         self.run_batch(now, batch);
+    }
+
+    fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        MindCluster::take_trace(self)
     }
 }
 

@@ -22,6 +22,7 @@ use mind_net::link::LatencyConfig;
 use mind_net::node::{BladeSet, NodeId};
 use mind_net::packet::{Packet, PacketKind};
 use mind_net::reliability::AckTracker;
+use mind_obs::{EventKind, TraceBuf};
 use mind_sim::stats::Metrics;
 use mind_sim::SimTime;
 use mind_switch::pipeline::Pipeline;
@@ -245,6 +246,9 @@ pub struct CoherenceEngine {
     deliveries_scratch: Vec<(u16, SimTime)>,
     /// Reusable invalidation-outcome buffer (per-victim cache scans).
     inval_scratch: InvalidationOutcome,
+    /// Deterministic event sink (disabled unless the owning cluster
+    /// installs a live one via [`CoherenceEngine::set_trace`]).
+    pub(crate) trace: TraceBuf,
 }
 
 impl CoherenceEngine {
@@ -293,7 +297,20 @@ impl CoherenceEngine {
             spare_batch: None,
             deliveries_scratch: Vec::new(),
             inval_scratch: InvalidationOutcome::default(),
+            trace: TraceBuf::disabled(),
         }
+    }
+
+    /// Installs the event sink (called by the owning cluster at build
+    /// time; the default is a disabled sink).
+    pub fn set_trace(&mut self, trace: TraceBuf) {
+        self.trace = trace;
+    }
+
+    /// Extracts the recorded trace, leaving the sink live (`None` when
+    /// tracing is disabled).
+    pub fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        self.trace.take()
     }
 
     /// The counter sink: the live counters, or the active batch's pending
@@ -493,6 +510,30 @@ impl CoherenceEngine {
         vaddr: u64,
         kind: AccessKind,
     ) -> Result<IssuedAccess, AccessError> {
+        let result = self.issue_inner(now, blade, pdid, vaddr, kind);
+        if self.trace.enabled() {
+            if let Ok(ia) = &result {
+                self.trace.record(
+                    now,
+                    blade as u32,
+                    EventKind::Issue,
+                    ia.complete_at.saturating_sub(ia.issued_at),
+                    ia.outcome.remote as u64,
+                    ia.outcome.invalidations as u64,
+                );
+            }
+        }
+        result
+    }
+
+    fn issue_inner(
+        &mut self,
+        now: SimTime,
+        blade: u16,
+        pdid: Pdid,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> Result<IssuedAccess, AccessError> {
         if self.failed[blade as usize] {
             return Err(AccessError::BladeFailed);
         }
@@ -510,6 +551,14 @@ impl CoherenceEngine {
                 if tag != pdid {
                     if !self.prot_check(pdid, page, kind) {
                         self.ctr().denials += 1;
+                        self.trace.record(
+                            now + self.lat.fault_handler,
+                            blade as u32,
+                            EventKind::TcamMiss,
+                            SimTime::ZERO,
+                            kind.is_write() as u64,
+                            0,
+                        );
                         return Err(AccessError::PermissionDenied);
                     }
                     self.caches[blade as usize].set_frame_tag(frame, pdid);
@@ -570,6 +619,14 @@ impl CoherenceEngine {
         // served from the batch lookaside when an op-batch is in flight.
         if !self.prot_check(pdid, page, kind) {
             self.ctr().denials += 1;
+            self.trace.record(
+                t_switch,
+                blade as u32,
+                EventKind::TcamMiss,
+                SimTime::ZERO,
+                kind.is_write() as u64,
+                0,
+            );
             return Err(AccessError::PermissionDenied);
         }
 
@@ -745,6 +802,26 @@ impl CoherenceEngine {
                 },
                 round.false_inv,
             );
+        }
+        if self.trace.enabled() {
+            self.trace.record(
+                t_dir,
+                blade as u32,
+                EventKind::DirTransition,
+                SimTime::ZERO,
+                round.requests as u64,
+                round.flushed as u64,
+            );
+            if round.requests > 0 {
+                self.trace.record(
+                    t_dir,
+                    blade as u32,
+                    EventKind::Invalidation,
+                    round.done_at.saturating_sub(t_dir),
+                    round.requests as u64,
+                    round.false_inv as u64,
+                );
+            }
         }
 
         // Latency attribution. Under PSO, writes are buffered at the blade
@@ -1081,6 +1158,14 @@ impl CoherenceEngine {
         kind: AccessKind,
     ) -> Result<AccessOutcome, AccessError> {
         self.ctr().bypasses += 1;
+        self.trace.record(
+            t_switch,
+            blade as u32,
+            EventKind::Bypass,
+            SimTime::ZERO,
+            kind.is_write() as u64,
+            0,
+        );
         let done = match kind {
             AccessKind::Read => self.fetch(t_switch, blade, page, false)?,
             AccessKind::Write => self.writeback(t_switch, blade, page, None)?,

@@ -345,6 +345,10 @@ impl<T: MemorySystem + ?Sized> MemorySystem for Box<T> {
     fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
         (**self).execute_batch(now, batch)
     }
+
+    fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        (**self).take_trace()
+    }
 }
 
 /// Adapter that forwards a system's scalar surface but keeps the trait's
@@ -378,6 +382,10 @@ impl<S: MemorySystem> MemorySystem for ScalarLoop<S> {
 
     fn advance_to(&mut self, now: SimTime) {
         self.0.advance_to(now)
+    }
+
+    fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        self.0.take_trace()
     }
 }
 
@@ -421,6 +429,14 @@ pub trait MemorySystem {
     /// at `window <= 1`: identical per-op outcomes, issue times, and
     /// metrics as the scalar loop.
     ///
+    /// Drains the system's deterministic trace, if it records one.
+    ///
+    /// `None` means tracing is off (or unsupported — the default); the
+    /// scalar loop and baselines never trace, so comparisons stay cheap.
+    fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
+        None
+    }
+
     /// [`access`]: MemorySystem::access
     fn execute_batch(&mut self, now: SimTime, batch: &mut OpBatch) {
         let mut t = now;

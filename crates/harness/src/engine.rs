@@ -26,7 +26,7 @@ use mind_sim::threads;
 use crate::scenario::{Scenario, ScenarioResult};
 
 /// Environment variable overriding the worker count.
-pub const THREADS_ENV: &str = "MIND_THREADS";
+pub const THREADS_ENV: &str = mind_sim::env::THREADS_ENV;
 
 /// Executes scenario tables.
 #[derive(Debug, Clone, Copy)]
@@ -43,22 +43,10 @@ impl Engine {
     }
 
     /// An engine sized from the environment: `MIND_THREADS` if set and
-    /// parseable, otherwise `std::thread::available_parallelism`.
+    /// parseable, otherwise `std::thread::available_parallelism`
+    /// (the [`mind_sim::env::threads`] policy).
     pub fn from_env() -> Self {
-        Engine::new(Self::threads_from(std::env::var(THREADS_ENV).ok().as_deref()))
-    }
-
-    /// Worker count for a `MIND_THREADS` value: the parsed positive
-    /// integer, or the machine's available parallelism when absent or
-    /// unparseable.
-    fn threads_from(var: Option<&str>) -> usize {
-        var.and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        Engine::new(mind_sim::env::threads())
     }
 
     /// Configured worker count.
@@ -66,11 +54,27 @@ impl Engine {
         self.threads
     }
 
-    /// Executes every scenario and returns results in table order.
+    /// Executes every scenario and returns results in table order. With
+    /// `MIND_PROFILE` set, per-scenario and whole-table wall times
+    /// accumulate under `engine.scenario` / `engine.table` and are
+    /// printed to stderr when the table completes.
     pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+        let results = self.run_inner(scenarios);
+        mind_obs::profile::report_stderr("engine");
+        results
+    }
+
+    fn run_inner(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+        let _table_timer = mind_obs::profile::scope("engine.table");
         let n = scenarios.len();
         if self.threads == 1 || n <= 1 {
-            return scenarios.iter().map(Scenario::execute).collect();
+            return scenarios
+                .iter()
+                .map(|s| {
+                    let _t = mind_obs::profile::scope("engine.scenario");
+                    s.execute()
+                })
+                .collect();
         }
 
         // Work-stealing by index: a shared cursor hands out scenarios, and
@@ -94,7 +98,9 @@ impl Engine {
                         break;
                     }
                     let job = jobs[i].lock().unwrap().take().expect("job taken once");
+                    let _t = mind_obs::profile::scope("engine.scenario");
                     let result = job.execute();
+                    drop(_t);
                     *slots[i].lock().unwrap() = Some(result);
                 });
             }
@@ -156,10 +162,10 @@ mod tests {
     }
 
     #[test]
-    fn threads_from_parses_mind_threads() {
-        assert_eq!(Engine::threads_from(Some("3")), 3);
-        assert!(Engine::threads_from(Some("not-a-number")) >= 1, "falls back");
-        assert!(Engine::threads_from(Some("0")) >= 1, "zero rejected");
-        assert!(Engine::threads_from(None) >= 1);
+    fn env_policy_parses_mind_threads() {
+        // The parse policy itself lives (and is unit-tested) in
+        // `mind_sim::env`; this pins the engine to it.
+        assert_eq!(mind_sim::env::parse_threads(Some("3")), 3);
+        assert!(mind_sim::env::parse_threads(None) >= 1);
     }
 }

@@ -4,6 +4,8 @@
 //!
 //! ```json
 //! {
+//!   "schema_version": 2,
+//!   "generator": "v0.1.0-12-gabc1234",   // git describe (or MIND_GIT_DESCRIBE)
 //!   "suite": "fig5_intra",
 //!   "scenarios": [
 //!     {
@@ -21,6 +23,8 @@
 //!       "latency_percentiles_ns": { "p50": 1, "p99": 2, "p999": 3 },
 //!       "window_metrics": { "...": 0 },
 //!       "metrics": { "...": 0 },
+//!       "timeseries": { "interval_ns": 1000000, "buckets": [ { "...": 0 } ] },
+//!                                    // replay scenarios when tracing is on
 //!       "service": { "...": 0 },     // service scenarios: churn totals,
 //!                                    // per-class and per-tenant SLOs
 //!       "values": { "...": 0.0 },    // custom scenarios
@@ -37,12 +41,77 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
+use mind_obs::{chrome_process_name, TraceData, WindowSeries};
 use mind_service::{ServiceReport, TenantSlo};
 use mind_sim::stats::{Histogram, Metrics};
 
 use crate::json::Json;
 use crate::scenario::ScenarioResult;
+
+/// BENCH JSON schema version. Bump when the document shape changes so
+/// downstream consumers can tell versions apart instead of sniffing keys.
+/// Version 2 added this field, `generator`, and the optional `timeseries`
+/// sections.
+pub const SCHEMA_VERSION: i128 = 2;
+
+/// The generator string stamped into every suite document:
+/// `MIND_GIT_DESCRIBE` when set (CI pins it), otherwise `git describe
+/// --always --dirty` resolved once per process, otherwise `"unknown"`.
+pub fn generator() -> &'static str {
+    static GEN: OnceLock<String> = OnceLock::new();
+    GEN.get_or_init(|| {
+        if let Ok(s) = std::env::var("MIND_GIT_DESCRIBE") {
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// Windowed telemetry as JSON: the bucket width plus one object per
+/// virtual-time bucket (including empty gap buckets, so the time axis is
+/// contiguous). `mops` is the bucket's throughput in million ops/sec.
+fn series_json(s: &WindowSeries) -> Json {
+    let interval_ns = s.interval().as_nanos();
+    Json::obj([
+        ("interval_ns", Json::Int(interval_ns as i128)),
+        (
+            "buckets",
+            Json::Arr(
+                s.buckets()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        Json::obj([
+                            ("t_ns", Json::Int((i as u64 * interval_ns) as i128)),
+                            ("ops", Json::Int(b.ops as i128)),
+                            (
+                                "mops",
+                                Json::Num(b.ops as f64 * 1000.0 / interval_ns as f64),
+                            ),
+                            ("remote", Json::Int(b.remote as i128)),
+                            ("invalidations", Json::Int(b.invalidations as i128)),
+                            ("stall_ns", Json::Int(b.stall_ns as i128)),
+                            ("p50_ns", Json::Int(b.lat.quantile(0.5) as i128)),
+                            ("p99_ns", Json::Int(b.lat.quantile(0.99) as i128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn metrics_json(m: &Metrics) -> Json {
     Json::Obj(
@@ -83,7 +152,7 @@ fn tenant_json(t: &TenantSlo) -> Json {
 /// A service scenario's report as JSON: churn totals, per-class SLO
 /// aggregates, and the per-tenant records.
 pub fn service_json(s: &ServiceReport) -> Json {
-    Json::obj([
+    let mut pairs: Vec<(String, Json)> = obj_pairs([
         ("duration_ns", Json::Int(s.duration.as_nanos() as i128)),
         ("tenants_admitted", Json::Int(s.tenants_admitted as i128)),
         ("tenants_rejected", Json::Int(s.tenants_rejected as i128)),
@@ -118,7 +187,28 @@ pub fn service_json(s: &ServiceReport) -> Json {
         ),
         ("tenants", Json::Arr(s.tenants.iter().map(tenant_json).collect())),
         ("metrics", metrics_json(&s.metrics)),
-    ])
+    ]);
+    if let Some(series) = &s.timeseries {
+        // Per-class windowed telemetry, keyed by class label
+        // (`QosClass::ALL` order matches the array).
+        pairs.push((
+            "timeseries".into(),
+            Json::Obj(
+                mind_service::QosClass::ALL
+                    .iter()
+                    .zip(series.iter())
+                    .map(|(qos, s)| (qos.label().to_string(), series_json(s)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Converts a `Json::obj`-style pair list into the owned form used when a
+/// document needs optional trailing sections.
+fn obj_pairs<const N: usize>(pairs: [(&str, Json); N]) -> Vec<(String, Json)> {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
 /// One scenario result as JSON.
@@ -153,6 +243,9 @@ pub fn result_json(result: &ScenarioResult) -> Json {
         ));
         pairs.push(("window_metrics".into(), metrics_json(&report.window_metrics)));
         pairs.push(("metrics".into(), metrics_json(&report.metrics)));
+        if let Some(series) = &report.timeseries {
+            pairs.push(("timeseries".into(), series_json(series)));
+        }
     }
     if let Some(service) = &result.output.service {
         pairs.push(("service".into(), service_json(service)));
@@ -323,6 +416,8 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
 /// The whole suite as one JSON document.
 pub fn suite_json(suite: &str, results: &[ScenarioResult]) -> Json {
     Json::obj([
+        ("schema_version", Json::Int(SCHEMA_VERSION)),
+        ("generator", Json::str(generator())),
         ("suite", Json::str(suite)),
         (
             "scenarios",
@@ -332,13 +427,77 @@ pub fn suite_json(suite: &str, results: &[ScenarioResult]) -> Json {
     ])
 }
 
+/// The output directory for BENCH/TRACE files: `$MIND_BENCH_DIR` if set,
+/// otherwise the current directory.
+fn bench_dir() -> PathBuf {
+    mind_sim::env::bench_dir().unwrap_or_else(|| PathBuf::from("."))
+}
+
 /// Renders and writes `BENCH_<suite>.json` into the current directory (or
 /// `$MIND_BENCH_DIR` if set), returning the path written.
 pub fn write_suite(suite: &str, results: &[ScenarioResult]) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(std::env::var("MIND_BENCH_DIR").unwrap_or_else(|_| ".".to_string()));
+    let dir = bench_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{suite}.json"));
     std::fs::write(&path, suite_json(suite, results).render())?;
+    Ok(path)
+}
+
+/// The suite's deterministic event traces as one Chrome-trace-event JSON
+/// document (loadable in Perfetto / `chrome://tracing`). Every scenario
+/// gets a `process_name` metadata record (pid = its index in the suite);
+/// scenarios that carried a trace contribute their canonicalized events.
+/// Extra top-level keys (`schemaVersion`, `suite`, `dropped`) are
+/// tolerated by trace viewers and identify the document.
+pub fn trace_json(suite: &str, results: &[ScenarioResult]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    let mut dropped = 0u64;
+    for (pid, result) in results.iter().enumerate() {
+        lines.push(chrome_process_name(pid, &result.name));
+    }
+    for (pid, result) in results.iter().enumerate() {
+        let trace: Option<&TraceData> = result
+            .output
+            .report
+            .as_ref()
+            .and_then(|r| r.trace.as_ref())
+            .or_else(|| result.output.service.as_ref().and_then(|s| s.trace.as_ref()));
+        if let Some(trace) = trace {
+            dropped += trace.dropped;
+            let mut canon = trace.clone();
+            canon.canonicalize();
+            canon.render_chrome(pid, &mut lines);
+        }
+    }
+    let mut out = String::with_capacity(64 + lines.iter().map(|l| l.len() + 3).sum::<usize>());
+    out.push_str("{\"schemaVersion\":");
+    out.push_str(&SCHEMA_VERSION.to_string());
+    out.push_str(",\"suite\":");
+    // `render()` appends a trailing newline (documents end with one);
+    // trim it for inline embedding.
+    out.push_str(Json::str(suite).render().trim_end());
+    out.push_str(",\"dropped\":");
+    out.push_str(&dropped.to_string());
+    out.push_str(",\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes `TRACE_<suite>.json` next to the BENCH output, returning the
+/// path written. Callers gate on tracing being enabled so disabled runs
+/// produce no trace files at all.
+pub fn write_trace(suite: &str, results: &[ScenarioResult]) -> std::io::Result<PathBuf> {
+    let dir = bench_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TRACE_{suite}.json"));
+    std::fs::write(&path, trace_json(suite, results))?;
     Ok(path)
 }
 
@@ -362,6 +521,50 @@ mod tests {
         assert!(text.contains("\"x\": 1.25"));
         assert!(text.contains("\"ts\""));
         assert!(!text.contains("runtime_ns"), "no replay fields");
+    }
+
+    #[test]
+    fn suite_json_has_schema_header() {
+        let doc = suite_json("t", &[custom_result()]).render();
+        assert!(
+            doc.starts_with("{\n  \"schema_version\": 2,\n  \"generator\": \""),
+            "schema header leads the document: {doc}"
+        );
+    }
+
+    #[test]
+    fn traced_replay_serializes_timeseries() {
+        use mind_obs::{TraceConfig, TraceMode};
+
+        let traced = replay_result_with_trace(TraceConfig::with_mode(TraceMode::On));
+        let text = result_json(&traced).render();
+        assert!(text.contains("\"timeseries\""), "timeseries section: {text}");
+        assert!(text.contains("\"interval_ns\": 1000000"));
+        assert!(text.contains("\"mops\""));
+        assert!(text.contains("\"stall_ns\""));
+
+        let off = replay_result();
+        let text = result_json(&off).render();
+        assert!(!text.contains("\"timeseries\""), "absent when tracing off");
+    }
+
+    #[test]
+    fn trace_json_renders_chrome_events() {
+        use mind_obs::{TraceConfig, TraceMode};
+
+        let traced = replay_result_with_trace(TraceConfig::with_mode(TraceMode::On));
+        let doc = trace_json("t", std::slice::from_ref(&traced));
+        assert!(doc.starts_with("{\"schemaVersion\":2,\"suite\":\"t\",\"dropped\":0,"));
+        assert!(doc.contains("\"name\":\"process_name\""));
+        assert!(doc.contains("\"name\":\"issue\""));
+        assert!(doc.ends_with("]}\n"));
+
+        let off = replay_result();
+        let doc = trace_json("t", std::slice::from_ref(&off));
+        assert!(
+            doc.contains("process_name") && !doc.contains("\"ph\":\"X\""),
+            "untraced scenarios contribute only metadata: {doc}"
+        );
     }
 
     #[test]
@@ -442,6 +645,10 @@ mod tests {
     }
 
     fn replay_result() -> ScenarioResult {
+        replay_result_with_trace(mind_obs::TraceConfig::with_mode(mind_obs::TraceMode::Off))
+    }
+
+    fn replay_result_with_trace(trace: mind_obs::TraceConfig) -> ScenarioResult {
         use crate::spec::{SystemSpec, WorkloadSpec};
         use mind_core::system::ConsistencyModel;
         use mind_workloads::micro::MicroConfig;
@@ -460,6 +667,7 @@ mod tests {
             wl,
             RunConfig {
                 ops_per_thread: 200,
+                trace,
                 ..Default::default()
             },
         )

@@ -84,7 +84,10 @@ impl Scenario {
     pub fn execute(&self) -> ScenarioResult {
         let output = match &self.kind {
             ScenarioKind::Replay(spec) => {
-                let mut sys = spec.system.build();
+                // The run's pinned trace mode (if any) overrides the
+                // system's, so one `RunConfig` knob drives both the
+                // windowed telemetry and the system's event trace.
+                let mut sys = spec.system.with_trace(spec.run.trace).build();
                 let mut wl = spec.workload.build();
                 ScenarioOutput::from_report(runner::run(sys.as_mut(), wl.as_mut(), spec.run))
             }

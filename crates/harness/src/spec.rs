@@ -71,6 +71,21 @@ impl SystemSpec {
         }
     }
 
+    /// This spec with a run's trace configuration applied: a pinned mode
+    /// (`Off`/`On`/`Full`) overrides the system's own trace config, while
+    /// the default `Env` mode leaves the spec untouched. Baselines don't
+    /// trace, so only MIND configs change.
+    pub fn with_trace(self, trace: mind_obs::TraceConfig) -> Self {
+        match (self, trace.mode) {
+            (spec, mind_obs::TraceMode::Env) => spec,
+            (SystemSpec::Mind(mut cfg), _) => {
+                cfg.trace = trace;
+                SystemSpec::Mind(cfg)
+            }
+            (spec, _) => spec,
+        }
+    }
+
     /// Builds the system. Called inside engine workers.
     pub fn build(&self) -> Box<dyn MemorySystem> {
         match *self {

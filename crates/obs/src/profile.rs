@@ -1,0 +1,115 @@
+//! Wall-clock self-profiling.
+//!
+//! Unlike everything else in this crate, these timers measure *host*
+//! time: harness-engine scenario walls, shard-worker utilization, barrier
+//! wait share, merge time. Host time is inherently nondeterministic, so
+//! profiling output is reported on stderr only and never enters BENCH
+//! JSON or trace files — it exists to make perf-gate regressions
+//! diagnosable, not to be replayed.
+//!
+//! Gated by `MIND_PROFILE` ([`mind_sim::env::profile_enabled`]); the
+//! disabled path is a cached-boolean branch. Stages accumulate into a
+//! process-wide registry under stable string keys, reported and cleared
+//! by [`report_stderr`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Whether profiling is active this process.
+#[inline]
+pub fn enabled() -> bool {
+    mind_sim::env::profile_enabled()
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Stat {
+    count: u64,
+    total: Duration,
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Stat>> = Mutex::new(BTreeMap::new());
+
+/// Adds one sample of wall time under `key` (no-op when disabled).
+pub fn record(key: &str, wall: Duration) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    let stat = reg.entry(key.to_string()).or_default();
+    stat.count += 1;
+    stat.total += wall;
+}
+
+/// Starts a scoped stage timer: the elapsed wall time is recorded under
+/// `key` when the guard drops. `None` (no timer, no clock read) when
+/// profiling is disabled.
+pub fn scope(key: &'static str) -> Option<ScopeTimer> {
+    if !enabled() {
+        return None;
+    }
+    Some(ScopeTimer {
+        key,
+        start: Instant::now(),
+    })
+}
+
+/// A live stage timer from [`scope`].
+#[derive(Debug)]
+pub struct ScopeTimer {
+    key: &'static str,
+    start: Instant,
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        record(self.key, self.start.elapsed());
+    }
+}
+
+/// Drains the registry: every `(key, samples, total wall)` accumulated
+/// since the last drain, in key order.
+pub fn take() -> Vec<(String, u64, Duration)> {
+    let mut reg = REGISTRY.lock().unwrap();
+    std::mem::take(&mut *reg)
+        .into_iter()
+        .map(|(k, s)| (k, s.count, s.total))
+        .collect()
+}
+
+/// Prints the accumulated stage table to stderr (and clears it). No-op
+/// when profiling is disabled or nothing was recorded.
+pub fn report_stderr(header: &str) {
+    if !enabled() {
+        return;
+    }
+    let stages = take();
+    if stages.is_empty() {
+        return;
+    }
+    eprintln!("profile [{header}]:");
+    for (key, count, total) in stages {
+        eprintln!(
+            "  {key:<28} {count:>8} x  {:>12.3} ms total  {:>10.3} us/sample",
+            total.as_secs_f64() * 1e3,
+            total.as_secs_f64() * 1e6 / count.max(1) as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiling_is_inert() {
+        // The test environment does not set MIND_PROFILE, so the cached
+        // switch is off: recording and scoping do nothing.
+        if enabled() {
+            return; // Driven with MIND_PROFILE set: skip.
+        }
+        record("test.stage", Duration::from_millis(1));
+        assert!(scope("test.scope").is_none());
+        assert!(take().is_empty());
+    }
+}

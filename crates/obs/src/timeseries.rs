@@ -1,0 +1,190 @@
+//! Windowed telemetry over the virtual clock.
+//!
+//! A [`WindowSeries`] buckets per-operation observations into fixed-width
+//! virtual-time intervals: each bucket carries counters (ops, remote
+//! accesses, invalidations, invalidation-stall nanoseconds) and a latency
+//! histogram, so a report can show MOPS, fault rate, and p99 *over* a run
+//! instead of one end-of-run aggregate. Bucketing is by the operation's
+//! virtual completion time, which is identical across thread and shard
+//! counts — and buckets merge additively — so a merged series is
+//! byte-identical across every execution cell, same contract as the rest
+//! of the BENCH output.
+
+use mind_sim::stats::Histogram;
+use mind_sim::SimTime;
+
+/// One virtual-time bucket's telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesBucket {
+    /// Operations completing in this interval.
+    pub ops: u64,
+    /// Of those, remote accesses (page faults through the switch).
+    pub remote: u64,
+    /// Invalidation requests issued by those operations.
+    pub invalidations: u64,
+    /// Nanoseconds those operations spent stalled on invalidation
+    /// queueing + TLB shootdown (the "directory busy" share).
+    pub stall_ns: u64,
+    /// Latency histogram of those operations (nanoseconds).
+    pub lat: Histogram,
+}
+
+impl SeriesBucket {
+    fn merge(&mut self, other: &SeriesBucket) {
+        self.ops += other.ops;
+        self.remote += other.remote;
+        self.invalidations += other.invalidations;
+        self.stall_ns += other.stall_ns;
+        self.lat.merge(&other.lat);
+    }
+}
+
+/// A fixed-interval telemetry series over the virtual clock.
+#[derive(Debug, Clone)]
+pub struct WindowSeries {
+    interval: SimTime,
+    buckets: Vec<SeriesBucket>,
+}
+
+impl WindowSeries {
+    /// An empty series with the given bucket width (clamped to ≥ 1 ns).
+    pub fn new(interval: SimTime) -> Self {
+        let interval = interval.max(SimTime::from_nanos(1));
+        WindowSeries {
+            interval,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// The buckets, in time order (bucket `i` covers
+    /// `[i·interval, (i+1)·interval)`).
+    pub fn buckets(&self) -> &[SeriesBucket] {
+        &self.buckets
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|b| b.ops == 0)
+    }
+
+    /// Total operations across all buckets.
+    pub fn total_ops(&self) -> u64 {
+        self.buckets.iter().map(|b| b.ops).sum()
+    }
+
+    fn bucket_mut(&mut self, at: SimTime) -> &mut SeriesBucket {
+        let idx = (at.as_nanos() / self.interval.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, SeriesBucket::default);
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Records one completed operation at virtual completion time `at`.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        latency_ns: u64,
+        remote: bool,
+        invalidations: u32,
+        stall_ns: u64,
+    ) {
+        let b = self.bucket_mut(at);
+        b.ops += 1;
+        b.remote += remote as u64;
+        b.invalidations += invalidations as u64;
+        b.stall_ns += stall_ns;
+        b.lat.record(latency_ns);
+    }
+
+    /// Merges another series bucket-wise (additive, so merge order never
+    /// matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when intervals differ — merging series with different
+    /// bucket widths is a configuration bug, not a recoverable state.
+    pub fn merge(&mut self, other: &WindowSeries) {
+        assert_eq!(
+            self.interval, other.interval,
+            "cannot merge series with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets
+                .resize_with(other.buckets.len(), SeriesBucket::default);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn records_bucket_by_completion_time() {
+        let mut s = WindowSeries::new(ns(100));
+        s.record(ns(10), 5, false, 0, 0);
+        s.record(ns(99), 7, true, 2, 30);
+        s.record(ns(250), 9, true, 0, 0);
+        assert_eq!(s.buckets().len(), 3);
+        assert_eq!(s.buckets()[0].ops, 2);
+        assert_eq!(s.buckets()[0].remote, 1);
+        assert_eq!(s.buckets()[0].invalidations, 2);
+        assert_eq!(s.buckets()[0].stall_ns, 30);
+        assert_eq!(s.buckets()[1].ops, 0, "empty gap bucket materialized");
+        assert_eq!(s.buckets()[2].ops, 1);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn merge_is_additive_and_order_free() {
+        let mut a = WindowSeries::new(ns(100));
+        a.record(ns(10), 5, true, 1, 2);
+        let mut b = WindowSeries::new(ns(100));
+        b.record(ns(150), 8, false, 0, 0);
+        b.record(ns(20), 6, true, 3, 4);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        assert_eq!(ab.buckets().len(), ba.buckets().len());
+        for (x, y) in ab.buckets().iter().zip(ba.buckets()) {
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.remote, y.remote);
+            assert_eq!(x.invalidations, y.invalidations);
+            assert_eq!(x.stall_ns, y.stall_ns);
+            assert_eq!(x.lat.count(), y.lat.count());
+            assert_eq!(x.lat.quantile(0.99), y.lat.quantile(0.99));
+        }
+        assert_eq!(ab.buckets()[0].ops, 2);
+        assert_eq!(ab.buckets()[1].ops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merging_mismatched_intervals_panics() {
+        let mut a = WindowSeries::new(ns(100));
+        let b = WindowSeries::new(ns(200));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_interval_clamps() {
+        let s = WindowSeries::new(SimTime::ZERO);
+        assert_eq!(s.interval(), ns(1));
+    }
+}

@@ -22,6 +22,7 @@ use mind_core::addr::pow2_alloc_size;
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::protect::PermClass;
 use mind_core::system::{MemOp, OpBatch};
+use mind_obs::{EventKind, TraceData, WindowSeries};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::{EventQueue, SimRng, SimTime};
 use mind_workloads::trace::Workload;
@@ -187,6 +188,13 @@ pub struct ServiceReport {
     pub tenants: Vec<TenantSlo>,
     /// Rack metrics snapshot at completion.
     pub metrics: Metrics,
+    /// Per-class windowed telemetry (end-to-end request latency bucketed
+    /// by virtual completion time), in [`QosClass::ALL`] order; `None`
+    /// when tracing is off, so untraced reports are unchanged.
+    pub timeseries: Option<[WindowSeries; 3]>,
+    /// The rack's deterministic event trace, service control-plane events
+    /// included; `None` when tracing is off.
+    pub trace: Option<TraceData>,
 }
 
 /// What the event loop processes. Events are ordered by the
@@ -228,13 +236,24 @@ pub struct MemoryService {
     quantum: OpBatch,
     /// Reusable grant list paired with `quantum`.
     grants: Vec<(TenantId, usize, PendingRequest)>,
+    /// Per-class windowed telemetry, present only when the rack traces.
+    class_series: Option<[WindowSeries; 3]>,
 }
 
 impl MemoryService {
-    /// Builds the service (rack included) from its configuration.
+    /// Builds the service (rack included) from its configuration. Tracing
+    /// and telemetry follow the rack's [`MindConfig::trace`] settings.
     pub fn new(cfg: ServiceConfig) -> Self {
+        let class_series = if cfg.rack.trace.enabled() {
+            Some(std::array::from_fn(|_| {
+                WindowSeries::new(cfg.rack.trace.interval)
+            }))
+        } else {
+            None
+        };
         MemoryService {
             cluster: MindCluster::new(cfg.rack),
+            class_series,
             rng: SimRng::new(cfg.seed),
             cfg,
             tenants: BTreeMap::new(),
@@ -270,6 +289,12 @@ impl MemoryService {
         &mut self.cluster
     }
 
+    /// The control lane service events trace on: one past the rack's last
+    /// compute blade.
+    fn control_lane(&self) -> u32 {
+        self.cfg.rack.n_compute as u32
+    }
+
     /// Live tenant ids, in admission order.
     pub fn live_tenants(&self) -> Vec<TenantId> {
         self.tenants.keys().copied().collect()
@@ -300,15 +325,33 @@ impl MemoryService {
         let footprint_frac = pow2_alloc_size(pages << 12) as f64 / capacity as f64;
         if let Err(e) = admission::admit(self.cluster.memory_utilization(), footprint_frac, qos) {
             self.class_rejected_tenants[qos.index()] += 1;
+            let lane = self.control_lane();
+            self.cluster.trace().record(
+                now,
+                lane,
+                EventKind::TenantReject,
+                SimTime::ZERO,
+                qos.index() as u64,
+                0,
+            );
             return Err(e);
         }
         let pid = self.cluster.exec().expect("exec cannot fail");
         let vma = match self.cluster.mmap_with(pid, pages << 12, PermClass::ReadWrite) {
             Ok(vma) => vma,
             Err(_) => {
-                // Unwind the half-created tenant; its domain leaves no trace.
+                // Unwind the half-created tenant; its domain leaves nothing.
                 self.cluster.exit(now, pid).expect("fresh pid exists");
                 self.class_rejected_tenants[qos.index()] += 1;
+                let lane = self.control_lane();
+                self.cluster.trace().record(
+                    now,
+                    lane,
+                    EventKind::TenantReject,
+                    SimTime::ZERO,
+                    qos.index() as u64,
+                    0,
+                );
                 return Err(AdmitError::RackFull);
             }
         };
@@ -344,6 +387,15 @@ impl MemoryService {
         );
         self.class_admitted[qos.index()] += 1;
         self.peak_live = self.peak_live.max(self.tenants.len());
+        let lane = self.control_lane();
+        self.cluster.trace().record(
+            now,
+            lane,
+            EventKind::TenantAdmit,
+            SimTime::ZERO,
+            qos.index() as u64,
+            0,
+        );
         Ok(id)
     }
 
@@ -365,6 +417,15 @@ impl MemoryService {
         let slo = t.slo(now, true);
         self.slos.push(slo);
         self.departed += 1;
+        let lane = self.control_lane();
+        self.cluster.trace().record(
+            now,
+            lane,
+            EventKind::TenantDepart,
+            SimTime::ZERO,
+            t.qos.index() as u64,
+            0,
+        );
         Some(slo)
     }
 
@@ -377,7 +438,17 @@ impl MemoryService {
         };
         if t.queue.len() >= max_depth {
             t.rejected += 1;
-            self.class_rejected_requests[t.qos.index()] += 1;
+            let qos = t.qos;
+            self.class_rejected_requests[qos.index()] += 1;
+            let lane = self.control_lane();
+            self.cluster.trace().record(
+                now,
+                lane,
+                EventKind::RequestReject,
+                SimTime::ZERO,
+                qos.index() as u64,
+                0,
+            );
             return false;
         }
         let op = t.workload.next_op(0);
@@ -481,6 +552,16 @@ impl MemoryService {
                     t.ops_this_epoch += 1;
                     self.class_latency[ci].record(latency.as_nanos());
                     self.class_ops[ci] += 1;
+                    if let Some(series) = &mut self.class_series {
+                        let stall = outcome.latency.inv_queue + outcome.latency.inv_tlb;
+                        series[ci].record(
+                            batch.op(i).at + outcome.latency.total(),
+                            latency.as_nanos(),
+                            outcome.remote,
+                            outcome.invalidations,
+                            stall.as_nanos(),
+                        );
+                    }
                 }
                 Err(_) => {
                     // A request the rack refused (e.g. a failed blade)
@@ -489,6 +570,18 @@ impl MemoryService {
                     self.class_rejected_requests[ci] += 1;
                 }
             }
+        }
+        if self.cluster.trace().enabled() {
+            let queued: u64 = self.tenants.values().map(|t| t.queue.len() as u64).sum();
+            let lane = self.control_lane();
+            self.cluster.trace().record(
+                now,
+                lane,
+                EventKind::Dispatch,
+                SimTime::ZERO,
+                grants.len() as u64,
+                queued,
+            );
         }
         self.grants = grants;
         self.quantum = batch;
@@ -640,6 +733,7 @@ impl MemoryService {
                 mean_ns: h.mean(),
             }
         });
+        let trace = self.cluster.take_trace();
         ServiceReport {
             duration,
             tenants_admitted: self.class_admitted.iter().sum(),
@@ -654,6 +748,8 @@ impl MemoryService {
             classes,
             tenants: self.slos,
             metrics: self.cluster.metrics_snapshot(),
+            timeseries: self.class_series,
+            trace,
         }
     }
 }

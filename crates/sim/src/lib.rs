@@ -11,6 +11,7 @@
 //! [`time::SimTime`], so simulation runs are bit-for-bit reproducible from a
 //! seed.
 
+pub mod env;
 pub mod event;
 pub mod hash;
 pub mod rng;

@@ -32,7 +32,7 @@ use std::sync::OnceLock;
 
 /// Environment variable overriding the process-wide budget total
 /// (defaults to the machine's available parallelism).
-pub const BUDGET_ENV: &str = "MIND_THREAD_BUDGET";
+pub const BUDGET_ENV: &str = crate::env::BUDGET_ENV;
 
 /// The process-wide ledger of threads in use.
 #[derive(Debug)]
@@ -125,18 +125,7 @@ impl Drop for ThreadReservation<'_> {
 /// otherwise the machine's available parallelism.
 pub fn budget() -> &'static ThreadBudget {
     static BUDGET: OnceLock<ThreadBudget> = OnceLock::new();
-    BUDGET.get_or_init(|| {
-        let total = std::env::var(BUDGET_ENV)
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        ThreadBudget::new(total)
-    })
+    BUDGET.get_or_init(|| ThreadBudget::new(crate::env::thread_budget()))
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! performance).
 
 use mind_core::system::{MemOp, MemorySystem, OpBatch};
+use mind_obs::{TraceConfig, TraceData, WindowSeries};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::{EventQueue, SimTime};
 
@@ -51,6 +52,10 @@ pub struct RunConfig {
     /// round trips on systems with an issue/complete datapath (MIND);
     /// systems without one run serialized regardless.
     pub window: u32,
+    /// Observability: whether to record the windowed telemetry series
+    /// (and its bucket width). Defaults to resolving `MIND_TRACE`, so an
+    /// untraced run carries no series and its report is unchanged.
+    pub trace: TraceConfig,
 }
 
 impl Default for RunConfig {
@@ -63,6 +68,7 @@ impl Default for RunConfig {
             interleave: false,
             batch_ops: 1,
             window: 1,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -79,6 +85,13 @@ impl RunConfig {
     /// (builder-style, for sweep tables).
     pub fn with_window(mut self, window: u32) -> Self {
         self.window = window;
+        self
+    }
+
+    /// This configuration with the given trace settings (builder-style;
+    /// tests pin a [`mind_obs::TraceMode`] to override the environment).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -138,6 +151,13 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Metrics accumulated during the measured window only.
     pub window_metrics: Metrics,
+    /// Windowed telemetry over the measured phase, bucketed by virtual
+    /// completion time; `None` when tracing is off (so untraced reports
+    /// are unchanged by this field's existence).
+    pub timeseries: Option<WindowSeries>,
+    /// The system's deterministic event trace (shard-local lanes already
+    /// rebased to global blade indices); `None` when tracing is off.
+    pub trace: Option<TraceData>,
 }
 
 impl RunReport {
@@ -173,6 +193,8 @@ pub(crate) struct Accum {
     pub(crate) sum_overlapped: u128,
     pub(crate) sum_remote_lat: u128,
     pub(crate) latency: Histogram,
+    /// Windowed telemetry, present only when the run traces.
+    pub(crate) series: Option<WindowSeries>,
 }
 
 impl Accum {
@@ -190,7 +212,18 @@ impl Accum {
             sum_overlapped: 0,
             sum_remote_lat: 0,
             latency: Histogram::new(),
+            series: None,
         }
+    }
+
+    /// Accumulators that additionally record the windowed telemetry
+    /// series when `trace` is enabled.
+    pub(crate) fn with_trace(trace: TraceConfig) -> Self {
+        let mut acc = Accum::new();
+        if trace.enabled() {
+            acc.series = Some(WindowSeries::new(trace.interval));
+        }
+        acc
     }
 
     /// Folds one executed batch into the accumulators, in op order.
@@ -200,7 +233,7 @@ impl Accum {
     /// Panics if any op of the batch failed (callers reject failures
     /// before accounting).
     pub(crate) fn record_batch(&mut self, batch: &OpBatch) {
-        for result in batch.results() {
+        for (i, result) in batch.results().iter().enumerate() {
             let outcome = result.as_ref().expect("callers reject failures");
             let total_ns = outcome.latency.total().as_nanos();
             self.total_ops += 1;
@@ -217,6 +250,18 @@ impl Accum {
             self.sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
             self.sum_software += outcome.latency.software.as_nanos() as u128;
             self.sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
+            if let Some(series) = &mut self.series {
+                // Bucket by virtual completion time (identical across
+                // execution cells); stall = the directory-busy share.
+                let stall = outcome.latency.inv_queue + outcome.latency.inv_tlb;
+                series.record(
+                    batch.completion(i),
+                    total_ns,
+                    outcome.remote,
+                    outcome.invalidations,
+                    stall.as_nanos(),
+                );
+            }
         }
     }
 }
@@ -234,6 +279,8 @@ pub(crate) fn finish_report(
 ) -> RunReport {
     let runtime = end_clock.saturating_sub(warmup_end);
     let secs = runtime.as_secs_f64().max(1e-12);
+    let mut acc = acc;
+    let timeseries = acc.series.take();
     RunReport {
         name,
         runtime,
@@ -261,6 +308,8 @@ pub(crate) fn finish_report(
         latency: acc.latency,
         metrics,
         window_metrics,
+        timeseries,
+        trace: None,
     }
 }
 
@@ -286,6 +335,7 @@ pub fn merge_reports(name: impl Into<String>, reports: &[RunReport]) -> RunRepor
     let mut acc = Accum::new();
     let mut metrics = Metrics::new();
     let mut window_metrics = Metrics::new();
+    let mut trace: Option<TraceData> = None;
     for r in reports {
         acc.total_ops += r.total_ops;
         acc.remote += r.remote_ops;
@@ -301,8 +351,22 @@ pub fn merge_reports(name: impl Into<String>, reports: &[RunReport]) -> RunRepor
         acc.latency.merge(&r.latency);
         metrics.merge(&r.metrics);
         window_metrics.merge(&r.window_metrics);
+        if let Some(series) = &r.timeseries {
+            match &mut acc.series {
+                Some(mine) => mine.merge(series),
+                None => acc.series = Some(series.clone()),
+            }
+        }
+        if let Some(t) = &r.trace {
+            match &mut trace {
+                Some(mine) => mine.merge(t.clone()),
+                None => trace = Some(t.clone()),
+            }
+        }
     }
-    finish_report(name.into(), warmup_end, end_clock, acc, metrics, window_metrics)
+    let mut merged = finish_report(name.into(), warmup_end, end_clock, acc, metrics, window_metrics);
+    merged.trace = trace;
+    merged
 }
 
 /// Replays `ops_per_thread × n_threads` operations of `workload` against
@@ -413,7 +477,7 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
     let baseline_metrics = system.metrics();
 
     let mut remaining: Vec<u64> = vec![cfg.ops_per_thread; n_threads as usize];
-    let mut acc = Accum::new();
+    let mut acc = Accum::with_trace(cfg.trace);
     let mut end_clock = warmup_end;
 
     while let Some(ev) = measured.pop() {
@@ -434,14 +498,16 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
 
     // Report the measured window only.
     let window_metrics = system.metrics().diff(&baseline_metrics);
-    finish_report(
+    let mut report = finish_report(
         workload.name(),
         warmup_end,
         end_clock,
         acc,
         system.metrics(),
         window_metrics,
-    )
+    );
+    report.trace = system.take_trace();
+    report
 }
 
 #[cfg(test)]
@@ -501,6 +567,7 @@ mod tests {
                 interleave: false,
                 batch_ops: 1,
                 window: 1,
+                ..Default::default()
             },
         );
         assert_eq!(report.total_ops, 1000);

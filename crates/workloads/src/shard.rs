@@ -69,7 +69,8 @@ use std::sync::Barrier;
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::controller::Pid;
 use mind_core::shard::{PartitionError, PartitionLayout};
-use mind_core::system::{MemOp, OpBatch};
+use mind_core::system::{MemOp, MemorySystem, OpBatch};
+use mind_obs::EventKind;
 use mind_sim::stats::Metrics;
 use mind_sim::{threads, EventQueue, SimTime};
 
@@ -79,8 +80,9 @@ use crate::trace::{TraceOp, Workload};
 /// Environment variable overriding the shard-thread count [`run_sharded`]
 /// uses (exact, like an explicit [`run_sharded_threads`] call). Unset,
 /// the driver asks the process-wide [`mind_sim::threads`] budget for one
-/// thread per shard and runs with whatever is granted.
-pub const SHARD_THREADS_ENV: &str = "MIND_SHARD_THREADS";
+/// thread per shard and runs with whatever is granted. Parsed by
+/// [`mind_sim::env::shard_threads`].
+pub const SHARD_THREADS_ENV: &str = mind_sim::env::SHARD_THREADS_ENV;
 
 /// Why a partitioned scenario cannot be (de)composed: each variant names
 /// the confinement invariant that failed, so callers see *what* to fix
@@ -396,7 +398,7 @@ impl GroupRun {
             remaining: vec![run.ops_per_thread; total as usize],
             warmup_end: SimTime::ZERO,
             baseline,
-            acc: Accum::new(),
+            acc: Accum::with_trace(run.trace),
             end_clock: SimTime::ZERO,
             batch: OpBatch::chained(run.think_time).with_window(run.window),
             ops_buf: Vec::new(),
@@ -496,19 +498,41 @@ impl GroupRun {
         self.phase == Phase::Done
     }
 
-    /// Finalizes this group's report (measured window only).
-    pub fn finish(self) -> RunReport {
+    /// Records a [`mind_obs::TraceBuf::record_full`]-level shard-epoch
+    /// mark: shard `shard` stepped its conservative window to `horizon`.
+    /// On the control lane (one past this group's last blade); epoch
+    /// marks depend on the shard count and horizon length, so they are
+    /// outside the cross-cell byte-identity contract.
+    fn mark_epoch(&mut self, shard: u32, horizon: SimTime) {
+        let lane = self.cluster.n_compute() as u32;
+        self.cluster.trace().record_full(
+            horizon,
+            lane,
+            EventKind::ShardEpoch,
+            SimTime::ZERO,
+            shard as u64,
+            horizon.as_nanos(),
+        );
+    }
+
+    /// Finalizes this group's report (measured window only). The trace,
+    /// if any, still carries this group's *local* lane indices — sharded
+    /// drivers rebase it onto global blades before merging.
+    pub fn finish(mut self) -> RunReport {
         assert!(self.is_done(), "finish before the group completed");
+        let trace = self.cluster.take_trace();
         let metrics = self.cluster.metrics_snapshot();
         let window_metrics = metrics.diff(self.baseline.as_ref().expect("baseline snapshotted"));
-        finish_report(
+        let mut report = finish_report(
             self.name,
             self.warmup_end,
             self.end_clock.max(self.warmup_end),
             self.acc,
             metrics,
             window_metrics,
-        )
+        );
+        report.trace = trace;
+        report
     }
 }
 
@@ -556,11 +580,7 @@ pub fn run_sharded(
     shards: u16,
     factory: &PartitionFactory,
 ) -> Result<RunReport, ShardError> {
-    match std::env::var(SHARD_THREADS_ENV)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
+    match mind_sim::env::shard_threads() {
         Some(n) => run_sharded_threads(spec, shards, n, factory),
         None => {
             let grant = threads::budget().reserve((shards as usize).saturating_sub(1));
@@ -627,8 +647,12 @@ fn run_sharded_inner(
         let mut horizon = spec.horizon;
         loop {
             let mut all_done = true;
-            for g in groups.iter_mut() {
-                all_done &= g.advance_until(horizon);
+            for (s, g) in groups.iter_mut().enumerate() {
+                let done = g.advance_until(horizon);
+                if !done {
+                    g.mark_epoch(s as u32, horizon);
+                }
+                all_done &= done;
             }
             if all_done {
                 break;
@@ -641,7 +665,21 @@ fn run_sharded_inner(
 
     // Merge strictly by shard index — the groups vector is still in
     // construction order here regardless of which worker finished last.
-    let reports: Vec<RunReport> = groups.into_iter().map(GroupRun::finish).collect();
+    // Shard traces recorded local blade lanes; rebase each onto the fused
+    // rack's global indices (shard `s` owns blades starting at
+    // `s × sub.n_compute`) so the merged trace is grouping-invariant.
+    let _merge_timer = mind_obs::profile::scope("shard.merge");
+    let reports: Vec<RunReport> = groups
+        .into_iter()
+        .enumerate()
+        .map(|(s, g)| {
+            let mut r = g.finish();
+            if let Some(t) = &mut r.trace {
+                t.rebase_lanes(s as u32 * sub.n_compute as u32);
+            }
+            r
+        })
+        .collect();
     Ok(merge_reports(spec.name.clone(), &reports))
 }
 
@@ -660,23 +698,39 @@ fn run_sharded_inner(
 fn advance_parallel(groups: &mut [GroupRun], step: SimTime, lanes: usize) {
     let unfinished = AtomicUsize::new(groups.len());
     let per_lane = groups.len().div_ceil(lanes);
-    let slices: Vec<&mut [GroupRun]> = groups.chunks_mut(per_lane).collect();
+    let slices: Vec<(usize, &mut [GroupRun])> = groups
+        .chunks_mut(per_lane)
+        .enumerate()
+        .map(|(j, s)| (j * per_lane, s))
+        .collect();
     let barrier = Barrier::new(slices.len());
+    let barrier = &barrier;
+    let unfinished = &unfinished;
     std::thread::scope(|scope| {
-        for slice in slices {
-            scope.spawn(|| {
+        for (first_shard, slice) in slices {
+            scope.spawn(move || {
                 let mut horizon = step;
                 let mut done = vec![false; slice.len()];
                 loop {
-                    for (g, d) in slice.iter_mut().zip(done.iter_mut()) {
-                        if !*d && g.advance_until(horizon) {
-                            *d = true;
-                            unfinished.fetch_sub(1, Ordering::AcqRel);
+                    {
+                        let _t = mind_obs::profile::scope("shard.advance");
+                        for (i, (g, d)) in slice.iter_mut().zip(done.iter_mut()).enumerate() {
+                            if *d {
+                                continue;
+                            }
+                            if g.advance_until(horizon) {
+                                *d = true;
+                                unfinished.fetch_sub(1, Ordering::AcqRel);
+                            } else {
+                                g.mark_epoch((first_shard + i) as u32, horizon);
+                            }
                         }
                     }
+                    let _t = mind_obs::profile::scope("shard.barrier_wait");
                     barrier.wait();
                     let all_done = unfinished.load(Ordering::Acquire) == 0;
                     barrier.wait();
+                    drop(_t);
                     if all_done {
                         break;
                     }

@@ -57,6 +57,7 @@ fn main() {
                 interleave: false,
                 batch_ops: 1,
                 window: 1,
+                ..Default::default()
             },
         );
         let base = *baseline.get_or_insert(report.runtime);

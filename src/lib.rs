@@ -8,6 +8,7 @@
 //! | Re-export | Paper section | Contents |
 //! |-----------|---------------|----------|
 //! | [`sim`] | §7 methodology | deterministic event loop, RNG, stats |
+//! | [`obs`] | §7 methodology | deterministic tracing, windowed telemetry, wall-clock profiling |
 //! | [`net`] | §2, §4.4 | rack fabric, links, multicast, reliability |
 //! | [`switch`] | §2.1, §6.3 | TCAM, SRAM slots, MAU pipeline |
 //! | [`blade`] | §6.1, §6.2 | compute-blade cache, memory blade |
@@ -24,6 +25,7 @@ pub use mind_harness as harness;
 pub use mind_blade as blade;
 pub use mind_core as core;
 pub use mind_net as net;
+pub use mind_obs as obs;
 pub use mind_service as service;
 pub use mind_sim as sim;
 pub use mind_switch as switch;

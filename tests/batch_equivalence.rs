@@ -101,6 +101,63 @@ fn replay_batched_json_is_byte_identical_to_scalar_loop() {
     }
 }
 
+/// Tracing is observation, never behaviour: pinning the trace mode off
+/// renders byte-identical BENCH JSON to the default environment-resolved
+/// config (the instrumentation's disabled path adds no sections and
+/// changes no values), and with tracing *on* the batched datapath still
+/// matches the scalar loop byte for byte — now including the windowed
+/// `timeseries` section both sides must agree on.
+#[test]
+fn tracing_never_changes_replay_json() {
+    use mind::obs::{TraceConfig, TraceMode};
+
+    let workload = WorkloadSpec::Micro(MicroConfig {
+        n_threads: 4,
+        shared_pages: 2_048,
+        private_pages: 256,
+        ..Default::default()
+    });
+    let with_trace = |trace: TraceConfig, scalar: bool| -> String {
+        let regions = workload.regions();
+        let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso)
+            .with_trace(trace);
+        let mut wl = workload.build();
+        let cfg = RunConfig {
+            trace,
+            ..run_cfg(8)
+        };
+        let report = if scalar {
+            let mut sys = ScalarLoop(system.build());
+            runner::run(&mut sys, wl.as_mut(), cfg)
+        } else {
+            let mut sys = system.build();
+            runner::run(sys.as_mut(), wl.as_mut(), cfg)
+        };
+        let result = ScenarioResult {
+            name: "equiv/traced".into(),
+            output: mind::harness::ScenarioOutput::from_report(report),
+        };
+        report::suite_json("batch_equivalence", &[result]).render()
+    };
+
+    // Off is the default in this environment (no MIND_TRACE): pinning it
+    // must be invisible.
+    let pinned_off = with_trace(TraceConfig::with_mode(TraceMode::Off), false);
+    let env_default = with_trace(TraceConfig::default(), false);
+    assert_eq!(pinned_off, env_default, "disabled tracing must be inert");
+    assert!(!pinned_off.contains("\"timeseries\""), "no telemetry when off");
+
+    // On: batched and scalar must still agree — including the telemetry.
+    let on = TraceConfig::with_mode(TraceMode::On);
+    let batched = with_trace(on, false);
+    let scalar = with_trace(on, true);
+    assert!(batched.contains("\"timeseries\""), "telemetry present when on");
+    assert_eq!(
+        batched, scalar,
+        "tracing-on batched datapath diverged from the scalar loop"
+    );
+}
+
 /// The window=1 anchor of the issue/complete refactor: with the in-flight
 /// window at its default serialized depth, the two-phase datapath renders
 /// the exact BENCH JSON the pre-window (PR 4) pipeline rendered — for the

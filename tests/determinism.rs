@@ -39,6 +39,7 @@ fn run_cfg() -> RunConfig {
         interleave: false,
         batch_ops: 1,
         window: 1,
+        ..Default::default()
     }
 }
 

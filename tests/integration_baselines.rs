@@ -28,6 +28,7 @@ fn cfg(ops: u64, tpb: u16) -> RunConfig {
         interleave: false,
         batch_ops: 1,
         window: 1,
+        ..Default::default()
     }
 }
 
