@@ -1,0 +1,67 @@
+//! Criterion benchmark for the cluster-wide event-driven issue engine:
+//! host-side cost of the cluster-mode replay against the turnwise
+//! windowed path on the fault-dominated micro regime at batch 64. Both
+//! cells replay the identical op streams; the cluster cell additionally
+//! pays the engine's ready-queue scheduling per op, and this bench keeps
+//! that overhead measurable locally (`cargo bench --bench engine`). The
+//! per-NIC cell runs with a bounded RNIC depth so the third gate's
+//! bookkeeping is on the measured path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mind_core::system::ConsistencyModel;
+use mind_harness::{SystemSpec, WorkloadSpec};
+use mind_workloads::micro::MicroConfig;
+use mind_workloads::runner::{self, Concurrency, RunConfig};
+
+const OPS_PER_THREAD: u64 = 1_500;
+const WINDOW: u32 = 16;
+
+fn remote_regime() -> MicroConfig {
+    MicroConfig {
+        n_threads: 4,
+        read_ratio: 0.5,
+        sharing_ratio: 1.0,
+        shared_pages: 40_000,
+        private_pages: 2_000,
+        seed: 42,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let micro = remote_regime();
+    let mut group = c.benchmark_group("engine/remote");
+    let cells: [(&str, Concurrency, u32); 3] = [
+        ("turnwise_w16", Concurrency::Turnwise, 0),
+        ("cluster_w16", Concurrency::Cluster, 0),
+        ("cluster_w16_nic2", Concurrency::Cluster, 2),
+    ];
+    for (label, concurrency, nic_depth) in cells {
+        let workload = WorkloadSpec::Micro(micro);
+        let regions = workload.regions();
+        let mut system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
+        if let SystemSpec::Mind(rack) = &mut system {
+            rack.nic_depth = nic_depth;
+        }
+        let cfg = RunConfig {
+            ops_per_thread: OPS_PER_THREAD,
+            warmup_ops_per_thread: OPS_PER_THREAD / 2,
+            threads_per_blade: 2,
+            concurrency,
+            ..Default::default()
+        }
+        .with_batch_ops(64)
+        .with_window(WINDOW);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || (system.build(), workload.build()),
+                |(mut sys, mut wl)| runner::run(sys.as_mut(), wl.as_mut(), cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine);
+criterion_main!(engine);

@@ -14,13 +14,20 @@
 //! - the multi-core shard driver at the top shard count
 //!   (`shard_speedup_s4_t4`) falls below [`GUARD_FLOOR`] × the
 //!   single-threaded figure (`shard_speedup_s4`) — threads must never
-//!   cost wall time, and on a multi-core host they must gain it.
+//!   cost wall time, and on a multi-core host they must gain it; or
+//! - cross-turn recovery regresses against the per-batch window path:
+//!   on the fault-dominated `remote` regime the cluster engine's
+//!   `xturn_recovery_w16` must meet or beat `overlap_recovery_w16`
+//!   outright (dissolving the turn-drain barrier is the engine's whole
+//!   point there), and on every other regime it must stay within
+//!   [`GUARD_FLOOR`] × of it. These are simulation values — the floor
+//!   absorbs modelling drift, not host noise.
 //!
 //! The floor sits under 1.0 only to absorb wall-clock noise on loaded
 //! (or single-core) CI hosts; the committed full-run figures keep every
 //! guarded ratio at or above parity.
 
-use mind_bench::figures::datapath::{BATCH_SIZES, SHARD_COUNTS, SHARD_THREADS};
+use mind_bench::figures::datapath::{BATCH_SIZES, SHARD_COUNTS, SHARD_THREADS, WINDOWS};
 
 /// Minimum accepted `wall_speedup_b64` per regime — and minimum accepted
 /// multi-thread/single-thread shard-speedup ratio — under `--quick`.
@@ -47,6 +54,30 @@ fn main() {
             failed = true;
         }
     }
+    // The cross-turn gate: cluster mode must never lose to the per-batch
+    // window path it generalizes — and on the fault-dominated regime it
+    // must win outright, because there the turn-drain barrier is what
+    // the event-driven engine exists to dissolve.
+    let top_window = *WINDOWS.last().expect("non-empty");
+    for r in results
+        .iter()
+        .filter(|r| !r.name.ends_with("/shards") && !r.name.ends_with("/shards_xl"))
+    {
+        let turnwise = r.value(&format!("overlap_recovery_w{top_window}"));
+        let xturn = r.value(&format!("xturn_recovery_w{top_window}"));
+        let fault_dominated = r.name.ends_with("/remote");
+        let floor = if fault_dominated { turnwise } else { GUARD_FLOOR * turnwise };
+        if xturn < floor {
+            eprintln!(
+                "perf-guard: {} xturn_recovery_w{top_window} = {xturn:.3} < \
+                 {} overlap_recovery_w{top_window} ({turnwise:.3}) \
+                 (cross-turn overlap must not lose to the per-batch window)",
+                r.name,
+                if fault_dominated { "1.0 x".to_string() } else { format!("{GUARD_FLOOR} x") },
+            );
+            failed = true;
+        }
+    }
     // The multi-core gate: at the top shard count, the threaded driver
     // must keep (on one core) or beat (on many) the single-threaded
     // sharded wall clock.
@@ -68,7 +99,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "perf-guard: every regime's wall_speedup_b64 >= {GUARD_FLOOR}, and \
+        "perf-guard: every regime's wall_speedup_b64 >= {GUARD_FLOOR}, \
+         xturn_recovery_w{top_window} held against overlap_recovery_w{top_window}, and \
          shard_speedup_s{top_shards}_t{top_threads} held >= {GUARD_FLOOR} x single-threaded"
     );
 }

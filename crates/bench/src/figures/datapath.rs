@@ -59,7 +59,7 @@ use mind_core::system::{ConsistencyModel, ScalarLoop};
 use mind_harness::{Scenario, ScenarioOutput, ScenarioResult, SystemSpec, WorkloadSpec};
 use mind_service::{population_spec, tenant_partitions, TenantGroupConfig};
 use mind_workloads::micro::MicroConfig;
-use mind_workloads::runner::{self, RunConfig, RunReport};
+use mind_workloads::runner::{self, Concurrency, RunConfig, RunReport};
 use mind_workloads::{run_group, run_sharded_threads, ShardSpec};
 
 use super::scaled_ops;
@@ -230,15 +230,25 @@ fn run_pass(regime: &Regime, batch_ops: u64, ops: u64, scalar: bool, point: &mut
 }
 
 /// One simulation-only windowed point: the regime replayed at the given
-/// batch size with an in-flight window of `window`. Deterministic — a
-/// single pass, no wall clock.
-fn run_window_point(regime: &Regime, batch_ops: u64, window: u32, ops: u64) -> (f64, u128, u128) {
+/// batch size with an in-flight window of `window`. In
+/// [`Concurrency::Turnwise`] the window overlaps RTTs within each
+/// thread's batch; in [`Concurrency::Cluster`] the event-driven engine
+/// additionally overlaps *across* turns and threads. Deterministic either
+/// way — a single pass, no wall clock.
+fn run_window_point(
+    regime: &Regime,
+    batch_ops: u64,
+    window: u32,
+    ops: u64,
+    concurrency: Concurrency,
+) -> (f64, u128, u128) {
     let workload = WorkloadSpec::Micro(regime.micro);
     let regions = workload.regions();
     let run_cfg = RunConfig {
         ops_per_thread: ops,
         warmup_ops_per_thread: ops / 2,
         threads_per_blade: regime.threads_per_blade,
+        concurrency,
         ..Default::default()
     }
     .with_batch_ops(batch_ops)
@@ -375,7 +385,7 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                 for &window in &WINDOWS {
                     for &batch in &WINDOW_BATCHES {
                         let (sim_mops, runtime_ns, overlapped_ns) =
-                            run_window_point(&regime, batch, window, ops);
+                            run_window_point(&regime, batch, window, ops, Concurrency::Turnwise);
                         out = out
                             .value(format!("sim_mops_b{batch}_w{window}"), sim_mops)
                             .value(format!("runtime_ns_b{batch}_w{window}"), runtime_ns as f64)
@@ -390,6 +400,27 @@ pub fn build(quick: bool) -> Vec<Scenario> {
                             );
                         }
                     }
+                }
+                // The cross-turn axis: the same windowed batch-64 cell in
+                // cluster concurrency — the event-driven engine lets every
+                // thread's in-flight faults overlap *across* turn and
+                // thread boundaries, so `xturn_recovery_w<W>` should sit
+                // strictly above `overlap_recovery_w<W>` wherever the
+                // turn-drain barrier was the binding constraint.
+                for &window in &WINDOWS {
+                    let (sim_mops, runtime_ns, overlapped_ns) =
+                        run_window_point(&regime, 64, window, ops, Concurrency::Cluster);
+                    out = out
+                        .value(format!("sim_mops_b64_xturn_w{window}"), sim_mops)
+                        .value(format!("runtime_ns_b64_xturn_w{window}"), runtime_ns as f64)
+                        .value(
+                            format!("overlapped_ns_b64_xturn_w{window}"),
+                            overlapped_ns as f64,
+                        )
+                        .value(
+                            format!("xturn_recovery_w{window}"),
+                            sim_mops / base_sim_mops.max(1e-12),
+                        );
                 }
                 out
             })
@@ -596,6 +627,43 @@ pub fn present(results: &[ScenarioResult]) {
     print_table(
         "datapath — intra-batch RTT overlap: simulated MOPS at batch 64 vs window \
          (recovery is vs the b=1 serialized baseline)",
+        &headers,
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(regimes())
+        .map(|(r, regime)| {
+            let mut cells = vec![regime.key.to_string()];
+            for &window in &WINDOWS {
+                cells.push(format!(
+                    "{:.3}",
+                    r.value(&format!("sim_mops_b64_xturn_w{window}"))
+                ));
+            }
+            for &window in &WINDOWS {
+                cells.push(format!(
+                    "{:.2}x",
+                    r.value(&format!("overlap_recovery_w{window}"))
+                ));
+                cells.push(format!(
+                    "{:.2}x",
+                    r.value(&format!("xturn_recovery_w{window}"))
+                ));
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec!["regime".to_string()];
+    headers.extend(WINDOWS.iter().map(|w| format!("xturn b64/w{w}")));
+    for w in &WINDOWS {
+        headers.push(format!("turn recov w{w}"));
+        headers.push(format!("xturn recov w{w}"));
+    }
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "datapath — cross-turn overlap: cluster-engine MOPS at batch 64 \
+         (xturn recovery vs the b=1 serialized baseline, next to the turnwise figure)",
         &headers,
         &rows,
     );

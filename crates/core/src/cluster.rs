@@ -13,6 +13,7 @@ use mind_sim::SimTime;
 
 use crate::addr::Vma;
 use crate::coherence::{AccessError, CoherenceConfig, CoherenceEngine};
+use crate::engine::{ClusterEngine, ClusterStep};
 use crate::controller::{Controller, Pid, SysError};
 use crate::failure::{switch_failover, FailoverReport};
 use crate::protect::PermClass;
@@ -75,6 +76,13 @@ pub struct MindConfig {
     pub syscall_cost: SimTime,
     /// Control-plane cost per rule install over PCIe.
     pub rule_install_cost: SimTime,
+    /// Per-blade RNIC issue queue depth: how many remote operations one
+    /// compute blade's NIC keeps in flight at once — the third gate of
+    /// the in-flight window and the cluster engine (after the slot pool
+    /// and same-region serialization). `0`, the default, models an
+    /// unbounded queue and reproduces the pre-gate numbers
+    /// byte-identically.
+    pub nic_depth: u32,
     /// Deterministic tracing (defaults to resolving `MIND_TRACE`;
     /// propagated unchanged into shard sub-clusters by
     /// [`MindConfig::try_partition`]).
@@ -98,6 +106,7 @@ impl Default for MindConfig {
             latency: LatencyConfig::default(),
             syscall_cost: SimTime::from_micros(15),
             rule_install_cost: SimTime::from_micros(2),
+            nic_depth: 0,
             trace: mind_obs::TraceConfig::default(),
         }
     }
@@ -385,7 +394,11 @@ impl MindCluster {
     ///    earlier than `gap` after their predecessor's issue (the issue
     ///    pipeline's per-op cost); fixed ops no earlier than their preset
     ///    [`MemOp::at`].
-    /// 2. **Region gate** — an op whose page lies in the directory region
+    /// 2. **NIC gate** — with [`MindConfig::nic_depth`] of the blade's own
+    ///    ops outstanding, the op waits for the blade's earliest in-flight
+    ///    completion (its RNIC issue queue is full). Depth `0` — the
+    ///    default — never gates.
+    /// 3. **Region gate** — an op whose page lies in the directory region
     ///    of an in-flight op waits for that op to complete: same-region
     ///    transitions never overlap (on top of the directory's own
     ///    `busy_until` serialization).
@@ -404,7 +417,8 @@ impl MindCluster {
         let default_pid = self.default_pid;
         let chained = batch.is_chained();
         let gap = batch.gap();
-        let mut window = InFlightWindow::new(batch.window() as usize);
+        let mut window =
+            InFlightWindow::new(batch.window() as usize).with_nic_depth(self.cfg.nic_depth);
         let mut prev_issue = now;
         for i in 0..batch.len() {
             let op = batch.op(i);
@@ -435,6 +449,22 @@ impl MindCluster {
                 op.at.max(prev_issue).max(window.slot_free_at())
             };
             window.retire_through(at);
+            // NIC gate: the blade's RNIC queue must have a free entry.
+            let nic = window.nic_free_at(op.blade);
+            if nic > at {
+                if self.engine.trace.enabled() {
+                    self.engine.trace.record(
+                        at,
+                        op.blade as u32,
+                        mind_obs::EventKind::NicStall,
+                        nic.saturating_sub(at),
+                        window.nic_depth() as u64,
+                        window.nic_in_flight(op.blade) as u64,
+                    );
+                }
+                at = nic;
+                window.retire_through(at);
+            }
             // Region gate: serialize behind in-flight same-region ops.
             at = at.max(window.region_release(page_base(op.vaddr)));
             window.retire_through(at);
@@ -466,7 +496,7 @@ impl MindCluster {
                         .min(outcome.latency.network);
                     outcome.latency.network = outcome.latency.network.saturating_sub(hidden);
                     outcome.latency.overlapped = hidden;
-                    window.admit(issued.complete_at, issued.region);
+                    window.admit(issued.complete_at, issued.region, op.blade);
                     self.engine.trace.record(
                         at,
                         op.blade as u32,
@@ -700,6 +730,130 @@ impl MindCluster {
     pub fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
         self.engine.take_trace()
     }
+
+    /// One step of the cluster-wide event-driven engine
+    /// ([`crate::engine`]): offers `op` — the next operation of a source
+    /// that became ungated-ready at `ready0` — to the three issue gates at
+    /// virtual time `now` (the source's pop time).
+    ///
+    /// If the slot pool, the per-NIC queue, or a same-region in-flight
+    /// transition holds the op — or the op would miss (or upgrade) into a
+    /// directory region still mid-transition (`busy_until`, §4.4) —
+    /// returns [`ClusterStep::Gated`] with the exact release time (a
+    /// completion of an already-admitted op or the directory entry's
+    /// release, so re-offering there makes progress); the NIC's *extra*
+    /// share of the wait is reported (and traced) separately so NIC
+    /// pressure is attributable. Otherwise the op issues at `now`: the full datapath
+    /// runs, fabric time below the pool's overlap frontier moves into
+    /// `latency.overlapped` (totals unchanged, same attribution as
+    /// [`MindCluster::run_batch`]'s windowed path), the op is admitted,
+    /// and any `ready0 → now` wait is traced as a `WindowStall` span.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access itself fails, like every trace-replay path.
+    pub fn issue_clustered(
+        &mut self,
+        eng: &mut ClusterEngine,
+        now: SimTime,
+        ready0: SimTime,
+        op: &crate::system::MemOp,
+    ) -> ClusterStep {
+        let window = eng.window_mut();
+        window.retire_through(now);
+        let slot = window.slot_free_at();
+        let mut region = SimTime::ZERO;
+        let mut nic = window.nic_free_at(op.blade);
+        // Event-driven admission. Only an op that will consult the switch
+        // (cache miss or write upgrade) starts a directory transition or
+        // uses the RNIC — a local hit does neither, so it passes these
+        // gates untouched. A consulting op is held back while it could
+        // not make progress anyway; otherwise it occupies a pool slot for
+        // the whole wait and convoys the cluster behind one hot spot. The
+        // turnwise replay cannot do either deferral (it commits a whole
+        // turn before seeing the fabric), which is precisely the
+        // cross-turn engine's advantage on invalidation-heavy sharing.
+        if self
+            .engine
+            .would_consult_directory(op.blade, op.vaddr, op.kind)
+        {
+            // Same-region serialization: directory transitions on one
+            // region serialize cluster-wide — behind in-flight
+            // transitions (the pooled window's gate) and behind an entry
+            // still mid-transition from earlier rounds (`busy_until`,
+            // §4.4; deferring beats queueing at `admit_transition`).
+            region = window
+                .region_release(page_base(op.vaddr))
+                .max(self.engine.region_busy_until(op.vaddr));
+            // NIC TX deferral: the blade's RNIC cannot put the request on
+            // the wire while its up-link is booked (e.g. behind a bulk
+            // dirty flush); defer to the backlog's drain so the slot goes
+            // to a source that can actually issue.
+            nic = nic.max(self.engine.nic_tx_release(op.blade));
+        }
+        let others = now.max(slot).max(region);
+        let until = others.max(nic);
+        if until > now {
+            let nic_stall = until.saturating_sub(others);
+            if nic_stall > SimTime::ZERO && self.engine.trace.enabled() {
+                self.engine.trace.record(
+                    others,
+                    op.blade as u32,
+                    mind_obs::EventKind::NicStall,
+                    nic_stall,
+                    window.nic_depth() as u64,
+                    window.nic_in_flight(op.blade) as u64,
+                );
+            }
+            return ClusterStep::Gated { until, nic_stall };
+        }
+        if self.engine.trace.enabled() {
+            let stall = now.saturating_sub(ready0);
+            if stall > SimTime::ZERO {
+                self.engine.trace.record(
+                    ready0,
+                    op.blade as u32,
+                    mind_obs::EventKind::WindowStall,
+                    stall,
+                    window.in_flight() as u64,
+                    0,
+                );
+            }
+        }
+        self.tick(now);
+        let pdid = op
+            .pdid
+            .or(self.default_pid)
+            .expect("exec a process before replay");
+        match self.engine.issue(now, op.blade, pdid, op.vaddr, op.kind) {
+            Ok(issued) => {
+                let window = eng.window_mut();
+                let mut outcome = issued.outcome;
+                let hidden = window
+                    .frontier()
+                    .min(issued.complete_at)
+                    .saturating_sub(now)
+                    .min(outcome.latency.network);
+                outcome.latency.network = outcome.latency.network.saturating_sub(hidden);
+                outcome.latency.overlapped = hidden;
+                window.admit(issued.complete_at, issued.region, op.blade);
+                self.engine.trace.record(
+                    now,
+                    op.blade as u32,
+                    mind_obs::EventKind::WindowAdmit,
+                    SimTime::ZERO,
+                    window.in_flight() as u64,
+                    0,
+                );
+                ClusterStep::Issued {
+                    outcome,
+                    complete_at: issued.complete_at,
+                    region: issued.region,
+                }
+            }
+            Err(e) => panic!("clustered access failed at {:#x}: {e}", op.vaddr),
+        }
+    }
 }
 
 impl MemorySystem for MindCluster {
@@ -740,6 +894,23 @@ impl MemorySystem for MindCluster {
 
     fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
         MindCluster::take_trace(self)
+    }
+
+    /// MIND has an issue/complete datapath, so it supports cluster-wide
+    /// event-driven issue; the rack's [`MindConfig::nic_depth`] supplies
+    /// the per-NIC gate.
+    fn cluster_engine(&self, window: u32, sources: u32) -> Option<ClusterEngine> {
+        Some(ClusterEngine::new(window, self.cfg.nic_depth, sources))
+    }
+
+    fn cluster_issue(
+        &mut self,
+        eng: &mut ClusterEngine,
+        now: SimTime,
+        ready0: SimTime,
+        op: &crate::system::MemOp,
+    ) -> Option<ClusterStep> {
+        Some(self.issue_clustered(eng, now, ready0, op))
     }
 }
 

@@ -473,6 +473,39 @@ impl CoherenceEngine {
         &mut self.caches[blade as usize]
     }
 
+    /// Whether an access would leave the blade (cache miss or write
+    /// upgrade) and therefore consult the switch directory. Non-mutating:
+    /// no LRU bump, no counters — a pure admission probe for the cluster
+    /// engine's issue gates.
+    pub fn would_consult_directory(&self, blade: u16, vaddr: u64, kind: AccessKind) -> bool {
+        let page = page_base(vaddr);
+        let cache = &self.caches[blade as usize];
+        !cache.contains(page) || (kind.is_write() && !cache.is_writable(page))
+    }
+
+    /// The earliest time `blade`'s RNIC can put a new request on the
+    /// wire: its up-link's serialization backlog. Bulk dirty flushes (a
+    /// force-merged region's invalidation writing back every dirty page)
+    /// book the up-link far into the future; a fault issued before the
+    /// backlog drains would only queue behind it.
+    pub fn nic_tx_release(&self, blade: u16) -> SimTime {
+        self.fabric.tx_free_at(NodeId::Compute(blade))
+    }
+
+    /// The directory's transition-serialization release time for the
+    /// region containing `vaddr` (`busy_until`, §4.4): `SimTime::ZERO`
+    /// when the region is untracked or idle.
+    pub fn region_busy_until(&self, vaddr: u64) -> SimTime {
+        match self.directory.region_of(page_base(vaddr)) {
+            Some((base, _)) => self
+                .directory
+                .entry(base)
+                .map(|e| e.busy_until)
+                .unwrap_or(SimTime::ZERO),
+            None => SimTime::ZERO,
+        }
+    }
+
     /// Marks a compute blade as failed: it stops ACKing invalidations and
     /// its cache contents are lost (fault-injection hook, §4.4).
     pub fn fail_blade(&mut self, blade: u16) {

@@ -1,0 +1,236 @@
+//! The cluster-wide event-driven issue engine.
+//!
+//! The turnwise runner drives every compute thread through lockstep
+//! *turns*: each turn issues one batch per thread and drains it before the
+//! next begins, so overlap ([`InFlightWindow`]) only ever forms *within*
+//! one thread's batch. Real MIND blades do not run in lockstep — a blade
+//! whose fault is in flight does not stop its neighbours from issuing, and
+//! the fabric keeps round trips from *every* blade outstanding at once
+//! (paper §3, §7). This module generalizes the window's arbitration from
+//! per-batch to per-cluster: issue readiness becomes an event in a
+//! deterministic [`EventQueue`], every source (compute thread) is a
+//! concurrent stream, and three gates arbitrate each issue —
+//!
+//! 1. **slot pool** — at most `window × sources` operations in flight
+//!    cluster-wide (the per-source window, pooled);
+//! 2. **region serialization** — an op touching the directory region of an
+//!    in-flight transition waits for that transition, now enforced across
+//!    *all* sources rather than within one batch;
+//! 3. **per-NIC bandwidth** — each compute blade's RNIC keeps at most
+//!    `nic_depth` operations outstanding (`0` = unbounded).
+//!
+//! The engine itself is pure scheduling: it owns the pooled window, the
+//! ready queue, and per-source bookkeeping, while the protocol work stays
+//! in [`MindCluster::issue_clustered`](crate::cluster::MindCluster), which
+//! consults the gates and either issues at the popped virtual time or
+//! returns a *gated* step. A gated source is re-scheduled at the exact
+//! gate-release time (a completion of an already-admitted op, so virtual
+//! time strictly advances and the loop terminates); ties pop in schedule
+//! order, which keeps the whole interleaving deterministic for a fixed
+//! source count regardless of OS threads or sharding.
+//!
+//! Determinism contract: cluster mode is opt-in (`Concurrency::Cluster`
+//! in `mind_workloads`), and with `window <= 1` the runner keeps the
+//! turnwise discipline — the serialized window=1 replay stays the
+//! byte-identical reference.
+
+use mind_sim::event::Scheduled;
+use mind_sim::{EventQueue, SimTime};
+
+use crate::system::AccessOutcome;
+use crate::window::InFlightWindow;
+
+/// The outcome of offering one source's next operation to the engine.
+#[derive(Debug, Clone, Copy)]
+pub enum ClusterStep {
+    /// The operation issued at the popped time.
+    Issued {
+        /// The access outcome, with hidden fabric time already attributed
+        /// to `latency.overlapped` against the pool's frontier.
+        outcome: AccessOutcome,
+        /// When the operation completes (virtual time).
+        complete_at: SimTime,
+        /// The directory region `(base, log2 size)` this op transitioned,
+        /// if it consulted the switch — the span the region gate
+        /// serializes cluster-wide until `complete_at` (`None` for local
+        /// hits, which hold no region).
+        region: Option<(u64, u8)>,
+    },
+    /// A gate held the operation; the source must be re-offered at
+    /// `until`.
+    Gated {
+        /// The earliest time every gate is clear (strictly in the future).
+        until: SimTime,
+        /// The share of the wait attributable to the per-NIC bandwidth
+        /// gate alone — the extra delay beyond what the slot pool and
+        /// region serialization already imposed ([`SimTime::ZERO`] when
+        /// the NIC was not the binding constraint).
+        nic_stall: SimTime,
+    },
+}
+
+/// Cluster-wide issue state: the pooled in-flight window plus a
+/// deterministic ready queue of sources.
+#[derive(Debug)]
+pub struct ClusterEngine {
+    window: InFlightWindow,
+    queue: EventQueue<u32>,
+    /// Per-source time the source first became ready (ungated) for its
+    /// current op — survives gated deferrals so stall spans start where
+    /// the wait actually began.
+    ready0: Vec<SimTime>,
+    /// Scratch buffer for same-timestamp batches ([`EventQueue::pop_batch_into`]
+    /// keeps the hot loop allocation-free).
+    scratch: Vec<Scheduled<u32>>,
+    cursor: usize,
+}
+
+impl ClusterEngine {
+    /// An engine for `sources` concurrent issue streams, each with a
+    /// per-source window of `window` (pooled: the cluster-wide in-flight
+    /// cap is `window × sources`), over blades whose RNICs hold
+    /// `nic_depth` ops each (`0` = unbounded).
+    pub fn new(window: u32, nic_depth: u32, sources: u32) -> Self {
+        let sources = sources.max(1) as usize;
+        let pool = (window.max(1) as usize) * sources;
+        ClusterEngine {
+            window: InFlightWindow::new(pool).with_nic_depth(nic_depth),
+            queue: EventQueue::new(),
+            ready0: vec![SimTime::ZERO; sources],
+            scratch: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The number of issue streams the engine arbitrates.
+    pub fn sources(&self) -> u32 {
+        self.ready0.len() as u32
+    }
+
+    /// The pooled in-flight window (slot, region, and NIC gates).
+    pub fn window(&self) -> &InFlightWindow {
+        &self.window
+    }
+
+    /// Mutable access for the issuing system (retire/admit).
+    pub fn window_mut(&mut self) -> &mut InFlightWindow {
+        &mut self.window
+    }
+
+    /// Starts a fresh scheduling phase (e.g. warmup → measured): drops any
+    /// pending readiness events and resets the clock so sources can be
+    /// re-seeded at their resume times, which may precede the old queue's
+    /// final pop. In-flight state and the overlap frontier persist — a
+    /// phase boundary is an accounting boundary, not a fabric drain.
+    pub fn begin_phase(&mut self) {
+        self.queue = EventQueue::new();
+        self.scratch.clear();
+        self.cursor = 0;
+    }
+
+    /// Declares `source` ready to issue its next operation at `at`,
+    /// starting a new ungated-wait span ([`ClusterEngine::ready0`]).
+    pub fn seed(&mut self, at: SimTime, source: u32) {
+        self.ready0[source as usize] = at;
+        self.queue.schedule(at, source);
+    }
+
+    /// Re-schedules a gated `source` at `until`, preserving the start of
+    /// its wait span.
+    pub fn defer(&mut self, until: SimTime, source: u32) {
+        self.queue.schedule(until, source);
+    }
+
+    /// Pops the next ready source and the virtual time it pops at.
+    /// Same-timestamp sources drain in schedule order via one batched pop.
+    pub fn next_ready(&mut self) -> Option<(SimTime, u32)> {
+        if self.cursor == self.scratch.len() {
+            self.queue.pop_batch_into(&mut self.scratch);
+            self.cursor = 0;
+        }
+        let ev = self.scratch.get(self.cursor)?;
+        self.cursor += 1;
+        Some((ev.at, ev.event))
+    }
+
+    /// The timestamp of the next readiness event, if any (scratch-aware:
+    /// sources already drained into the current batch count).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.scratch
+            .get(self.cursor)
+            .map(|ev| ev.at)
+            .or_else(|| self.queue.peek_time())
+    }
+
+    /// Whether no source is pending.
+    pub fn is_idle(&self) -> bool {
+        self.cursor == self.scratch.len() && self.queue.is_empty()
+    }
+
+    /// When `source` first became ready for its current operation.
+    pub fn ready0(&self, source: u32) -> SimTime {
+        self.ready0[source as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pool_depth_is_window_times_sources() {
+        let eng = ClusterEngine::new(4, 2, 3);
+        assert_eq!(eng.sources(), 3);
+        assert_eq!(eng.window().depth(), 12);
+        assert_eq!(eng.window().nic_depth(), 2);
+        // Degenerate parameters clamp rather than collapse.
+        assert_eq!(ClusterEngine::new(0, 0, 0).window().depth(), 1);
+    }
+
+    #[test]
+    fn sources_pop_in_time_then_seed_order() {
+        let mut eng = ClusterEngine::new(1, 0, 3);
+        eng.seed(ns(20), 2);
+        eng.seed(ns(10), 0);
+        eng.seed(ns(10), 1);
+        assert_eq!(eng.peek_time(), Some(ns(10)));
+        assert_eq!(eng.next_ready(), Some((ns(10), 0)));
+        assert_eq!(eng.peek_time(), Some(ns(10)), "scratch-aware peek");
+        assert_eq!(eng.next_ready(), Some((ns(10), 1)));
+        assert_eq!(eng.next_ready(), Some((ns(20), 2)));
+        assert!(eng.next_ready().is_none());
+        assert!(eng.is_idle());
+    }
+
+    #[test]
+    fn ready0_survives_deferral() {
+        let mut eng = ClusterEngine::new(2, 0, 2);
+        eng.seed(ns(5), 0);
+        let (now, src) = eng.next_ready().unwrap();
+        assert_eq!((now, src), (ns(5), 0));
+        eng.defer(ns(40), src);
+        assert_eq!(eng.ready0(0), ns(5), "wait span anchored at first ready");
+        assert_eq!(eng.next_ready(), Some((ns(40), 0)));
+        eng.seed(ns(50), 0);
+        assert_eq!(eng.ready0(0), ns(50), "re-seeding starts a new span");
+    }
+
+    #[test]
+    fn begin_phase_resets_the_clock_but_not_the_window() {
+        let mut eng = ClusterEngine::new(1, 0, 2);
+        eng.seed(ns(100), 0);
+        eng.next_ready();
+        eng.window_mut().admit(ns(250), None, 0);
+        eng.begin_phase();
+        assert!(eng.is_idle());
+        // Re-seeding *before* the old queue's last pop must not panic.
+        eng.seed(ns(30), 1);
+        assert_eq!(eng.next_ready(), Some((ns(30), 1)));
+        assert_eq!(eng.window().in_flight(), 1, "in-flight state persists");
+        assert_eq!(eng.window().frontier(), ns(250));
+    }
+}

@@ -34,6 +34,10 @@
 //! - [`window`]: the per-batch in-flight window that lets the
 //!   issue/complete datapath overlap independent page-fault round trips
 //!   (memory-level parallelism) while same-region transitions serialize;
+//! - [`engine`]: the cluster-wide event-driven issue engine that
+//!   generalizes the window's arbitration across every compute thread at
+//!   once — slot pool, cluster-wide region serialization, and a per-NIC
+//!   issue-bandwidth gate;
 //! - [`shard`]: blade-slice partition layout and sub-cluster configs for
 //!   the deterministic sharded simulation (see `mind_workloads::shard`).
 //!
@@ -64,6 +68,7 @@ pub mod cluster;
 pub mod coherence;
 pub mod controller;
 pub mod directory;
+pub mod engine;
 pub mod failure;
 pub mod galloc;
 pub mod protect;
@@ -76,6 +81,7 @@ pub mod window;
 
 pub use addr::{PhysAddr, Vma};
 pub use cluster::{MindCluster, MindConfig};
+pub use engine::{ClusterEngine, ClusterStep};
 pub use system::{
     AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown, MemOp, MemorySystem, OpBatch,
     ScalarLoop,

@@ -10,6 +10,7 @@ use mind_sim::stats::Metrics;
 use mind_sim::SimTime;
 
 use crate::coherence::AccessError;
+use crate::engine::{ClusterEngine, ClusterStep};
 use crate::protect::Pdid;
 
 /// The type of a memory access.
@@ -349,6 +350,20 @@ impl<T: MemorySystem + ?Sized> MemorySystem for Box<T> {
     fn take_trace(&mut self) -> Option<mind_obs::TraceData> {
         (**self).take_trace()
     }
+
+    fn cluster_engine(&self, window: u32, sources: u32) -> Option<ClusterEngine> {
+        (**self).cluster_engine(window, sources)
+    }
+
+    fn cluster_issue(
+        &mut self,
+        eng: &mut ClusterEngine,
+        now: SimTime,
+        ready0: SimTime,
+        op: &MemOp,
+    ) -> Option<ClusterStep> {
+        (**self).cluster_issue(eng, now, ready0, op)
+    }
 }
 
 /// Adapter that forwards a system's scalar surface but keeps the trait's
@@ -360,7 +375,9 @@ impl<T: MemorySystem + ?Sized> MemorySystem for Box<T> {
 /// `MindCluster` must produce byte-identical reports (asserted by the
 /// batch-equivalence suite), and the wall-clock gap between the two is the
 /// batched pipeline's amortization, measured on identical simulated work
-/// (the `datapath` figure).
+/// (the `datapath` figure). The cluster-engine methods likewise keep their
+/// `None` defaults, so a `ScalarLoop` always replays turnwise — serialized
+/// references stay serialized even under cluster concurrency.
 pub struct ScalarLoop<S>(pub S);
 
 impl<S: MemorySystem> MemorySystem for ScalarLoop<S> {
@@ -448,6 +465,35 @@ pub trait MemorySystem {
             batch.record(i, at, Ok(outcome));
             t = at + outcome.latency.total() + batch.gap();
         }
+    }
+
+    /// Builds the system's cluster-wide event-driven issue engine for
+    /// `sources` concurrent streams with a per-source window of `window`
+    /// (see [`crate::engine`]), injecting the system's own per-NIC queue
+    /// depth.
+    ///
+    /// `None` — the default — means the system has no issue/complete
+    /// datapath to arbitrate (the scalar loop, the baselines); the runner
+    /// then keeps the turnwise discipline even when cluster mode is
+    /// requested.
+    fn cluster_engine(&self, window: u32, sources: u32) -> Option<ClusterEngine> {
+        let _ = (window, sources);
+        None
+    }
+
+    /// One engine step: offers `op` — a source's next operation, ready
+    /// ungated since `ready0` — to the issue gates at popped time `now`,
+    /// either issuing it or reporting when to re-offer. `None` mirrors
+    /// [`cluster_engine`](MemorySystem::cluster_engine)'s "no engine".
+    fn cluster_issue(
+        &mut self,
+        eng: &mut ClusterEngine,
+        now: SimTime,
+        ready0: SimTime,
+        op: &MemOp,
+    ) -> Option<ClusterStep> {
+        let _ = (eng, now, ready0, op);
+        None
     }
 }
 

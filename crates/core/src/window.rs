@@ -22,18 +22,24 @@
 
 use mind_sim::SimTime;
 
-/// One in-flight operation: when it completes and which directory region
-/// (if any) its transition holds.
+/// One in-flight operation: when it completes, which directory region
+/// (if any) its transition holds, and which compute blade's RNIC carries
+/// it.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     complete_at: SimTime,
     region: Option<(u64, u8)>,
+    blade: u16,
 }
 
 /// A fixed-depth window of in-flight operations.
 #[derive(Debug)]
 pub struct InFlightWindow {
     depth: usize,
+    /// Per-blade RNIC queue depth: how many of the in-flight ops may
+    /// belong to one issuing blade at once. `0` models an unbounded NIC
+    /// queue (the pre-NIC-gate behaviour, byte-identical).
+    nic_depth: usize,
     slots: Vec<InFlight>,
     /// Latest completion among every op ever issued through this window —
     /// the overlap frontier used to attribute hidden fabric time.
@@ -42,19 +48,34 @@ pub struct InFlightWindow {
 
 impl InFlightWindow {
     /// A window admitting up to `depth` concurrent operations (`depth` is
-    /// clamped to at least 1).
+    /// clamped to at least 1). The per-NIC gate starts unbounded; see
+    /// [`InFlightWindow::with_nic_depth`].
     pub fn new(depth: usize) -> Self {
         let depth = depth.max(1);
         InFlightWindow {
             depth,
+            nic_depth: 0,
             slots: Vec::with_capacity(depth),
             frontier: SimTime::ZERO,
         }
     }
 
+    /// Bounds each issuing blade's RNIC to `depth` concurrent operations
+    /// (builder-style). `0` — the default — models an unbounded NIC queue
+    /// and changes nothing.
+    pub fn with_nic_depth(mut self, depth: u32) -> Self {
+        self.nic_depth = depth as usize;
+        self
+    }
+
     /// The window depth.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// The per-blade RNIC queue depth (`0` = unbounded).
+    pub fn nic_depth(&self) -> usize {
+        self.nic_depth
     }
 
     /// Operations currently in flight.
@@ -92,22 +113,56 @@ impl InFlightWindow {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
+    /// In-flight operations issued by `blade`'s RNIC.
+    pub fn nic_in_flight(&self, blade: u16) -> usize {
+        self.slots.iter().filter(|s| s.blade == blade).count()
+    }
+
+    /// Earliest time `blade` may issue another operation through its RNIC:
+    /// [`SimTime::ZERO`] (no constraint) while the blade's queue has a free
+    /// entry or the NIC is unbounded, otherwise the earliest completion
+    /// among the blade's in-flight ops.
+    pub fn nic_free_at(&self, blade: u16) -> SimTime {
+        if self.nic_depth == 0 {
+            return SimTime::ZERO;
+        }
+        let mut in_flight = 0usize;
+        let mut earliest = SimTime::MAX;
+        for s in self.slots.iter().filter(|s| s.blade == blade) {
+            in_flight += 1;
+            earliest = earliest.min(s.complete_at);
+        }
+        if in_flight < self.nic_depth {
+            SimTime::ZERO
+        } else {
+            earliest
+        }
+    }
+
     /// Retires every operation that completed at or before `now`.
     pub fn retire_through(&mut self, now: SimTime) {
         self.slots.retain(|s| s.complete_at > now);
     }
 
-    /// Admits an issued operation occupying a slot until `complete_at`.
+    /// Admits an operation issued by `blade` occupying a slot until
+    /// `complete_at`.
     ///
     /// # Panics
     ///
     /// Panics if the window is full — callers must gate issue on
-    /// [`InFlightWindow::slot_free_at`] and retire first.
-    pub fn admit(&mut self, complete_at: SimTime, region: Option<(u64, u8)>) {
+    /// [`InFlightWindow::slot_free_at`] and retire first — and, in debug
+    /// builds, if `blade`'s RNIC queue is already at its depth (gate on
+    /// [`InFlightWindow::nic_free_at`]).
+    pub fn admit(&mut self, complete_at: SimTime, region: Option<(u64, u8)>, blade: u16) {
         assert!(self.slots.len() < self.depth, "in-flight window overflow");
+        debug_assert!(
+            self.nic_depth == 0 || self.nic_in_flight(blade) < self.nic_depth,
+            "per-NIC queue overflow on blade {blade}"
+        );
         self.slots.push(InFlight {
             complete_at,
             region,
+            blade,
         });
         self.frontier = self.frontier.max(complete_at);
     }
@@ -139,9 +194,9 @@ mod tests {
     fn slot_gate_frees_at_earliest_completion() {
         let mut w = InFlightWindow::new(2);
         assert_eq!(w.slot_free_at(), SimTime::ZERO, "empty window is free");
-        w.admit(ns(100), None);
+        w.admit(ns(100), None, 0);
         assert_eq!(w.slot_free_at(), SimTime::ZERO, "one slot still free");
-        w.admit(ns(60), None);
+        w.admit(ns(60), None, 0);
         assert_eq!(w.slot_free_at(), ns(60), "full: earliest completion");
         w.retire_through(ns(60));
         assert_eq!(w.in_flight(), 1);
@@ -151,15 +206,15 @@ mod tests {
     #[test]
     fn region_release_serializes_containing_region_only() {
         let mut w = InFlightWindow::new(4);
-        w.admit(ns(500), Some((0x1_0000, 14))); // [0x10000, 0x14000)
-        w.admit(ns(300), Some((0x4_0000, 13))); // [0x40000, 0x42000)
-        w.admit(ns(900), None); // Local hit: holds no region.
+        w.admit(ns(500), Some((0x1_0000, 14)), 0); // [0x10000, 0x14000)
+        w.admit(ns(300), Some((0x4_0000, 13)), 0); // [0x40000, 0x42000)
+        w.admit(ns(900), None, 0); // Local hit: holds no region.
         assert_eq!(w.region_release(0x1_3FFF), ns(500), "inside first");
         assert_eq!(w.region_release(0x1_4000), SimTime::ZERO, "just past it");
         assert_eq!(w.region_release(0x4_1000), ns(300), "inside second");
         assert_eq!(w.region_release(0x9_0000), SimTime::ZERO, "untracked");
         // Two holders of nested ranges: the latest completion wins.
-        w.admit(ns(800), Some((0x1_0000, 16)));
+        w.admit(ns(800), Some((0x1_0000, 16)), 0);
         assert_eq!(w.region_release(0x1_2000), ns(800));
     }
 
@@ -167,8 +222,8 @@ mod tests {
     fn frontier_tracks_all_issued_ops() {
         let mut w = InFlightWindow::new(2);
         assert_eq!(w.frontier(), SimTime::ZERO);
-        w.admit(ns(400), None);
-        w.admit(ns(200), None);
+        w.admit(ns(400), None, 0);
+        w.admit(ns(200), None, 0);
         assert_eq!(w.frontier(), ns(400));
         w.retire_through(ns(1_000));
         assert_eq!(w.in_flight(), 0);
@@ -179,7 +234,41 @@ mod tests {
     #[should_panic(expected = "in-flight window overflow")]
     fn admit_beyond_depth_panics() {
         let mut w = InFlightWindow::new(1);
-        w.admit(ns(10), None);
-        w.admit(ns(20), None);
+        w.admit(ns(10), None, 0);
+        w.admit(ns(20), None, 0);
+    }
+
+    #[test]
+    fn nic_gate_is_unbounded_by_default() {
+        let mut w = InFlightWindow::new(4);
+        assert_eq!(w.nic_depth(), 0);
+        w.admit(ns(100), None, 3);
+        w.admit(ns(200), None, 3);
+        assert_eq!(w.nic_in_flight(3), 2);
+        assert_eq!(w.nic_free_at(3), SimTime::ZERO, "depth 0 never gates");
+    }
+
+    #[test]
+    fn nic_gate_frees_at_the_blades_earliest_completion() {
+        let mut w = InFlightWindow::new(8).with_nic_depth(2);
+        assert_eq!(w.nic_depth(), 2);
+        w.admit(ns(100), None, 0);
+        w.admit(ns(60), None, 1);
+        assert_eq!(w.nic_free_at(0), SimTime::ZERO, "one entry left");
+        w.admit(ns(40), None, 0);
+        assert_eq!(w.nic_free_at(0), ns(40), "blade 0 full: its earliest");
+        assert_eq!(w.nic_free_at(1), SimTime::ZERO, "blade 1 unaffected");
+        w.retire_through(ns(40));
+        assert_eq!(w.nic_in_flight(0), 1);
+        assert_eq!(w.nic_free_at(0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "per-NIC queue overflow")]
+    fn admit_beyond_nic_depth_panics() {
+        let mut w = InFlightWindow::new(8).with_nic_depth(1);
+        w.admit(ns(10), None, 2);
+        w.admit(ns(20), None, 2);
     }
 }

@@ -103,6 +103,7 @@ fn series_json(s: &WindowSeries) -> Json {
                             ("remote", Json::Int(b.remote as i128)),
                             ("invalidations", Json::Int(b.invalidations as i128)),
                             ("stall_ns", Json::Int(b.stall_ns as i128)),
+                            ("nic_stall_ns", Json::Int(b.nic_stall_ns as i128)),
                             ("p50_ns", Json::Int(b.lat.quantile(0.5) as i128)),
                             ("p99_ns", Json::Int(b.lat.quantile(0.99) as i128)),
                         ])
@@ -305,6 +306,10 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
     // at the windowed batch point over the batch-1 serialized baseline.
     let mut recoveries: std::collections::BTreeMap<&str, Vec<f64>> =
         std::collections::BTreeMap::new();
+    // Cross-turn recoveries (`xturn_recovery_w<W>` values): the same
+    // ratio with the cluster engine overlapping across turns and threads.
+    let mut xturn_recoveries: std::collections::BTreeMap<&str, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for result in results {
         if let Some(report) = &result.output.report {
             merged.merge(&report.window_metrics);
@@ -322,6 +327,9 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
             }
             if let Some(window) = key.strip_prefix("overlap_recovery_") {
                 recoveries.entry(window).or_default().push(*value);
+            }
+            if let Some(window) = key.strip_prefix("xturn_recovery_") {
+                xturn_recoveries.entry(window).or_default().push(*value);
             }
         }
     }
@@ -398,6 +406,34 @@ pub fn aggregate_json(results: &[ScenarioResult]) -> Json {
             "overlap_recovery_min".into(),
             Json::Obj(
                 recoveries
+                    .iter()
+                    .map(|(window, xs)| {
+                        (
+                            window.to_string(),
+                            Json::Num(xs.iter().copied().fold(f64::MAX, f64::min)),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !xturn_recoveries.is_empty() {
+        // Geomean and worst-case cross-turn recovery per window depth:
+        // sitting above `overlap_recovery` for the same depth means the
+        // cluster engine's cross-turn overlap beat the per-batch window.
+        pairs.push((
+            "xturn_recovery".into(),
+            Json::Obj(
+                xturn_recoveries
+                    .iter()
+                    .map(|(window, xs)| (window.to_string(), Json::Num(geomean(xs))))
+                    .collect(),
+            ),
+        ));
+        pairs.push((
+            "xturn_recovery_min".into(),
+            Json::Obj(
+                xturn_recoveries
                     .iter()
                     .map(|(window, xs)| {
                         (
@@ -603,6 +639,32 @@ mod tests {
         );
         let empty = suite_json("t", &[custom_result()]).render();
         assert!(!empty.contains("overlap_recovery"), "absent without values");
+    }
+
+    #[test]
+    fn aggregate_reports_xturn_recovery() {
+        let results = vec![
+            ScenarioResult {
+                name: "datapath/a".into(),
+                output: ScenarioOutput::default().value("xturn_recovery_w16", 3.0),
+            },
+            ScenarioResult {
+                name: "datapath/b".into(),
+                output: ScenarioOutput::default().value("xturn_recovery_w16", 12.0),
+            },
+        ];
+        let doc = suite_json("datapath", &results).render();
+        // geomean(3, 12) = 6; min(3, 12) = 3.
+        assert!(
+            doc.contains("\"xturn_recovery\": {\n      \"w16\": 6"),
+            "xturn geomean missing or wrong: {doc}"
+        );
+        assert!(
+            doc.contains("\"xturn_recovery_min\": {\n      \"w16\": 3"),
+            "xturn min missing or wrong: {doc}"
+        );
+        let empty = suite_json("t", &[custom_result()]).render();
+        assert!(!empty.contains("xturn_recovery"), "absent without values");
     }
 
     #[test]

@@ -123,6 +123,19 @@ impl Fabric {
         self.loss_rng = SimRng::new(seed);
     }
 
+    /// The earliest time a new transfer from `node` could start
+    /// serializing onto its up-link — the node's NIC TX backlog. A node
+    /// whose up-link is booked into the future (e.g. behind a bulk dirty
+    /// flush) cannot put a new request on the wire before this.
+    pub fn tx_free_at(&self, node: NodeId) -> SimTime {
+        let links = match node {
+            NodeId::Compute(i) => self.compute.get(i as usize),
+            NodeId::Memory(i) => self.memory.get(i as usize),
+            NodeId::Switch => None,
+        };
+        links.map(|l| l.up.free_at()).unwrap_or(SimTime::ZERO)
+    }
+
     fn links_mut(&mut self, node: NodeId) -> Option<&mut NodeLinks> {
         match node {
             NodeId::Compute(i) => self.compute.get_mut(i as usize),

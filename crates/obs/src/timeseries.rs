@@ -25,6 +25,12 @@ pub struct SeriesBucket {
     /// Nanoseconds those operations spent stalled on invalidation
     /// queueing + TLB shootdown (the "directory busy" share).
     pub stall_ns: u64,
+    /// Nanoseconds issues in this interval waited on a full RNIC queue
+    /// (the cluster engine's per-NIC bandwidth gate; 0 outside cluster
+    /// mode or at unbounded depth). Bucketed by the *issue* time of the
+    /// stalled op — a simulated quantity, so additive and cell-invariant
+    /// like every other field.
+    pub nic_stall_ns: u64,
     /// Latency histogram of those operations (nanoseconds).
     pub lat: Histogram,
 }
@@ -35,6 +41,7 @@ impl SeriesBucket {
         self.remote += other.remote;
         self.invalidations += other.invalidations;
         self.stall_ns += other.stall_ns;
+        self.nic_stall_ns += other.nic_stall_ns;
         self.lat.merge(&other.lat);
     }
 }
@@ -102,6 +109,14 @@ impl WindowSeries {
         b.lat.record(latency_ns);
     }
 
+    /// Records nanoseconds an issue waited on its blade's RNIC queue, at
+    /// the virtual time the stalled op issued. Kept separate from
+    /// [`record`](Self::record) so NIC pressure lands in the bucket where
+    /// the queue was full, not where the op eventually completed.
+    pub fn record_nic_stall(&mut self, at: SimTime, stall_ns: u64) {
+        self.bucket_mut(at).nic_stall_ns += stall_ns;
+    }
+
     /// Merges another series bucket-wise (additive, so merge order never
     /// matters).
     ///
@@ -149,12 +164,25 @@ mod tests {
     }
 
     #[test]
+    fn nic_stalls_bucket_by_issue_time_without_counting_ops() {
+        let mut s = WindowSeries::new(ns(100));
+        s.record_nic_stall(ns(10), 25);
+        s.record_nic_stall(ns(40), 5);
+        s.record_nic_stall(ns(250), 7);
+        assert_eq!(s.buckets()[0].nic_stall_ns, 30);
+        assert_eq!(s.buckets()[2].nic_stall_ns, 7);
+        assert_eq!(s.total_ops(), 0, "stalls are not completions");
+    }
+
+    #[test]
     fn merge_is_additive_and_order_free() {
         let mut a = WindowSeries::new(ns(100));
         a.record(ns(10), 5, true, 1, 2);
+        a.record_nic_stall(ns(15), 11);
         let mut b = WindowSeries::new(ns(100));
         b.record(ns(150), 8, false, 0, 0);
         b.record(ns(20), 6, true, 3, 4);
+        b.record_nic_stall(ns(30), 4);
 
         let mut ab = a.clone();
         ab.merge(&b);
@@ -167,6 +195,7 @@ mod tests {
             assert_eq!(x.remote, y.remote);
             assert_eq!(x.invalidations, y.invalidations);
             assert_eq!(x.stall_ns, y.stall_ns);
+            assert_eq!(x.nic_stall_ns, y.nic_stall_ns);
             assert_eq!(x.lat.count(), y.lat.count());
             assert_eq!(x.lat.quantile(0.99), y.lat.quantile(0.99));
         }

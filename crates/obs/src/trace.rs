@@ -143,6 +143,14 @@ pub enum EventKind {
     /// inherently shard-count-dependent). Args: `shard` index,
     /// `horizon_ns`.
     ShardEpoch = 12,
+    /// An issue stalled on its blade's RNIC queue being at depth (the
+    /// cluster engine's per-NIC bandwidth gate); spans the wait, on the
+    /// stalled thread's lane. Args: `depth` (the configured queue depth
+    /// it hit), `in_flight` (the blade's in-flight count at the stall).
+    /// The blade is identified by the lane, which shard merging rebases;
+    /// args deliberately carry no shard-local indices so sharded traces
+    /// stay byte-identical to fused ones.
+    NicStall = 13,
 }
 
 impl EventKind {
@@ -162,6 +170,7 @@ impl EventKind {
             EventKind::TenantDepart => "tenant_depart",
             EventKind::RequestReject => "request_reject",
             EventKind::ShardEpoch => "shard_epoch",
+            EventKind::NicStall => "nic_stall",
         }
     }
 
@@ -182,6 +191,7 @@ impl EventKind {
             | EventKind::TenantDepart
             | EventKind::RequestReject => ("class", ""),
             EventKind::ShardEpoch => ("shard", "horizon_ns"),
+            EventKind::NicStall => ("depth", "in_flight"),
         }
     }
 
@@ -190,7 +200,10 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         matches!(
             self,
-            EventKind::Issue | EventKind::Invalidation | EventKind::WindowStall
+            EventKind::Issue
+                | EventKind::Invalidation
+                | EventKind::WindowStall
+                | EventKind::NicStall
         )
     }
 }

@@ -819,6 +819,34 @@ mod tests {
         assert_eq!(a.rejected_requests, serialized.rejected_requests);
     }
 
+    /// The per-NIC issue gate reaches dispatch with zero wiring: it rides
+    /// in `rack.nic_depth` straight into the overlapped batch path. A
+    /// bounded depth keeps the run deterministic, and — like the window —
+    /// shifts dispatch timing without changing what gets granted.
+    #[test]
+    fn nic_bounded_dispatch_stays_deterministic() {
+        let mut bounded_cfg = ServiceConfig {
+            window: 4,
+            ..quick_cfg()
+        };
+        bounded_cfg.rack.nic_depth = 1;
+        let a = MemoryService::new(bounded_cfg).run();
+        let b = MemoryService::new(bounded_cfg).run();
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.metrics, b.metrics);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.p999_ns, y.p999_ns);
+        }
+        let unbounded = MemoryService::new(ServiceConfig {
+            window: 4,
+            ..quick_cfg()
+        })
+        .run();
+        assert_eq!(a.tenants_admitted, unbounded.tenants_admitted);
+        assert_eq!(a.total_ops, unbounded.total_ops);
+        assert_eq!(a.rejected_requests, unbounded.rejected_requests);
+    }
+
     #[test]
     fn class_patterns_shape_tenant_traffic() {
         let cfg = ServiceConfig {

@@ -33,7 +33,7 @@ pub mod shard;
 pub mod tf;
 pub mod trace;
 
-pub use runner::{merge_reports, run, RunConfig, RunReport};
+pub use runner::{merge_reports, run, Concurrency, RunConfig, RunReport};
 pub use shard::{
     run_group, run_sharded, run_sharded_threads, GroupRun, ShardError, ShardSpec,
     SHARD_THREADS_ENV,

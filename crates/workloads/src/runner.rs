@@ -12,12 +12,33 @@
 //! clock — the quantity Figure 5 reports (as inverse, normalized
 //! performance).
 
-use mind_core::system::{MemOp, MemorySystem, OpBatch};
+use mind_core::engine::{ClusterEngine, ClusterStep};
+use mind_core::system::{AccessOutcome, MemOp, MemorySystem, OpBatch};
 use mind_obs::{TraceConfig, TraceData, WindowSeries};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::{EventQueue, SimTime};
 
 use crate::trace::{TraceOp, Workload};
+
+/// How concurrently-running threads' operations interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// Lockstep scheduling turns: the earliest thread issues its next
+    /// batch and drains it before its next turn, so in-flight overlap
+    /// forms only *within* one thread's batch. The default, and the
+    /// byte-identical reference discipline.
+    #[default]
+    Turnwise,
+    /// The cluster-wide event-driven engine (`mind_core::engine`): every
+    /// thread is a continuous issue stream, faults from different threads
+    /// overlap each other's fabric RTTs, same-region transitions
+    /// serialize cluster-wide, and each blade's RNIC issue bandwidth
+    /// gates its threads. Takes effect when `window > 1` *and* the system
+    /// has an issue/complete datapath; otherwise the run stays turnwise
+    /// (so a `window <= 1` cluster run replays the serialized reference
+    /// byte-identically).
+    Cluster,
+}
 
 /// Runner parameters.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +77,8 @@ pub struct RunConfig {
     /// (and its bucket width). Defaults to resolving `MIND_TRACE`, so an
     /// untraced run carries no series and its report is unchanged.
     pub trace: TraceConfig,
+    /// Cross-thread scheduling discipline; see [`Concurrency`].
+    pub concurrency: Concurrency,
 }
 
 impl Default for RunConfig {
@@ -69,6 +92,7 @@ impl Default for RunConfig {
             batch_ops: 1,
             window: 1,
             trace: TraceConfig::default(),
+            concurrency: Concurrency::Turnwise,
         }
     }
 }
@@ -92,6 +116,13 @@ impl RunConfig {
     /// tests pin a [`mind_obs::TraceMode`] to override the environment).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// This configuration with the given cross-thread scheduling
+    /// discipline (builder-style).
+    pub fn with_concurrency(mut self, concurrency: Concurrency) -> Self {
+        self.concurrency = concurrency;
         self
     }
 }
@@ -235,33 +266,49 @@ impl Accum {
     pub(crate) fn record_batch(&mut self, batch: &OpBatch) {
         for (i, result) in batch.results().iter().enumerate() {
             let outcome = result.as_ref().expect("callers reject failures");
-            let total_ns = outcome.latency.total().as_nanos();
-            self.total_ops += 1;
-            if outcome.remote {
-                self.remote += 1;
-                self.sum_remote_lat += total_ns as u128;
-            }
-            self.latency.record(total_ns);
-            self.invals += outcome.invalidations as u64;
-            self.flushed += outcome.flushed_pages as u64;
-            self.sum_fault += outcome.latency.fault.as_nanos() as u128;
-            self.sum_network += outcome.latency.network.as_nanos() as u128;
-            self.sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
-            self.sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
-            self.sum_software += outcome.latency.software.as_nanos() as u128;
-            self.sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
-            if let Some(series) = &mut self.series {
-                // Bucket by virtual completion time (identical across
-                // execution cells); stall = the directory-busy share.
-                let stall = outcome.latency.inv_queue + outcome.latency.inv_tlb;
-                series.record(
-                    batch.completion(i),
-                    total_ns,
-                    outcome.remote,
-                    outcome.invalidations,
-                    stall.as_nanos(),
-                );
-            }
+            self.record_op(outcome, batch.completion(i));
+        }
+    }
+
+    /// Folds one completed operation into the accumulators — the per-op
+    /// half of [`record_batch`](Self::record_batch), used directly by the
+    /// cluster engine's driver where ops complete stream-wise rather than
+    /// batch-wise.
+    pub(crate) fn record_op(&mut self, outcome: &AccessOutcome, complete_at: SimTime) {
+        let total_ns = outcome.latency.total().as_nanos();
+        self.total_ops += 1;
+        if outcome.remote {
+            self.remote += 1;
+            self.sum_remote_lat += total_ns as u128;
+        }
+        self.latency.record(total_ns);
+        self.invals += outcome.invalidations as u64;
+        self.flushed += outcome.flushed_pages as u64;
+        self.sum_fault += outcome.latency.fault.as_nanos() as u128;
+        self.sum_network += outcome.latency.network.as_nanos() as u128;
+        self.sum_inv_queue += outcome.latency.inv_queue.as_nanos() as u128;
+        self.sum_inv_tlb += outcome.latency.inv_tlb.as_nanos() as u128;
+        self.sum_software += outcome.latency.software.as_nanos() as u128;
+        self.sum_overlapped += outcome.latency.overlapped.as_nanos() as u128;
+        if let Some(series) = &mut self.series {
+            // Bucket by virtual completion time (identical across
+            // execution cells); stall = the directory-busy share.
+            let stall = outcome.latency.inv_queue + outcome.latency.inv_tlb;
+            series.record(
+                complete_at,
+                total_ns,
+                outcome.remote,
+                outcome.invalidations,
+                stall.as_nanos(),
+            );
+        }
+    }
+
+    /// Records nanoseconds an issue waited on its blade's RNIC queue into
+    /// the telemetry series (no-op when the run is untraced).
+    pub(crate) fn record_nic_stall(&mut self, at: SimTime, stall: SimTime) {
+        if let Some(series) = &mut self.series {
+            series.record_nic_stall(at, stall.as_nanos());
         }
     }
 }
@@ -369,6 +416,191 @@ pub fn merge_reports(name: impl Into<String>, reports: &[RunReport]) -> RunRepor
     merged
 }
 
+/// Drives a set of issue streams (threads) through a system's
+/// [`ClusterEngine`] — the cluster-mode counterpart of the turnwise
+/// scheduling loops, shared by [`run`] and the sharded executor.
+///
+/// Each source is a continuous stream: its next op becomes ungated-ready
+/// `think_time` after its previous *issue* (the issue pipeline's per-op
+/// cost, same chaining rule as a turnwise batch — but with no per-turn
+/// drain barrier, which is exactly the cross-turn overlap this engine
+/// adds). Ops are generated `batch_ops` at a time into per-source buffers
+/// through a caller-supplied `fill` closure, so workload generation order
+/// per source is identical to the turnwise runner's.
+///
+/// The caller owns the phase protocol: pump [`advance_warmup`] to
+/// completion, snapshot its baseline metrics, then [`start_measured`] and
+/// pump [`advance_measured`]. Warmup ends at the latest warmup completion
+/// (plus gap) and each source resumes the measured phase `gap` after its
+/// last warmup issue — the same accounting boundaries as turnwise, with
+/// in-flight window state (and the overlap frontier) persisting across
+/// the phase line.
+///
+/// [`advance_warmup`]: ClusterDriver::advance_warmup
+/// [`start_measured`]: ClusterDriver::start_measured
+/// [`advance_measured`]: ClusterDriver::advance_measured
+pub(crate) struct ClusterDriver {
+    eng: ClusterEngine,
+    bufs: Vec<Vec<MemOp>>,
+    pos: Vec<usize>,
+    /// Ops left to issue in the current phase, per source (buffered ops
+    /// included — they decrement at issue).
+    left: Vec<u64>,
+    /// Per-source resume time for the measured phase: last warmup issue
+    /// plus gap ([`SimTime::ZERO`] for sources without warmup).
+    resume: Vec<SimTime>,
+    measured_ops: u64,
+    batch_ops: u64,
+    gap: SimTime,
+    measured_started: bool,
+    /// Latest warmup completion + gap across sources.
+    pub(crate) warmup_end: SimTime,
+    /// Latest measured completion + gap across sources (primed to
+    /// `warmup_end` by [`ClusterDriver::start_measured`]).
+    pub(crate) end_clock: SimTime,
+}
+
+impl ClusterDriver {
+    /// A driver over `sources` streams. Starts in the warmup phase (which
+    /// is trivially complete when `warmup_ops_per_thread` is 0).
+    pub(crate) fn new(eng: ClusterEngine, sources: u32, cfg: RunConfig) -> Self {
+        let n = sources as usize;
+        let mut driver = ClusterDriver {
+            eng,
+            bufs: vec![Vec::new(); n],
+            pos: vec![0; n],
+            left: vec![cfg.warmup_ops_per_thread; n],
+            resume: vec![SimTime::ZERO; n],
+            measured_ops: cfg.ops_per_thread,
+            batch_ops: cfg.batch_ops.max(1),
+            gap: cfg.think_time,
+            measured_started: false,
+            warmup_end: SimTime::ZERO,
+            end_clock: SimTime::ZERO,
+        };
+        if cfg.warmup_ops_per_thread > 0 {
+            for src in 0..sources {
+                driver.eng.seed(SimTime::ZERO, src);
+            }
+        }
+        driver
+    }
+
+    /// Pumps warmup events up to `horizon`; returns whether the warmup
+    /// phase has fully drained (idempotently true thereafter).
+    pub(crate) fn advance_warmup<S: MemorySystem + ?Sized>(
+        &mut self,
+        system: &mut S,
+        horizon: SimTime,
+        fill: &mut dyn FnMut(u32, usize, &mut Vec<MemOp>),
+    ) -> bool {
+        debug_assert!(!self.measured_started, "warmup after start_measured");
+        self.pump(system, horizon, fill, None)
+    }
+
+    /// Seeds the measured phase: every source resumes `gap` after its
+    /// last warmup issue, on a fresh event queue (resume times may
+    /// precede the warmup queue's final pop). Call exactly once, after
+    /// [`ClusterDriver::advance_warmup`] returns `true` and the caller
+    /// snapshotted its baseline metrics.
+    pub(crate) fn start_measured(&mut self) {
+        debug_assert!(!self.measured_started, "start_measured called twice");
+        self.measured_started = true;
+        self.end_clock = self.warmup_end;
+        self.left.fill(self.measured_ops);
+        for buf in &mut self.bufs {
+            buf.clear();
+        }
+        self.pos.fill(0);
+        self.eng.begin_phase();
+        if self.measured_ops > 0 {
+            for src in 0..self.eng.sources() {
+                self.eng.seed(self.resume[src as usize], src);
+            }
+        }
+    }
+
+    /// Pumps measured events up to `horizon`, accounting completed ops
+    /// (and NIC stalls) into `acc`; returns whether the run is complete.
+    pub(crate) fn advance_measured<S: MemorySystem + ?Sized>(
+        &mut self,
+        system: &mut S,
+        horizon: SimTime,
+        fill: &mut dyn FnMut(u32, usize, &mut Vec<MemOp>),
+        acc: &mut Accum,
+    ) -> bool {
+        debug_assert!(self.measured_started, "measure before start_measured");
+        self.pump(system, horizon, fill, Some(acc))
+    }
+
+    /// The event loop: pops ready sources in deterministic order, offers
+    /// each source's next op to the system's gates, defers gated sources
+    /// to their release times, and streams issued ops. `acc: None` is the
+    /// warmup phase (completions advance `warmup_end`, nothing is
+    /// recorded); `Some` is measured.
+    fn pump<S: MemorySystem + ?Sized>(
+        &mut self,
+        system: &mut S,
+        horizon: SimTime,
+        fill: &mut dyn FnMut(u32, usize, &mut Vec<MemOp>),
+        mut acc: Option<&mut Accum>,
+    ) -> bool {
+        while let Some(at) = self.eng.peek_time() {
+            if at > horizon {
+                return false;
+            }
+            let (now, src) = self.eng.next_ready().expect("peeked event exists");
+            let s = src as usize;
+            if self.pos[s] == self.bufs[s].len() {
+                let n = self.batch_ops.min(self.left[s]) as usize;
+                debug_assert!(n > 0, "exhausted source popped");
+                self.bufs[s].clear();
+                fill(src, n, &mut self.bufs[s]);
+                debug_assert_eq!(self.bufs[s].len(), n, "fill produced {n} ops");
+                self.pos[s] = 0;
+            }
+            let op = self.bufs[s][self.pos[s]];
+            let ready0 = self.eng.ready0(src);
+            let step = system
+                .cluster_issue(&mut self.eng, now, ready0, &op)
+                .expect("cluster support probed via cluster_engine");
+            match step {
+                ClusterStep::Gated { until, nic_stall } => {
+                    if nic_stall > SimTime::ZERO {
+                        if let Some(acc) = acc.as_deref_mut() {
+                            acc.record_nic_stall(now, nic_stall);
+                        }
+                    }
+                    self.eng.defer(until, src);
+                }
+                ClusterStep::Issued {
+                    outcome,
+                    complete_at,
+                    region: _,
+                } => {
+                    self.pos[s] += 1;
+                    self.left[s] -= 1;
+                    let done = complete_at + self.gap;
+                    match acc.as_deref_mut() {
+                        Some(acc) => {
+                            acc.record_op(&outcome, complete_at);
+                            self.end_clock = self.end_clock.max(done);
+                        }
+                        None => self.warmup_end = self.warmup_end.max(done),
+                    }
+                    let next = now + self.gap;
+                    if self.left[s] > 0 {
+                        self.eng.seed(next, src);
+                    } else {
+                        self.resume[s] = next;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Replays `ops_per_thread × n_threads` operations of `workload` against
 /// `system`.
 ///
@@ -395,6 +627,18 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         .into_iter()
         .map(|len| system.alloc(len))
         .collect();
+
+    // Cluster mode: hand the whole thread set to the system's
+    // event-driven issue engine, when it has one and the window actually
+    // admits overlap. At `window <= 1` (or on engine-less systems) the
+    // turnwise discipline below *is* the cluster semantics — one op in
+    // flight per thread, serialized — so the reference replay stays
+    // byte-identical.
+    if cfg.concurrency == Concurrency::Cluster && cfg.window > 1 {
+        if let Some(eng) = system.cluster_engine(cfg.window, n_threads as u32) {
+            return run_cluster(system, workload, cfg, eng, &bases, n_threads, blades_needed);
+        }
+    }
 
     // Discrete-event schedule over threads: the earliest thread issues
     // next; ties resolve in scheduling order (insertion seq).
@@ -502,6 +746,58 @@ pub fn run<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
         workload.name(),
         warmup_end,
         end_clock,
+        acc,
+        system.metrics(),
+        window_metrics,
+    );
+    report.trace = system.take_trace();
+    report
+}
+
+/// The cluster-mode body of [`run`]: same workload schedule per thread,
+/// same warmup/measured accounting boundaries, but issue arbitration runs
+/// through the system's [`ClusterEngine`] so independent threads' fabric
+/// RTTs overlap cluster-wide.
+fn run_cluster<S: MemorySystem + ?Sized, W: Workload + ?Sized>(
+    system: &mut S,
+    workload: &mut W,
+    cfg: RunConfig,
+    eng: ClusterEngine,
+    bases: &[u64],
+    n_threads: u16,
+    n_blades: u16,
+) -> RunReport {
+    let mut driver = ClusterDriver::new(eng, n_threads as u32, cfg);
+    let mut ops_buf: Vec<TraceOp> = Vec::new();
+    let mut fill = |src: u32, n: usize, out: &mut Vec<MemOp>| {
+        let thread = src as u16;
+        let blade = blade_of(thread, cfg, n_blades);
+        ops_buf.clear();
+        workload.fill_ops(thread, n, &mut ops_buf);
+        for op in &ops_buf {
+            out.push(MemOp {
+                at: SimTime::ZERO,
+                blade,
+                pdid: None,
+                vaddr: bases[op.region as usize] + op.offset,
+                kind: op.kind,
+            });
+        }
+    };
+
+    let drained = driver.advance_warmup(system, SimTime::MAX, &mut fill);
+    debug_assert!(drained, "an unbounded horizon drains warmup");
+    let baseline_metrics = system.metrics();
+    driver.start_measured();
+    let mut acc = Accum::with_trace(cfg.trace);
+    let done = driver.advance_measured(system, SimTime::MAX, &mut fill, &mut acc);
+    debug_assert!(done, "an unbounded horizon completes the run");
+
+    let window_metrics = system.metrics().diff(&baseline_metrics);
+    let mut report = finish_report(
+        workload.name(),
+        driver.warmup_end,
+        driver.end_clock,
         acc,
         system.metrics(),
         window_metrics,
@@ -731,6 +1027,153 @@ mod tests {
             overlapped.metrics.get("remote_accesses"),
             serialized.metrics.get("remote_accesses")
         );
+    }
+
+    #[test]
+    fn cluster_mode_overlaps_across_threads_and_never_loses_work() {
+        // Four threads of independent strided faults: the turnwise
+        // discipline drains each thread's batch before its next turn,
+        // the cluster engine streams all four continuously.
+        let mk = |concurrency: Concurrency| {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = Strided {
+                threads: 2,
+                pages: 4096,
+                cursor: 0,
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    ops_per_thread: 512,
+                    warmup_ops_per_thread: 64,
+                    threads_per_blade: 1,
+                    ..Default::default()
+                }
+                .with_batch_ops(32)
+                .with_window(8)
+                .with_concurrency(concurrency),
+            )
+        };
+        let turnwise = mk(Concurrency::Turnwise);
+        let cluster = mk(Concurrency::Cluster);
+        assert_eq!(cluster.total_ops, turnwise.total_ops, "no op lost");
+        assert_eq!(
+            cluster.latency.count(),
+            cluster.total_ops,
+            "one sample per measured op"
+        );
+        assert!(cluster.sum_overlapped_ns > 0, "fabric time hidden");
+        assert!(
+            cluster.runtime < turnwise.runtime,
+            "cross-turn overlap beats per-batch windows on independent \
+             faults: {} vs {}",
+            cluster.runtime.as_nanos(),
+            turnwise.runtime.as_nanos()
+        );
+    }
+
+    #[test]
+    fn cluster_mode_at_window_one_is_the_turnwise_reference() {
+        // The degenerate contract: window <= 1 keeps the turnwise path,
+        // so a serialized cluster run is byte-identical to the reference.
+        let mk = |concurrency: Concurrency| {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = PingPong {
+                threads: 2,
+                rng: SimRng::new(9),
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    ops_per_thread: 400,
+                    warmup_ops_per_thread: 50,
+                    ..Default::default()
+                }
+                .with_batch_ops(16)
+                .with_concurrency(concurrency),
+            )
+        };
+        let a = mk(Concurrency::Turnwise);
+        let b = mk(Concurrency::Cluster);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.warmup_end, b.warmup_end);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.window_metrics, b.window_metrics);
+        assert_eq!(a.mops.to_bits(), b.mops.to_bits());
+        assert_eq!(a.latency.quantile(0.999), b.latency.quantile(0.999));
+    }
+
+    #[test]
+    fn cluster_mode_is_deterministic() {
+        let mk = || {
+            let mut sys = MindCluster::new(MindConfig::small());
+            let mut wl = PingPong {
+                threads: 2,
+                rng: SimRng::new(7),
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    warmup_ops_per_thread: 100,
+                    ..Default::default()
+                }
+                .with_batch_ops(16)
+                .with_window(4)
+                .with_concurrency(Concurrency::Cluster),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.warmup_end, b.warmup_end);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.sum_overlapped_ns, b.sum_overlapped_ns);
+        assert_eq!(a.mops.to_bits(), b.mops.to_bits());
+    }
+
+    #[test]
+    fn nic_depth_bounds_cluster_throughput() {
+        // With every thread on one blade, a NIC depth of 1 serializes the
+        // blade's fabric traffic: deeper NICs must be strictly faster on
+        // independent faults, and unbounded (0) at least as fast as any.
+        let mk = |nic_depth: u32| {
+            let mut sys = MindCluster::new(MindConfig {
+                nic_depth,
+                ..MindConfig::small()
+            });
+            let mut wl = Strided {
+                threads: 2,
+                pages: 4096,
+                cursor: 0,
+            };
+            run(
+                &mut sys,
+                &mut wl,
+                RunConfig {
+                    ops_per_thread: 512,
+                    threads_per_blade: 2,
+                    ..Default::default()
+                }
+                .with_batch_ops(32)
+                .with_window(8)
+                .with_concurrency(Concurrency::Cluster),
+            )
+        };
+        let choked = mk(1);
+        let deep = mk(8);
+        let unbounded = mk(0);
+        assert_eq!(choked.total_ops, deep.total_ops);
+        assert!(
+            choked.runtime > deep.runtime,
+            "a depth-1 RNIC serializes the blade: {} vs {}",
+            choked.runtime.as_nanos(),
+            deep.runtime.as_nanos()
+        );
+        assert!(unbounded.runtime <= deep.runtime, "depth 0 never gates");
     }
 
     #[test]

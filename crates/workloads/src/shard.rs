@@ -74,7 +74,9 @@ use mind_obs::EventKind;
 use mind_sim::stats::Metrics;
 use mind_sim::{threads, EventQueue, SimTime};
 
-use crate::runner::{finish_report, merge_reports, Accum, RunConfig, RunReport};
+use crate::runner::{
+    finish_report, merge_reports, Accum, ClusterDriver, Concurrency, RunConfig, RunReport,
+};
 use crate::trace::{TraceOp, Workload};
 
 /// Environment variable overriding the shard-thread count [`run_sharded`]
@@ -259,6 +261,13 @@ pub struct GroupRun {
     phase: Phase,
     queue: EventQueue<u32>,
     measured: EventQueue<u32>,
+    /// Cluster mode ([`Concurrency::Cluster`], `window > 1`): one
+    /// event-driven issue engine *per partition*, so the gates a
+    /// partition's threads share — its slot pool, its blades' NICs, its
+    /// region serialization — are identical whether the partition runs
+    /// fused or sharded (partition-local arbitration is what the
+    /// confinement contract already demands). Empty in turnwise mode.
+    drivers: Vec<ClusterDriver>,
     warmup_left: Vec<u64>,
     remaining: Vec<u64>,
     warmup_end: SimTime,
@@ -376,7 +385,26 @@ impl GroupRun {
             queue.schedule(SimTime::ZERO, gt);
         }
         let warmup = run.warmup_ops_per_thread;
-        let (phase, queue, measured, baseline) = if warmup > 0 {
+        let cluster_mode = run.concurrency == Concurrency::Cluster && run.window > 1;
+        let drivers: Vec<ClusterDriver> = if cluster_mode {
+            (0..partitions)
+                .map(|_| {
+                    let eng = cluster
+                        .cluster_engine(run.window, tpp as u32)
+                        .expect("MindCluster has an issue/complete datapath");
+                    ClusterDriver::new(eng, tpp as u32, run)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (phase, queue, measured, baseline) = if cluster_mode {
+            // Cluster mode schedules through the per-partition drivers;
+            // the group-level phase machine still sequences warmup →
+            // baseline snapshot → measured (warmup is trivially drained
+            // when there is none).
+            (Phase::Warmup, EventQueue::new(), EventQueue::new(), None)
+        } else if warmup > 0 {
             (Phase::Warmup, queue, EventQueue::new(), None)
         } else {
             // No warmup: the seeded queue is the measured queue and the
@@ -394,6 +422,7 @@ impl GroupRun {
             phase,
             queue,
             measured,
+            drivers,
             warmup_left: vec![warmup; total as usize],
             remaining: vec![run.ops_per_thread; total as usize],
             warmup_end: SimTime::ZERO,
@@ -445,6 +474,9 @@ impl GroupRun {
     /// warmup→measured transition is a barrier exactly as in
     /// [`crate::runner::run`].
     pub fn advance_until(&mut self, horizon: SimTime) -> bool {
+        if !self.drivers.is_empty() {
+            return self.advance_cluster_until(horizon);
+        }
         let batch_ops = self.run_cfg.batch_ops.max(1);
         loop {
             match self.phase {
@@ -493,6 +525,74 @@ impl GroupRun {
         }
     }
 
+    /// The cluster-mode phase machine: pump every partition's engine
+    /// driver to the horizon; when *all* drivers drain their warmup,
+    /// snapshot the group baseline and seed the measured phase —
+    /// the same warmup barrier as the turnwise path, group-wide.
+    fn advance_cluster_until(&mut self, horizon: SimTime) -> bool {
+        loop {
+            match self.phase {
+                Phase::Warmup => {
+                    let mut all = true;
+                    for lp in 0..self.drivers.len() {
+                        let mut fill = part_fill(
+                            &mut self.parts[lp],
+                            &mut self.ops_buf,
+                            self.run_cfg,
+                            self.domain_per_thread,
+                        );
+                        all &= self.drivers[lp].advance_warmup(
+                            &mut self.cluster,
+                            horizon,
+                            &mut fill,
+                        );
+                    }
+                    if !all {
+                        return false;
+                    }
+                    self.warmup_end = self
+                        .drivers
+                        .iter()
+                        .map(|d| d.warmup_end)
+                        .fold(SimTime::ZERO, SimTime::max);
+                    self.baseline = Some(self.cluster.metrics_snapshot());
+                    self.end_clock = self.warmup_end;
+                    for d in &mut self.drivers {
+                        d.start_measured();
+                    }
+                    self.phase = Phase::Measured;
+                }
+                Phase::Measured => {
+                    let mut all = true;
+                    for lp in 0..self.drivers.len() {
+                        let mut fill = part_fill(
+                            &mut self.parts[lp],
+                            &mut self.ops_buf,
+                            self.run_cfg,
+                            self.domain_per_thread,
+                        );
+                        all &= self.drivers[lp].advance_measured(
+                            &mut self.cluster,
+                            horizon,
+                            &mut fill,
+                            &mut self.acc,
+                        );
+                    }
+                    if !all {
+                        return false;
+                    }
+                    self.end_clock = self
+                        .drivers
+                        .iter()
+                        .map(|d| d.end_clock)
+                        .fold(self.end_clock, SimTime::max);
+                    self.phase = Phase::Done;
+                }
+                Phase::Done => return true,
+            }
+        }
+    }
+
     /// Whether every thread has finished its measured ops.
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Done
@@ -533,6 +633,35 @@ impl GroupRun {
         );
         report.trace = trace;
         report
+    }
+}
+
+/// Builds the op-generation closure a partition's cluster driver pulls
+/// from: source `src` is the partition-local thread index, mapped to its
+/// blade and protection domain exactly as [`GroupRun::turn`] maps global
+/// threads. Free-standing so the borrow of one partition's state splits
+/// cleanly from the driver and cluster borrows.
+fn part_fill<'a>(
+    part: &'a mut PartitionState,
+    ops_buf: &'a mut Vec<TraceOp>,
+    run_cfg: RunConfig,
+    domain_per_thread: bool,
+) -> impl FnMut(u32, usize, &mut Vec<MemOp>) + 'a {
+    move |src, n, out| {
+        let t = src as u16;
+        let blade = part.compute_lo + t / run_cfg.threads_per_blade;
+        let pdid = Some(part.pids[if domain_per_thread { t as usize } else { 0 }]);
+        ops_buf.clear();
+        part.workload.fill_ops(t, n, ops_buf);
+        for op in ops_buf.iter() {
+            out.push(MemOp {
+                at: SimTime::ZERO,
+                blade,
+                pdid,
+                vaddr: part.bases[op.region as usize] + op.offset,
+                kind: op.kind,
+            });
+        }
     }
 }
 
@@ -888,6 +1017,64 @@ mod tests {
             assert_eq!(reference.metrics, got.metrics, "threads = {threads}");
             assert_eq!(reference.window_metrics, got.window_metrics);
             assert_eq!(reference.mops.to_bits(), got.mops.to_bits());
+        }
+    }
+
+    #[test]
+    fn cluster_mode_sharded_partitions_reproduce_the_fused_run() {
+        // The engine arbitrates per partition, so confined scenarios keep
+        // the fused ≡ sharded contract in cluster mode too.
+        let mut s = spec(4, 50);
+        s.run = s
+            .run
+            .with_batch_ops(8)
+            .with_window(4)
+            .with_concurrency(crate::runner::Concurrency::Cluster);
+        let fused = run_group(&s, &factory).expect("confined scenario");
+        assert_eq!(fused.invalidations, 0, "scenario must be confined");
+        assert!(fused.total_ops > 0);
+        for shards in [2u16, 4] {
+            let sharded = run_sharded(&s, shards, &factory).expect("confined scenario");
+            assert_eq!(key(&fused), key(&sharded), "shards = {shards}");
+            assert_eq!(fused.metrics, sharded.metrics, "shards = {shards}");
+            assert_eq!(fused.window_metrics, sharded.window_metrics);
+            assert_eq!(fused.mops.to_bits(), sharded.mops.to_bits());
+        }
+    }
+
+    #[test]
+    fn cluster_mode_thread_count_never_changes_the_result() {
+        let mut s = spec(4, 50);
+        s.run = s
+            .run
+            .with_batch_ops(8)
+            .with_window(4)
+            .with_concurrency(crate::runner::Concurrency::Cluster);
+        let reference = run_sharded_threads(&s, 4, 1, &factory).expect("confined scenario");
+        for threads in [2usize, 4] {
+            let got = run_sharded_threads(&s, 4, threads, &factory).expect("confined scenario");
+            assert_eq!(key(&reference), key(&got), "threads = {threads}");
+            assert_eq!(reference.metrics, got.metrics, "threads = {threads}");
+            assert_eq!(reference.mops.to_bits(), got.mops.to_bits());
+        }
+    }
+
+    #[test]
+    fn cluster_mode_horizon_length_never_changes_the_result() {
+        let mut s = spec(2, 1000);
+        s.run = s
+            .run
+            .with_batch_ops(8)
+            .with_window(4)
+            .with_concurrency(crate::runner::Concurrency::Cluster);
+        let reference = run_sharded(&s, 2, &factory).expect("confined scenario");
+        for horizon_us in [1u64, 333] {
+            let mut alt = spec(2, horizon_us);
+            alt.run = s.run;
+            alt.name = s.name.clone();
+            let got = run_sharded(&alt, 2, &factory).expect("confined scenario");
+            assert_eq!(key(&reference), key(&got), "horizon {horizon_us}us");
+            assert_eq!(reference.metrics, got.metrics);
         }
     }
 

@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 
 use mind::core::cluster::{MindCluster, MindConfig};
+use mind::core::engine::{ClusterEngine, ClusterStep};
 use mind::core::system::{AccessKind, ConsistencyModel, MemOp, OpBatch, ScalarLoop};
 use mind::harness::{report, Scenario, ScenarioResult, SystemSpec, WorkloadSpec};
 use mind::service::{MemoryService, ServiceConfig};
@@ -18,7 +19,7 @@ use mind::sim::SimTime;
 use mind::workloads::kvs::KvsConfig;
 use mind::workloads::memcached::MemcachedConfig;
 use mind::workloads::micro::MicroConfig;
-use mind::workloads::runner::{self, RunConfig};
+use mind::workloads::runner::{self, Concurrency, RunConfig};
 use mind::workloads::{run_group, run_sharded, ShardSpec};
 
 const BATCH_SIZES: [u64; 3] = [1, 8, 64];
@@ -370,6 +371,124 @@ proptest! {
         }
     }
 
+    /// The cluster engine's two cross-thread invariants, checked from the
+    /// engine's own issue/completion records over random multi-source
+    /// schedules driven exactly like the runner's event loop: (a) a
+    /// blade's RNIC never holds more than `nic_depth` operations at once,
+    /// and (b) two operations that transitioned the same directory region
+    /// never overlap in time — cluster-wide, across sources, not merely
+    /// within one thread's batch.
+    #[test]
+    fn cluster_engine_bounds_nics_and_serializes_regions_cluster_wide(
+        seed in 0u64..10_000,
+        window in 1u32..6,
+        nic_depth in 1u32..4,
+        sources in 2u32..5,
+        ops_per_source in 8usize..32,
+        write_ratio in 0u32..10,
+        gap_ns in 50u64..500,
+    ) {
+        let mut cluster = MindCluster::new(MindConfig {
+            nic_depth,
+            ..MindConfig::small()
+        });
+        let pid = cluster.exec().unwrap();
+        let base = cluster.mmap(pid, 256 << 12).unwrap();
+        let mut rng = mind::sim::SimRng::new(seed);
+        let schedules: Vec<Vec<MemOp>> = (0..sources)
+            .map(|_| {
+                (0..ops_per_source)
+                    .map(|_| MemOp {
+                        at: SimTime::ZERO,
+                        blade: rng.gen_below(2) as u16,
+                        pdid: None,
+                        vaddr: base + (rng.gen_below(256) << 12),
+                        kind: if rng.gen_below(10) < write_ratio as u64 {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        let gap = SimTime::from_nanos(gap_ns);
+        let mut eng = ClusterEngine::new(window, nic_depth, sources);
+        for src in 0..sources {
+            eng.seed(SimTime::ZERO, src);
+        }
+        struct Flight {
+            at: SimTime,
+            done: SimTime,
+            blade: u16,
+            region: Option<(u64, u8)>,
+        }
+        let mut pos = vec![0usize; sources as usize];
+        let mut issued: Vec<Flight> = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((now, src)) = eng.next_ready() {
+            prop_assert!(now >= last, "virtual time regressed");
+            last = now;
+            let op = schedules[src as usize][pos[src as usize]];
+            let ready0 = eng.ready0(src);
+            match cluster.issue_clustered(&mut eng, now, ready0, &op) {
+                ClusterStep::Gated { until, nic_stall } => {
+                    prop_assert!(until > now, "gated release must advance time");
+                    prop_assert!(
+                        nic_stall <= until.saturating_sub(now),
+                        "NIC stall exceeds the whole wait"
+                    );
+                    eng.defer(until, src);
+                }
+                ClusterStep::Issued { complete_at, region, .. } => {
+                    // (a) When this op issued, its blade's RNIC had a free
+                    // entry: fewer than `nic_depth` earlier ops from *any*
+                    // source were still in flight there.
+                    let on_nic = issued
+                        .iter()
+                        .filter(|f| f.blade == op.blade && f.at <= now && f.done > now)
+                        .count();
+                    prop_assert!(
+                        on_nic < nic_depth as usize,
+                        "op on blade {} issued with {on_nic} already on its \
+                         NIC (depth {nic_depth})",
+                        op.blade
+                    );
+                    // (b) Same-region directory transitions serialize
+                    // cluster-wide: any earlier op that transitioned this
+                    // region — from any source — completed before this
+                    // one issued.
+                    if region.is_some() {
+                        for f in &issued {
+                            if f.region == region {
+                                prop_assert!(
+                                    f.done <= now,
+                                    "two transitions of region {region:?} \
+                                     overlapped across sources"
+                                );
+                            }
+                        }
+                    }
+                    issued.push(Flight {
+                        at: now,
+                        done: complete_at,
+                        blade: op.blade,
+                        region,
+                    });
+                    pos[src as usize] += 1;
+                    if pos[src as usize] < schedules[src as usize].len() {
+                        eng.seed(now + gap, src);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(
+            pos,
+            vec![ops_per_source; sources as usize],
+            "every source drained its schedule"
+        );
+    }
+
     /// At window 1, the overlapped invariants degenerate to full
     /// serialization: every op issues at or after its predecessor's
     /// completion and nothing is ever attributed to overlap.
@@ -393,6 +512,50 @@ proptest! {
         for i in 1..batch.len() {
             prop_assert!(batch.op(i).at >= batch.completion(i - 1));
             prop_assert_eq!(batch.outcome(i).latency.overlapped, SimTime::ZERO);
+        }
+    }
+}
+
+/// Renders one replay as BENCH JSON through the batched pipeline under
+/// the given cross-thread concurrency discipline.
+fn replay_json_concurrent(
+    workload: &WorkloadSpec,
+    batch_ops: u64,
+    window: u32,
+    concurrency: Concurrency,
+) -> String {
+    let regions = workload.regions();
+    let system = SystemSpec::mind_scaled(&regions, 2, ConsistencyModel::Tso);
+    let mut wl = workload.build();
+    let cfg = run_cfg(batch_ops)
+        .with_window(window)
+        .with_concurrency(concurrency);
+    let mut sys = system.build();
+    let report = runner::run(sys.as_mut(), wl.as_mut(), cfg);
+    let result = ScenarioResult {
+        name: format!("equiv/cluster/b{batch_ops}"),
+        output: mind::harness::ScenarioOutput::from_report(report),
+    };
+    report::suite_json("batch_equivalence", &[result]).render()
+}
+
+/// The cluster engine's determinism anchor: at window 1 cluster mode
+/// keeps the turnwise discipline, so a serialized cluster-mode replay
+/// renders the exact BENCH JSON of the turnwise reference — for every
+/// workload and batch size.
+#[test]
+fn cluster_window_one_json_is_byte_identical_to_turnwise() {
+    for workload in workloads() {
+        for batch_ops in [8u64, 64] {
+            let turnwise =
+                replay_json_concurrent(&workload, batch_ops, 1, Concurrency::Turnwise);
+            let cluster = replay_json_concurrent(&workload, batch_ops, 1, Concurrency::Cluster);
+            assert_eq!(
+                cluster, turnwise,
+                "serialized cluster mode diverged from the turnwise reference \
+                 at batch_ops {batch_ops} for {:?}",
+                workload.build().name()
+            );
         }
     }
 }

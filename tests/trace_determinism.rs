@@ -22,7 +22,7 @@ use mind::obs::{EventKind, TraceConfig, TraceData, TraceEvent, TraceMode};
 use mind::service::{MemoryService, ServiceConfig};
 use mind::sim::{SimRng, SimTime};
 use mind::workloads::micro::MicroConfig;
-use mind::workloads::runner::{RunConfig, RunReport};
+use mind::workloads::runner::{Concurrency, RunConfig, RunReport};
 use mind::workloads::{run_group, run_sharded_threads, ShardSpec};
 
 /// A four-partition rack that divides evenly into 1, 2, or 4 shards,
@@ -135,6 +135,61 @@ fn timeseries_is_byte_identical_across_every_shard_thread_cell() {
                 bench_json(merged),
                 reference,
                 "timeseries diverged from the fused reference at \
+                 shards = {shards}, threads = {threads}"
+            );
+        }
+    }
+}
+
+/// The same cell-invariance contract through the cluster-wide
+/// event-driven engine: with `Concurrency::Cluster`, a deep window, and
+/// bounded NICs, every `(shards × threads)` cell still renders the fused
+/// run's exact trace and timeseries bytes — and the trace now carries
+/// `nic_stall` events with the matching `nic_stall_ns` telemetry lane,
+/// so NIC pressure is attributable without breaking determinism.
+#[test]
+fn cluster_trace_and_timeseries_are_byte_identical_across_cells() {
+    let mut spec = traced_spec("trace/cluster");
+    spec.base.nic_depth = 2;
+    spec.run = spec
+        .run
+        .with_window(8)
+        .with_concurrency(Concurrency::Cluster);
+    let factory: &mind::workloads::shard::PartitionFactory = &micro_factory;
+    let fused = run_group(&spec, factory).expect("confined scenario");
+    let trace = fused.trace.as_ref().expect("tracing pinned on");
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::NicStall)),
+        "bounded NICs under a traced cluster run record nic_stall events"
+    );
+    assert_eq!(trace.dropped, 0, "capacity valve untouched");
+    let reference_trace = trace_json(fused.clone());
+    let reference_bench = bench_json(fused);
+    assert!(
+        reference_trace.contains("\"name\":\"nic_stall\""),
+        "trace JSON names the NIC lane"
+    );
+    assert!(
+        reference_bench.contains("\"nic_stall_ns\""),
+        "timeseries carries the NIC stall lane"
+    );
+    for shards in [1u16, 2, 4] {
+        for threads in [1usize, 2, 4] {
+            let merged = run_sharded_threads(&spec, shards, threads, factory)
+                .expect("confined scenario");
+            assert_eq!(
+                trace_json(merged.clone()),
+                reference_trace,
+                "cluster trace diverged from the fused reference at \
+                 shards = {shards}, threads = {threads}"
+            );
+            assert_eq!(
+                bench_json(merged),
+                reference_bench,
+                "cluster timeseries diverged from the fused reference at \
                  shards = {shards}, threads = {threads}"
             );
         }
