@@ -51,6 +51,16 @@
 //! determinism is asserted as byte-identity across thread counts, and
 //! those identity runs double as the `shard_xl_wall_secs_t<T>`
 //! measurements.
+//!
+//! `datapath/shards_xxl` is the million-tenant point: 1 048 576 tenants
+//! ([`XXL_SHARDS`] × 16 384), affordable only because the streamed shard
+//! datapath holds O(worker lanes × one shard) of state — shards are
+//! built lazily, run to completion, and folded into the running merge as
+//! they finish. Both XL and XXL runs record their peak RSS
+//! (`shard_*_peak_rss_mb_t<T>`, from `VmHWM` with a reset per cell; 0
+//! when the platform exposes no peak counter), which is how the
+//! constant-memory claim is gated: the 8×-tenant XXL run must stay
+//! within ~2× the XL peak.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -95,6 +105,14 @@ pub const SHARD_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Shard count of the 131 072-tenant `datapath/shards_xl` point.
 pub const XL_SHARDS: u16 = 16;
+
+/// Shard count of the 1 048 576-tenant `datapath/shards_xxl` point (one
+/// shard per partition).
+pub const XXL_SHARDS: u16 = 64;
+
+/// OS-thread counts the XXL point sweeps: the single-lane baseline and
+/// the multi-core cell the perf gate compares against it.
+pub const XXL_THREADS: [usize; 2] = [1, 4];
 
 /// Wall-clock passes for the sharded scaling point (each pass replays the
 /// whole population at every shard count, so fewer passes suffice).
@@ -305,6 +323,31 @@ fn shard_xl_population() -> TenantGroupConfig {
         read_ratio: 0.7,
         seed: 42,
     }
+}
+
+/// The constant-memory scaling point: the shard population grown to
+/// 1 048 576 tenants (64 × 16 384). At this scale even *holding* every
+/// shard's finished report would defeat the run — the streamed merge
+/// folds each shard away as it completes, so peak memory tracks the
+/// worker-lane count, not the tenant count.
+fn shard_xxl_spec() -> ShardSpec {
+    population_spec("datapath/shards_xxl", XXL_SHARDS, shard_xxl_population())
+}
+
+/// The tenant population behind [`shard_xxl_spec`].
+fn shard_xxl_population() -> TenantGroupConfig {
+    TenantGroupConfig {
+        tenants_per_group: 16_384,
+        pages_per_tenant: 16,
+        read_ratio: 0.7,
+        seed: 42,
+    }
+}
+
+/// Peak process RSS in MiB since the last reset, or 0.0 where the
+/// platform exposes no peak counter (the RSS gate skips on 0).
+fn peak_rss_mb() -> f64 {
+    mind_obs::mem::peak_rss_bytes().map_or(0.0, |b| b as f64 / (1 << 20) as f64)
 }
 
 /// The byte-identity key of a merged report: every integer the merge adds
@@ -518,11 +561,14 @@ pub fn build(quick: bool) -> Vec<Scenario> {
         // double as the wall-clock measurements (one pass per cell).
         let mut reference: Option<RunReport> = None;
         let mut wall = [f64::INFINITY; SHARD_THREADS.len()];
+        let mut peak = [0.0f64; SHARD_THREADS.len()];
         for (i, &threads) in SHARD_THREADS.iter().enumerate() {
+            mind_obs::mem::reset_peak_rss();
             let start = Instant::now();
             let merged =
                 run_sharded_threads(&spec, XL_SHARDS, threads, &factory).expect("confined");
             wall[i] = start.elapsed().as_secs_f64().max(1e-9);
+            peak[i] = peak_rss_mb();
             match &reference {
                 None => {
                     assert_eq!(merged.invalidations, 0, "population must be confined");
@@ -548,6 +594,7 @@ pub fn build(quick: bool) -> Vec<Scenario> {
             .value("shard_xl_sim_runtime_ns", reference.runtime.as_nanos() as f64);
         for (i, &threads) in SHARD_THREADS.iter().enumerate() {
             out = out.value(format!("shard_xl_wall_secs_t{threads}"), wall[i]);
+            out = out.value(format!("shard_xl_peak_rss_mb_t{threads}"), peak[i]);
             if threads > 1 {
                 out = out.value(
                     format!("shard_xl_speedup_t{threads}"),
@@ -557,6 +604,73 @@ pub fn build(quick: bool) -> Vec<Scenario> {
         }
         out
     }));
+
+    table.push(Scenario::custom(
+        "datapath/shards_xxl".to_string(),
+        move || {
+            let _serial = MEASURE_LOCK.lock().expect("measure lock");
+            let spec = shard_xxl_spec();
+            let factory = tenant_partitions(shard_xxl_population());
+            let tenants = spec.partitions as u64 * spec.run.threads_per_blade as u64;
+
+            // Like XL: no affordable fused reference, so determinism is
+            // byte-identity across thread counts, and each identity run
+            // doubles as that cell's wall-clock and peak-RSS measurement
+            // (the peak counter is reset per cell, so each cell's figure
+            // is its own high-water mark).
+            let mut reference: Option<RunReport> = None;
+            let mut wall = [f64::INFINITY; XXL_THREADS.len()];
+            let mut peak = [0.0f64; XXL_THREADS.len()];
+            for (i, &threads) in XXL_THREADS.iter().enumerate() {
+                mind_obs::mem::reset_peak_rss();
+                let start = Instant::now();
+                let merged =
+                    run_sharded_threads(&spec, XXL_SHARDS, threads, &factory).expect("confined");
+                wall[i] = start.elapsed().as_secs_f64().max(1e-9);
+                peak[i] = peak_rss_mb();
+                match &reference {
+                    None => {
+                        assert_eq!(merged.invalidations, 0, "population must be confined");
+                        assert!(
+                            merged.total_ops >= tenants,
+                            "every tenant must issue at least one measured op"
+                        );
+                        reference = Some(merged);
+                    }
+                    Some(reference) => {
+                        assert_eq!(
+                            report_key(reference),
+                            report_key(&merged),
+                            "thread count changed the merged report at threads={threads}"
+                        );
+                        assert_eq!(reference.metrics, merged.metrics, "threads={threads}");
+                        assert_eq!(reference.window_metrics, merged.window_metrics);
+                    }
+                }
+            }
+            let reference = reference.expect("at least one thread count");
+
+            let mut out = ScenarioOutput::default()
+                .value("shard_xxl_tenants", tenants as f64)
+                .value("shard_xxl_shards", XXL_SHARDS as f64)
+                .value("shard_xxl_total_ops", reference.total_ops as f64)
+                .value(
+                    "shard_xxl_sim_runtime_ns",
+                    reference.runtime.as_nanos() as f64,
+                );
+            for (i, &threads) in XXL_THREADS.iter().enumerate() {
+                out = out.value(format!("shard_xxl_wall_secs_t{threads}"), wall[i]);
+                out = out.value(format!("shard_xxl_peak_rss_mb_t{threads}"), peak[i]);
+                if threads > 1 {
+                    out = out.value(
+                        format!("shard_xxl_speedup_t{threads}"),
+                        wall[0] / wall[i].max(1e-12),
+                    );
+                }
+            }
+            out
+        },
+    ));
     table
 }
 
@@ -725,6 +839,31 @@ pub fn present(results: &[ScenarioResult]) {
             "datapath — 131 072-tenant sharded replay (no affordable fused reference; \
              byte-identical across thread counts; wall seconds per thread count)",
             &["tenants", "shards", "ops", "t=1", "t=2", "t=4"],
+            &[cells],
+        );
+    }
+    if let Some(r) = results.iter().find(|r| r.name.ends_with("/shards_xxl")) {
+        let mut cells = vec![
+            format!("{:.0}", r.value("shard_xxl_tenants")),
+            format!("{:.0}", r.value("shard_xxl_shards")),
+            format!("{:.0}", r.value("shard_xxl_total_ops")),
+        ];
+        for &threads in &XXL_THREADS {
+            cells.push(format!(
+                "{:.2}s",
+                r.value(&format!("shard_xxl_wall_secs_t{threads}"))
+            ));
+        }
+        for &threads in &XXL_THREADS {
+            cells.push(format!(
+                "{:.0}M",
+                r.value(&format!("shard_xxl_peak_rss_mb_t{threads}"))
+            ));
+        }
+        print_table(
+            "datapath — 1 048 576-tenant streamed sharded replay (byte-identical across \
+             thread counts; wall seconds and peak RSS per thread count)",
+            &["tenants", "shards", "ops", "t=1", "t=4", "rss t=1", "rss t=4"],
             &[cells],
         );
     }

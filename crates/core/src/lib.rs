@@ -80,7 +80,7 @@ pub mod translate;
 pub mod window;
 
 pub use addr::{PhysAddr, Vma};
-pub use cluster::{MindCluster, MindConfig};
+pub use cluster::{MindCluster, MindConfig, CX5_NIC_DEPTH};
 pub use engine::{ClusterEngine, ClusterStep};
 pub use system::{
     AccessKind, AccessOutcome, ConsistencyModel, LatencyBreakdown, MemOp, MemorySystem, OpBatch,

@@ -12,8 +12,21 @@
 //! entry counts low by (1) power-of-two aligned allocation so each vma is
 //! one entry and (2) coalescing buddy entries with identical domain and
 //! class.
+//!
+//! ## Representation
+//!
+//! Grants within a domain are **disjoint by invariant** (see
+//! [`ProtectionTable::grant`]), so a lookup has at most one match and LPM
+//! priority is vacuous. The table therefore stores each domain's entries as
+//! packed 8-byte [`Row`]s keyed by PDID rather than sharing a
+//! level-indexed TCAM map: a million-tenant population holds one `Row`
+//! per tenant after coalescing (the [`Rows::One`] inline case — no heap
+//! allocation at all), instead of a hash entry in a 49-level shared map.
+//! Lookups scan the domain's own rows — O(rows-in-domain), and
+//! coalescing keeps that a handful.
 
-use mind_switch::tcam::{pow2_cover, Tcam, TcamEntry, TcamFull};
+use mind_sim::hash::FastMap;
+use mind_switch::tcam::{pow2_cover, TcamEntry, TcamFull, VA_BITS};
 
 use crate::addr::Vma;
 use crate::system::AccessKind;
@@ -43,12 +56,111 @@ impl PermClass {
             (PermClass::ReadWrite, _) => true,
         }
     }
+
+    fn to_bits(self) -> u64 {
+        match self {
+            PermClass::None => 0,
+            PermClass::ReadOnly => 1,
+            PermClass::ReadWrite => 2,
+        }
+    }
+
+    fn from_bits(bits: u64) -> Self {
+        match bits {
+            0 => PermClass::None,
+            1 => PermClass::ReadOnly,
+            _ => PermClass::ReadWrite,
+        }
+    }
+}
+
+/// One protection entry packed into 8 bytes, laid out `(base << 8) |
+/// (size_log2 << 2) | class`: a 48-bit canonical-VA range base, the
+/// range's `size_log2` (6 bits), and the permission class (2 bits). The
+/// range semantics are exactly [`TcamEntry`]'s — [`Row::entry`] round-trips
+/// into one for callers that memoize grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Row(u64);
+
+impl Row {
+    fn new(base: u64, size_log2: u8, pc: PermClass) -> Row {
+        debug_assert!(size_log2 <= VA_BITS, "range wider than address space");
+        debug_assert_eq!(
+            base & ((1u64 << size_log2) - 1),
+            0,
+            "row base must be aligned to its size"
+        );
+        debug_assert!(base < 1u64 << VA_BITS, "base beyond canonical VAs");
+        Row((base << 8) | ((size_log2 as u64) << 2) | pc.to_bits())
+    }
+
+    fn base(self) -> u64 {
+        self.0 >> 8
+    }
+
+    fn size_log2(self) -> u8 {
+        ((self.0 >> 2) & 0x3F) as u8
+    }
+
+    fn pc(self) -> PermClass {
+        PermClass::from_bits(self.0 & 0x3)
+    }
+
+    /// Whether `addr` falls inside this row's range.
+    fn matches(self, addr: u64) -> bool {
+        addr >> self.size_log2() == self.base() >> self.size_log2()
+    }
+
+    /// Whether this row covers exactly `[base, base + 2^k)`.
+    fn is(self, base: u64, k: u8) -> bool {
+        self.base() == base && self.size_log2() == k
+    }
+
+    /// The equivalent [`TcamEntry`] under domain `pdid`.
+    fn entry(self, pdid: Pdid) -> TcamEntry {
+        TcamEntry::new(pdid, self.base(), self.size_log2())
+    }
+}
+
+/// A domain's installed rows. Coalescing drives most domains to a single
+/// entry, so the one-row case is stored inline — a million-tenant table
+/// costs one map slot and zero side allocations per tenant.
+#[derive(Debug, Clone)]
+enum Rows {
+    One(Row),
+    Many(Vec<Row>),
+}
+
+impl Rows {
+    fn iter(&self) -> std::slice::Iter<'_, Row> {
+        match self {
+            Rows::One(row) => std::slice::from_ref(row).iter(),
+            Rows::Many(rows) => rows.iter(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Rows::One(_) => 1,
+            Rows::Many(rows) => rows.len(),
+        }
+    }
+
+    fn push(&mut self, row: Row) {
+        match self {
+            Rows::One(first) => *self = Rows::Many(vec![*first, row]),
+            Rows::Many(rows) => rows.push(row),
+        }
+    }
 }
 
 /// The in-switch protection table.
 #[derive(Debug, Clone)]
 pub struct ProtectionTable {
-    tcam: Tcam<PermClass>,
+    /// Per-domain packed rows; a domain with no grants holds no slot.
+    rows: FastMap<Pdid, Rows>,
+    capacity: usize,
+    used: usize,
     checks: u64,
     denials: u64,
 }
@@ -57,7 +169,9 @@ impl ProtectionTable {
     /// Creates a table with `tcam_capacity` entries.
     pub fn new(tcam_capacity: usize) -> Self {
         ProtectionTable {
-            tcam: Tcam::new(tcam_capacity),
+            rows: FastMap::default(),
+            capacity: tcam_capacity,
+            used: 0,
             checks: 0,
             denials: 0,
         }
@@ -88,61 +202,122 @@ impl ProtectionTable {
         let pieces = pow2_cover(vma.base, vma.len);
         let mut installed = Vec::new();
         for &(base, k) in &pieces {
-            let entry = TcamEntry::new(pdid, base, k);
-            match self.tcam.insert(entry, pc) {
-                Ok(_) => installed.push(entry),
+            let row = Row::new(base, k, pc);
+            match self.insert_row(pdid, row) {
+                Ok(()) => installed.push(row),
                 Err(full) => {
-                    for e in installed {
-                        self.tcam.remove(&e);
+                    for r in installed {
+                        self.remove_row(pdid, r.base(), r.size_log2());
                     }
                     return Err(full);
                 }
             }
         }
-        for entry in installed {
-            self.coalesce_from(entry);
+        for row in installed {
+            self.coalesce_from(pdid, row.base(), row.size_log2());
         }
         Ok(())
     }
 
     /// Whether any existing entry of `pdid` overlaps `vma` (the
     /// disjointness check behind [`ProtectionTable::grant`]; control-plane
-    /// cold path, so the linear descendant scan is fine).
+    /// cold path, and only scans the domain's own rows).
     fn overlaps(&self, pdid: Pdid, vma: Vma) -> bool {
-        // An existing entry covering (or equal to) a piece of the vma.
-        for (base, _) in pow2_cover(vma.base, vma.len) {
-            if self.tcam.peek_lookup(pdid, base).is_some() {
-                return true;
-            }
-        }
-        // An existing entry nested strictly inside the vma.
         let end = vma.base + vma.len;
-        self.tcam
-            .iter()
-            .any(|(e, _)| e.ctx == pdid && e.base >= vma.base && e.base < end)
+        self.rows.get(&pdid).is_some_and(|rows| {
+            rows.iter().any(|r| {
+                let rbase = r.base();
+                let rend = rbase + (1u64 << r.size_log2());
+                rbase < end && vma.base < rend
+            })
+        })
     }
 
-    /// Repeatedly merges `entry` with its buddy while both exist with the
-    /// same permission class (§4.2 "coalesces adjacent entries").
-    fn coalesce_from(&mut self, mut entry: TcamEntry) {
+    /// Installs one row under `pdid`, or reports the table full.
+    fn insert_row(&mut self, pdid: Pdid, row: Row) -> Result<(), TcamFull> {
+        if self.used >= self.capacity {
+            return Err(TcamFull);
+        }
+        match self.rows.entry(pdid) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => slot.get_mut().push(row),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Rows::One(row));
+            }
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Removes the row covering exactly `[base, base + 2^k)`, returning
+    /// its class. Drops the domain's map slot when its last row goes.
+    fn remove_row(&mut self, pdid: Pdid, base: u64, k: u8) -> Option<PermClass> {
+        let rows = self.rows.get_mut(&pdid)?;
+        let (pc, now_empty) = match rows {
+            Rows::One(row) => {
+                if !row.is(base, k) {
+                    return None;
+                }
+                (row.pc(), true)
+            }
+            Rows::Many(many) => {
+                let i = many.iter().position(|r| r.is(base, k))?;
+                let pc = many.swap_remove(i).pc();
+                if many.len() == 1 {
+                    let only = many[0];
+                    *rows = Rows::One(only);
+                }
+                (pc, false)
+            }
+        };
+        if now_empty {
+            self.rows.remove(&pdid);
+        }
+        self.used -= 1;
+        Some(pc)
+    }
+
+    /// The class of the row covering exactly `[base, base + 2^k)`, if
+    /// installed.
+    fn class_of(&self, pdid: Pdid, base: u64, k: u8) -> Option<PermClass> {
+        self.rows
+            .get(&pdid)?
+            .iter()
+            .find(|r| r.is(base, k))
+            .map(|r| r.pc())
+    }
+
+    /// The domain's row covering `vaddr`, if any. Disjointness makes the
+    /// first match the only match.
+    fn matching(&self, pdid: Pdid, vaddr: u64) -> Option<Row> {
+        self.rows
+            .get(&pdid)?
+            .iter()
+            .copied()
+            .find(|r| r.matches(vaddr))
+    }
+
+    /// Repeatedly merges `[base, base + 2^k)` with its buddy while both
+    /// exist with the same permission class (§4.2 "coalesces adjacent
+    /// entries"). Buddy/parent arithmetic matches [`TcamEntry::buddy`] /
+    /// [`TcamEntry::parent`].
+    fn coalesce_from(&mut self, pdid: Pdid, mut base: u64, mut k: u8) {
         loop {
-            let Some(&pc) = self.tcam.get(&entry) else {
+            let Some(pc) = self.class_of(pdid, base, k) else {
                 return;
             };
-            let buddy = entry.buddy();
-            let Some(&buddy_pc) = self.tcam.get(&buddy) else {
+            let buddy = base ^ (1u64 << k);
+            let Some(buddy_pc) = self.class_of(pdid, buddy, k) else {
                 return;
             };
             if buddy_pc != pc {
                 return;
             }
-            self.tcam.remove(&entry);
-            self.tcam.remove(&buddy);
-            let parent = entry.parent();
-            self.tcam
-                .insert(parent, pc)
+            self.remove_row(pdid, base, k);
+            self.remove_row(pdid, buddy, k);
+            base &= !(1u64 << k);
+            k += 1;
+            self.insert_row(pdid, Row::new(base, k, pc))
                 .expect("merge frees two entries, parent always fits");
-            entry = parent;
         }
     }
 
@@ -159,30 +334,27 @@ impl ProtectionTable {
     }
 
     fn revoke_range(&mut self, pdid: Pdid, base: u64, k: u8) -> usize {
-        let entry = TcamEntry::new(pdid, base, k);
-        if self.tcam.remove(&entry).is_some() {
+        if self.remove_row(pdid, base, k).is_some() {
             return 1;
         }
         // The range may be covered by a coalesced ancestor: split it down.
-        if let Some((covering, &pc)) = self.tcam.lookup(pdid, base) {
-            if covering.size_log2 > k {
-                self.tcam.remove(&covering);
+        if let Some(covering) = self.matching(pdid, base) {
+            if covering.size_log2() > k {
+                let pc = covering.pc();
+                self.remove_row(pdid, covering.base(), covering.size_log2());
                 // Re-install the ancestor minus [base, base + 2^k).
-                let mut cur = covering;
-                while cur.size_log2 > k {
-                    let left = TcamEntry::new(pdid, cur.base, cur.size_log2 - 1);
-                    let right =
-                        TcamEntry::new(pdid, cur.base + (1 << (cur.size_log2 - 1)), left.size_log2);
-                    let (keep, descend) =
-                        if base >> (cur.size_log2 - 1) == left.base >> (cur.size_log2 - 1) {
-                            (right, left)
-                        } else {
-                            (left, right)
-                        };
-                    self.tcam
-                        .insert(keep, pc)
+                let (mut cur_base, mut cur_k) = (covering.base(), covering.size_log2());
+                while cur_k > k {
+                    cur_k -= 1;
+                    let half = 1u64 << cur_k;
+                    let (keep, descend) = if base & half == 0 {
+                        (cur_base + half, cur_base)
+                    } else {
+                        (cur_base, cur_base + half)
+                    };
+                    self.insert_row(pdid, Row::new(keep, cur_k, pc))
                         .expect("split of removed entry fits");
-                    cur = descend;
+                    cur_base = descend;
                 }
                 return 1;
             }
@@ -209,13 +381,13 @@ impl ProtectionTable {
         kind: AccessKind,
     ) -> (bool, Option<(TcamEntry, PermClass)>) {
         self.checks += 1;
-        match self.tcam.lookup(pdid, vaddr) {
-            Some((entry, &pc)) => {
-                let allowed = pc.allows(kind);
+        match self.matching(pdid, vaddr) {
+            Some(row) => {
+                let allowed = row.pc().allows(kind);
                 if !allowed {
                     self.denials += 1;
                 }
-                (allowed, Some((entry, pc)))
+                (allowed, Some((row.entry(pdid), row.pc())))
             }
             None => {
                 self.denials += 1;
@@ -229,7 +401,8 @@ impl ProtectionTable {
     /// pre-resolve a batch's grants; per-op accounting then goes through
     /// [`ProtectionTable::note_memoized_check`].
     pub fn resolve_grant(&self, pdid: Pdid, vaddr: u64) -> Option<(TcamEntry, PermClass)> {
-        self.tcam.peek_lookup(pdid, vaddr).map(|(e, &pc)| (e, pc))
+        self.matching(pdid, vaddr)
+            .map(|row| (row.entry(pdid), row.pc()))
     }
 
     /// Accounts one check served from a batch's memoized grant, keeping
@@ -243,14 +416,14 @@ impl ProtectionTable {
 
     /// Installed TCAM entries (Figure 8 center counts these).
     pub fn rule_count(&self) -> usize {
-        self.tcam.used()
+        self.used
     }
 
     /// Installed TCAM entries belonging to one protection domain — the
     /// quantity a multi-tenant control plane must drive back to zero when
     /// the domain's owner departs.
     pub fn entries_for(&self, pdid: Pdid) -> usize {
-        self.tcam.iter().filter(|(e, _)| e.ctx == pdid).count()
+        self.rows.get(&pdid).map_or(0, Rows::len)
     }
 
     /// Checks performed.
@@ -275,6 +448,22 @@ mod tests {
         assert!(PermClass::ReadOnly.allows(AccessKind::Read));
         assert!(!PermClass::ReadOnly.allows(AccessKind::Write));
         assert!(!PermClass::None.allows(AccessKind::Read));
+    }
+
+    #[test]
+    fn row_packing_round_trips() {
+        for &(base, k, pc) in &[
+            (0u64, 0u8, PermClass::None),
+            (0x4000, 12, PermClass::ReadOnly),
+            ((1u64 << VA_BITS) - (1 << 20), 20, PermClass::ReadWrite),
+            (0, VA_BITS, PermClass::ReadWrite),
+        ] {
+            let row = Row::new(base, k, pc);
+            assert_eq!(row.base(), base);
+            assert_eq!(row.size_log2(), k);
+            assert_eq!(row.pc(), pc);
+            assert_eq!(row.entry(7), TcamEntry::new(7, base, k));
+        }
     }
 
     #[test]
@@ -463,6 +652,28 @@ mod tests {
         // Requires 2 entries.
         let err = p.grant(1, Vma::new(0x1000, 0x3000), PermClass::ReadOnly);
         assert!(err.is_err());
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn departure_drops_every_row_and_the_domain_slot() {
+        // A churn workload's whole-domain teardown: grant a few disjoint
+        // vmas, revoke them all, and both the per-domain and global entry
+        // counts return exactly to zero.
+        let mut p = ProtectionTable::new(64);
+        let vmas = [
+            Vma::new(0x1_0000, 0x1000),
+            Vma::new(0x4_0000, 0x3000),
+            Vma::new(0x8_0000, 0x8000),
+        ];
+        for vma in vmas {
+            p.grant(9, vma, PermClass::ReadWrite).unwrap();
+        }
+        assert!(p.entries_for(9) >= 3);
+        for vma in vmas {
+            assert!(p.revoke(9, vma) >= 1);
+        }
+        assert_eq!(p.entries_for(9), 0);
         assert_eq!(p.rule_count(), 0);
     }
 }

@@ -15,16 +15,24 @@
 //!   p99), additive under merge and therefore identical across execution
 //!   cells. Rendered as the `timeseries` section of BENCH JSON.
 //! - [`profile`] — wall-clock stage timers (host time, *not* virtual
-//!   time). Inherently nondeterministic, so they are reported on stderr
-//!   only and never enter BENCH or trace output.
+//!   time) plus the [`mem`] lanes (peak RSS, allocation counters).
+//!   Inherently nondeterministic, so they are reported on stderr only
+//!   and never enter BENCH or trace output.
 //!
 //! Everything is gated by [`TraceConfig`] / the `MIND_TRACE` and
 //! `MIND_PROFILE` environment knobs ([`mind_sim::env`]); the disabled
 //! paths reduce to a branch on a cached flag.
 
+pub mod mem;
 pub mod profile;
 pub mod timeseries;
 pub mod trace;
+
+/// Count every allocation in every workspace binary (see [`mem`]): the
+/// delta costs two relaxed atomic adds per allocation, bounded in CI by
+/// the `obs_overhead` gate alongside the rest of the always-on surface.
+#[global_allocator]
+static COUNTING_ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
 pub use mind_sim::env::TraceLevel;
 pub use timeseries::{SeriesBucket, WindowSeries};

@@ -9,8 +9,12 @@
 //!
 //! Gated by `MIND_PROFILE` ([`mind_sim::env::profile_enabled`]); the
 //! disabled path is a cached-boolean branch. Stages accumulate into a
-//! process-wide registry under stable string keys, reported and cleared
-//! by [`report_stderr`].
+//! process-wide registry under `&'static str` keys — static so a sample
+//! costs a map probe, never a key allocation: stage timers sit inside
+//! per-epoch shard loops, and an allocation per sample would show up in
+//! the very allocation counters ([`crate::mem`]) this module reports.
+//! Reported and cleared by [`report_stderr`], which also appends the
+//! memory lanes (peak RSS, allocation counters) from [`crate::mem`].
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -28,15 +32,15 @@ struct Stat {
     total: Duration,
 }
 
-static REGISTRY: Mutex<BTreeMap<String, Stat>> = Mutex::new(BTreeMap::new());
+static REGISTRY: Mutex<BTreeMap<&'static str, Stat>> = Mutex::new(BTreeMap::new());
 
 /// Adds one sample of wall time under `key` (no-op when disabled).
-pub fn record(key: &str, wall: Duration) {
+pub fn record(key: &'static str, wall: Duration) {
     if !enabled() {
         return;
     }
     let mut reg = REGISTRY.lock().unwrap();
-    let stat = reg.entry(key.to_string()).or_default();
+    let stat = reg.entry(key).or_default();
     stat.count += 1;
     stat.total += wall;
 }
@@ -69,7 +73,7 @@ impl Drop for ScopeTimer {
 
 /// Drains the registry: every `(key, samples, total wall)` accumulated
 /// since the last drain, in key order.
-pub fn take() -> Vec<(String, u64, Duration)> {
+pub fn take() -> Vec<(&'static str, u64, Duration)> {
     let mut reg = REGISTRY.lock().unwrap();
     std::mem::take(&mut *reg)
         .into_iter()
@@ -77,24 +81,35 @@ pub fn take() -> Vec<(String, u64, Duration)> {
         .collect()
 }
 
-/// Prints the accumulated stage table to stderr (and clears it). No-op
-/// when profiling is disabled or nothing was recorded.
+/// Prints the accumulated stage table plus the process memory lanes
+/// (peak RSS, allocation counters — see [`crate::mem`]) to stderr, and
+/// clears the stage table. No-op when profiling is disabled. Stderr
+/// only: host time and host memory are nondeterministic and must never
+/// enter BENCH JSON or trace files.
 pub fn report_stderr(header: &str) {
     if !enabled() {
         return;
     }
     let stages = take();
-    if stages.is_empty() {
-        return;
+    if !stages.is_empty() {
+        eprintln!("profile [{header}]:");
+        for (key, count, total) in stages {
+            eprintln!(
+                "  {key:<28} {count:>8} x  {:>12.3} ms total  {:>10.3} us/sample",
+                total.as_secs_f64() * 1e3,
+                total.as_secs_f64() * 1e6 / count.max(1) as f64,
+            );
+        }
     }
-    eprintln!("profile [{header}]:");
-    for (key, count, total) in stages {
-        eprintln!(
-            "  {key:<28} {count:>8} x  {:>12.3} ms total  {:>10.3} us/sample",
-            total.as_secs_f64() * 1e3,
-            total.as_secs_f64() * 1e6 / count.max(1) as f64,
-        );
-    }
+    let (allocs, alloc_bytes) = crate::mem::alloc_counts();
+    let peak = crate::mem::peak_rss_bytes();
+    let rss = crate::mem::current_rss_bytes();
+    eprintln!(
+        "memory [{header}]: peak_rss={} rss={} allocs={allocs} alloc_bytes={:.1} MiB",
+        peak.map_or("n/a".to_string(), |b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64)),
+        rss.map_or("n/a".to_string(), |b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64)),
+        alloc_bytes as f64 / (1 << 20) as f64,
+    );
 }
 
 #[cfg(test)]

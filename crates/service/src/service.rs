@@ -20,8 +20,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use mind_core::addr::pow2_alloc_size;
 use mind_core::cluster::{MindCluster, MindConfig};
+use mind_core::engine::ClusterStep;
 use mind_core::protect::PermClass;
-use mind_core::system::{MemOp, OpBatch};
+use mind_core::system::{MemOp, MemorySystem, OpBatch};
 use mind_obs::{EventKind, TraceData, WindowSeries};
 use mind_sim::stats::{Histogram, Metrics};
 use mind_sim::{EventQueue, SimRng, SimTime};
@@ -84,6 +85,18 @@ pub struct ServiceConfig {
     /// queueing shows up in per-tenant latency), and same-region grants
     /// serialize.
     pub window: u32,
+    /// Whether overlapped quanta (`window > 1`) run through the rack's
+    /// cluster-wide [`mind_core::engine::ClusterEngine`] — the same
+    /// event-driven issue engine the sharded replay harness uses — instead
+    /// of the per-batch [`mind_core::InFlightWindow`] walk. The engine
+    /// arbitrates the quantum's grants through a shared slot pool,
+    /// cluster-wide region serialization, and the per-NIC bandwidth gate
+    /// ([`MindConfig::nic_depth`]). Off by default; takes effect only with
+    /// `window > 1`. The engine path shares the replay paths' contract
+    /// that grants are never rack-refused (a refused grant panics instead
+    /// of counting as a rejected request), so leave it off for runs that
+    /// inject blade failures.
+    pub cluster_dispatch: bool,
     /// Access pattern per QoS class, in [`QosClass::ALL`] order — the
     /// tenant workload-diversity axis. Defaults to uniform everywhere;
     /// the QoS figure mixes Zipfian / uniform / scanning classes.
@@ -117,6 +130,7 @@ impl Default for ServiceConfig {
             blade_capacity_hz: 50_000.0,
             batch_dispatch: true,
             window: 1,
+            cluster_dispatch: false,
             class_patterns: [AccessPattern::Uniform; 3],
         }
     }
@@ -520,7 +534,9 @@ impl MemoryService {
         }
 
         // Execution pass: the whole quantum through the datapath at once.
-        if self.cfg.batch_dispatch {
+        if self.cfg.cluster_dispatch && self.cfg.window > 1 && !batch.is_empty() {
+            self.dispatch_through_engine(now, &mut batch);
+        } else if self.cfg.batch_dispatch {
             self.cluster.run_batch(now, &mut batch);
         } else {
             for i in 0..batch.len() {
@@ -585,6 +601,45 @@ impl MemoryService {
         }
         self.grants = grants;
         self.quantum = batch;
+    }
+
+    /// Executes one quantum's grants through the rack's cluster-wide
+    /// issue engine ([`ServiceConfig::cluster_dispatch`]): every grant is
+    /// seeded as an engine source at the quantum boundary, then the
+    /// engine's deterministic ready queue drives issue — gated grants
+    /// (no free slot, region busy, NIC saturated) defer to their gate's
+    /// release time and re-offer. Completions land back in the batch in
+    /// op order, so the accounting pass downstream is path-agnostic.
+    fn dispatch_through_engine(&mut self, now: SimTime, batch: &mut OpBatch) {
+        let mut eng = self
+            .cluster
+            .cluster_engine(self.cfg.window, batch.len() as u32)
+            .expect("MindCluster always offers the issue/complete engine");
+        for src in 0..batch.len() as u32 {
+            eng.seed(now, src);
+        }
+        // The engine issues in ready order, not op order; stage results
+        // and record them in op order to honor the OpBatch contract.
+        let mut done = vec![None; batch.len()];
+        while let Some((at, src)) = eng.next_ready() {
+            let i = src as usize;
+            let op = batch.op(i);
+            let ready0 = eng.ready0(src);
+            let step = self
+                .cluster
+                .cluster_issue(&mut eng, at, ready0, &op)
+                .expect("engine path probed above");
+            match step {
+                ClusterStep::Gated { until, .. } => eng.defer(until, src),
+                ClusterStep::Issued {
+                    outcome, region, ..
+                } => done[i] = Some((at, outcome, region)),
+            }
+        }
+        for (i, slot) in done.into_iter().enumerate() {
+            let (at, outcome, region) = slot.expect("engine drains every seeded grant");
+            batch.record_with_region(i, at, Ok(outcome), region);
+        }
     }
 
     /// One elasticity epoch: re-sizes every tenant's blade set to its
@@ -845,6 +900,56 @@ mod tests {
         assert_eq!(a.tenants_admitted, unbounded.tenants_admitted);
         assert_eq!(a.total_ops, unbounded.total_ops);
         assert_eq!(a.rejected_requests, unbounded.rejected_requests);
+    }
+
+    /// The cluster-engine dispatch path ([`ServiceConfig::cluster_dispatch`])
+    /// serves the same grants as the per-batch window walk — WRR selection
+    /// is execution-path-independent — and stays deterministic across
+    /// reruns. The engine arbitration may time grants differently (shared
+    /// slot pool vs per-batch window), which is the point: it shifts
+    /// dispatch timing, never what gets granted.
+    #[test]
+    fn cluster_engine_dispatch_serves_same_grants_deterministically() {
+        let engine_cfg = ServiceConfig {
+            window: 4,
+            cluster_dispatch: true,
+            ..quick_cfg()
+        };
+        let a = MemoryService::new(engine_cfg).run();
+        let b = MemoryService::new(engine_cfg).run();
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.metrics, b.metrics);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.p999_ns, y.p999_ns);
+        }
+        let windowed = MemoryService::new(ServiceConfig {
+            window: 4,
+            ..quick_cfg()
+        })
+        .run();
+        assert_eq!(a.tenants_admitted, windowed.tenants_admitted);
+        assert_eq!(a.total_ops, windowed.total_ops);
+        assert_eq!(a.rejected_requests, windowed.rejected_requests);
+        assert!(a.total_ops > 0, "the engine path actually served requests");
+    }
+
+    /// With `window: 1` the engine path is inert (the config documents it
+    /// takes effect only with overlap), so reports stay byte-identical to
+    /// the serialized quantum.
+    #[test]
+    fn cluster_dispatch_is_inert_at_window_one() {
+        let a = MemoryService::new(ServiceConfig {
+            cluster_dispatch: true,
+            ..quick_cfg()
+        })
+        .run();
+        let b = MemoryService::new(quick_cfg()).run();
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.metrics, b.metrics);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.p999_ns, y.p999_ns);
+        }
     }
 
     #[test]

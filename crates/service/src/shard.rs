@@ -23,7 +23,9 @@ use mind_workloads::runner::RunConfig;
 use mind_workloads::trace::{TraceOp, Workload};
 use mind_workloads::ShardSpec;
 
-use crate::tenant::{AccessPattern, TenantWorkload};
+use mind_sim::rng::Zipfian;
+
+use crate::tenant::{sample_op, AccessPattern};
 
 /// Parameters of one partitioned tenant population.
 #[derive(Debug, Clone, Copy)]
@@ -52,10 +54,34 @@ fn pattern_of(global_tenant: u64) -> AccessPattern {
 
 /// One partition's worth of tenants as a single [`Workload`]: thread `t`
 /// is tenant `t`, region `t` is its footprint.
+///
+/// Stored structure-of-arrays with everything derivable pooled: tenants
+/// in a group share one footprint, one read ratio, and (since the
+/// pattern mix uses a single skew) one Zipfian sampler — the sampler's
+/// `sample(&self, rng)` is read-only, so sharing it changes no draw —
+/// while each tenant keeps only what is truly its own: a 32-byte RNG and
+/// a scan cursor. Per-tenant patterns are recomputed from the pure
+/// global-index cycle rather than stored. That takes the per-tenant
+/// footprint from ~128 bytes (a full `TenantWorkload` with its own
+/// `Option<Zipfian>`) to 40 bytes, the difference between 10⁵- and
+/// 10⁶-tenant populations fitting in RSS. Op streams are byte-identical
+/// to the per-struct layout: both call the same
+/// [`sample_op`] body with the same RNG fork order.
 #[derive(Debug)]
 pub struct TenantGroup {
     group: u16,
-    tenants: Vec<TenantWorkload>,
+    pages: u64,
+    read_ratio: f64,
+    /// Global index of tenant 0, for the pattern cycle.
+    first_global: u64,
+    /// One pooled sampler for every Zipfian tenant in the group (the mix
+    /// uses a single `(pages, theta)`); `None` when no tenant needs it.
+    zipf: Option<Zipfian>,
+    /// Per-tenant private RNG, forked from the group root in tenant
+    /// order.
+    rngs: Vec<SimRng>,
+    /// Per-tenant scan cursor (only scan tenants advance theirs).
+    cursors: Vec<u64>,
 }
 
 impl TenantGroup {
@@ -67,42 +93,53 @@ impl TenantGroup {
             cfg.seed
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(group as u64 + 1)),
         );
-        let tenants = (0..cfg.tenants_per_group)
-            .map(|t| {
-                let global = group as u64 * cfg.tenants_per_group as u64 + t as u64;
-                TenantWorkload::with_pattern(
-                    cfg.pages_per_tenant,
-                    cfg.read_ratio,
-                    pattern_of(global),
-                    root.fork(),
-                )
-            })
-            .collect();
+        let n = cfg.tenants_per_group;
+        let first_global = group as u64 * n as u64;
+        let zipf_theta = (0..n).find_map(|t| match pattern_of(first_global + t as u64) {
+            AccessPattern::Zipfian(theta) => Some(theta),
+            _ => None,
+        });
         TenantGroup {
             group,
-            tenants,
+            pages: cfg.pages_per_tenant,
+            read_ratio: cfg.read_ratio,
+            first_global,
+            zipf: zipf_theta.map(|theta| Zipfian::new(cfg.pages_per_tenant, theta)),
+            rngs: (0..n).map(|_| root.fork()).collect(),
+            cursors: vec![0; n as usize],
         }
+    }
+
+    /// The access pattern of local tenant `tenant` (derived from the
+    /// global-index cycle, not stored).
+    pub fn pattern(&self, tenant: u16) -> AccessPattern {
+        pattern_of(self.first_global + tenant as u64)
     }
 }
 
 impl Workload for TenantGroup {
     fn name(&self) -> String {
-        format!("tenant-group{}(n={})", self.group, self.tenants.len())
+        format!("tenant-group{}(n={})", self.group, self.rngs.len())
     }
 
     fn regions(&self) -> Vec<u64> {
-        self.tenants
-            .iter()
-            .flat_map(|t| t.regions())
-            .collect()
+        vec![self.pages << 12; self.rngs.len()]
     }
 
     fn n_threads(&self) -> u16 {
-        self.tenants.len() as u16
+        self.rngs.len() as u16
     }
 
     fn next_op(&mut self, thread: u16) -> TraceOp {
-        let mut op = self.tenants[thread as usize].next_op(0);
+        let t = thread as usize;
+        let mut op = sample_op(
+            self.pages,
+            self.read_ratio,
+            self.pattern(thread),
+            self.zipf.as_ref(),
+            &mut self.cursors[t],
+            &mut self.rngs[t],
+        );
         op.region = thread;
         op
     }
@@ -110,7 +147,7 @@ impl Workload for TenantGroup {
 
 /// A [`mind_workloads::shard::PartitionFactory`] over this population:
 /// pass `&tenant_partitions(cfg)` to `run_group` / `run_sharded`.
-pub fn tenant_partitions(cfg: TenantGroupConfig) -> impl Fn(u16) -> Box<dyn Workload> {
+pub fn tenant_partitions(cfg: TenantGroupConfig) -> impl Fn(u16) -> Box<dyn Workload> + Sync {
     move |group| Box::new(TenantGroup::new(&cfg, group))
 }
 
@@ -252,6 +289,38 @@ mod tests {
     }
 
     #[test]
+    fn soa_group_matches_per_tenant_struct_layout() {
+        // The compaction contract: the structure-of-arrays group must
+        // draw the identical op stream the pre-SoA layout — one full
+        // TenantWorkload per tenant — drew, fork-for-fork.
+        use crate::tenant::TenantWorkload;
+        let c = cfg();
+        let mut g = TenantGroup::new(&c, 2);
+        let mut root = SimRng::new(
+            c.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(2 + 1)),
+        );
+        let mut reference: Vec<TenantWorkload> = (0..c.tenants_per_group)
+            .map(|t| {
+                let global = 2 * c.tenants_per_group as u64 + t as u64;
+                TenantWorkload::with_pattern(
+                    c.pages_per_tenant,
+                    c.read_ratio,
+                    pattern_of(global),
+                    root.fork(),
+                )
+            })
+            .collect();
+        for _ in 0..50 {
+            for t in 0..c.tenants_per_group {
+                let mut want = reference[t as usize].next_op(0);
+                want.region = t;
+                assert_eq!(g.next_op(t), want, "tenant {t}");
+            }
+        }
+    }
+
+    #[test]
     fn pattern_mix_cycles_by_global_tenant_index() {
         // Group boundaries must not reset the cycle: tenant 9 (group 1,
         // local 0) continues where tenant 8 left off.
@@ -260,6 +329,6 @@ mod tests {
         assert_eq!(pattern_of(2), AccessPattern::Scan);
         assert_eq!(pattern_of(9), AccessPattern::Zipfian(0.99));
         let g1 = TenantGroup::new(&cfg(), 1);
-        assert_eq!(g1.tenants[0].pattern(), pattern_of(9));
+        assert_eq!(g1.pattern(0), pattern_of(9));
     }
 }

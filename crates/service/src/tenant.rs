@@ -42,13 +42,54 @@ pub enum AccessPattern {
 }
 
 impl AccessPattern {
-    /// Short label for reports and workload names.
-    pub fn label(&self) -> String {
+    /// Short label for reports and workload names. Interned so
+    /// population-scale callers can hold or format it without a per-call
+    /// (or worse, per-tenant) allocation — the label vocabulary is a
+    /// handful of pattern names.
+    pub fn label(&self) -> &'static str {
         match self {
-            AccessPattern::Uniform => "uniform".to_string(),
-            AccessPattern::Zipfian(theta) => format!("zipf{theta}"),
-            AccessPattern::Scan => "scan".to_string(),
+            AccessPattern::Uniform => "uniform",
+            AccessPattern::Zipfian(theta) => mind_sim::intern::intern(&format!("zipf{theta}")),
+            AccessPattern::Scan => "scan",
         }
+    }
+}
+
+/// Draws one operation of the given pattern — the single generator body
+/// behind both per-tenant state layouts: [`TenantWorkload`] (one struct
+/// per tenant, sampler included) and the service population's
+/// structure-of-arrays groups (`crate::shard::TenantGroup`, which pools
+/// one sampler and keeps only an RNG and a cursor per tenant). Sharing
+/// the body is what keeps the two layouts byte-identical: same RNG draw
+/// order, same offsets, same kinds.
+pub(crate) fn sample_op(
+    pages: u64,
+    read_ratio: f64,
+    pattern: AccessPattern,
+    zipf: Option<&Zipfian>,
+    cursor: &mut u64,
+    rng: &mut SimRng,
+) -> TraceOp {
+    let offset = match pattern {
+        AccessPattern::Uniform => rng.gen_below(pages) << 12,
+        AccessPattern::Zipfian(_) => {
+            zipf.expect("sampler built with pattern").sample(rng) << 12
+        }
+        AccessPattern::Scan => {
+            let offset = (*cursor * SCAN_LINE) % (pages << 12);
+            *cursor += 1;
+            offset
+        }
+    };
+    let kind = if rng.gen_bool(read_ratio) {
+        AccessKind::Read
+    } else {
+        AccessKind::Write
+    };
+    TraceOp {
+        region: 0,
+        offset,
+        kind,
     }
 }
 
@@ -118,28 +159,14 @@ impl Workload for TenantWorkload {
     }
 
     fn next_op(&mut self, _thread: u16) -> TraceOp {
-        let offset = match self.pattern {
-            AccessPattern::Uniform => self.rng.gen_below(self.pages) << 12,
-            AccessPattern::Zipfian(_) => {
-                let zipf = self.zipf.as_ref().expect("sampler built with pattern");
-                zipf.sample(&mut self.rng) << 12
-            }
-            AccessPattern::Scan => {
-                let offset = (self.cursor * SCAN_LINE) % (self.pages << 12);
-                self.cursor += 1;
-                offset
-            }
-        };
-        let kind = if self.rng.gen_bool(self.read_ratio) {
-            AccessKind::Read
-        } else {
-            AccessKind::Write
-        };
-        TraceOp {
-            region: 0,
-            offset,
-            kind,
-        }
+        sample_op(
+            self.pages,
+            self.read_ratio,
+            self.pattern,
+            self.zipf.as_ref(),
+            &mut self.cursor,
+            &mut self.rng,
+        )
     }
 }
 

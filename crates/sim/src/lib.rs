@@ -14,6 +14,7 @@
 pub mod env;
 pub mod event;
 pub mod hash;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod threads;

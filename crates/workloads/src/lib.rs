@@ -33,9 +33,9 @@ pub mod shard;
 pub mod tf;
 pub mod trace;
 
-pub use runner::{merge_reports, run, Concurrency, RunConfig, RunReport};
+pub use runner::{merge_reports, run, Concurrency, ReportMerger, RunConfig, RunReport};
 pub use shard::{
-    run_group, run_sharded, run_sharded_threads, GroupRun, ShardError, ShardSpec,
+    run_group, run_sharded, run_sharded_threads, GroupRun, ShardError, ShardSpec, StreamedMerge,
     SHARD_THREADS_ENV,
 };
 pub use trace::{TraceOp, Workload};

@@ -360,6 +360,110 @@ pub(crate) fn finish_report(
     }
 }
 
+/// Streaming accumulator behind [`merge_reports`]: reports from disjoint
+/// partitions fold in one at a time and are *consumed*, so a caller
+/// merging `n` partitions holds one accumulator plus at most one
+/// in-flight report instead of all `n` — the constant-memory half of the
+/// sharded executor's streamed merge.
+///
+/// The fold arithmetic is the byte-identity contract: integers and
+/// histograms add, the measured window spans `[max warmup_end, max
+/// end-of-run]` (max is commutative and associative, so fold order never
+/// changes it), timeseries buckets add, and every derived rate is
+/// recomputed from the folded integers by [`finish_report`]'s shared
+/// arithmetic only at [`finish`](Self::finish). Trace merge *extends*
+/// event vectors, so trace bytes depend on fold order — callers that
+/// carry traces must fold in partition-index order (the sharded
+/// executor's reorder buffer, `mind_workloads::shard::StreamedMerge`,
+/// exists to guarantee exactly that).
+#[derive(Debug)]
+pub struct ReportMerger {
+    name: String,
+    folded: usize,
+    warmup_end: SimTime,
+    end_clock: SimTime,
+    acc: Accum,
+    metrics: Metrics,
+    window_metrics: Metrics,
+    trace: Option<TraceData>,
+}
+
+impl ReportMerger {
+    /// An empty accumulator for the merged report named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReportMerger {
+            name: name.into(),
+            folded: 0,
+            warmup_end: SimTime::ZERO,
+            end_clock: SimTime::ZERO,
+            acc: Accum::new(),
+            metrics: Metrics::new(),
+            window_metrics: Metrics::new(),
+            trace: None,
+        }
+    }
+
+    /// Folds one partition's report into the accumulator, consuming it
+    /// (the report's buffers — histogram, timeseries, trace — are either
+    /// absorbed or freed here, never retained whole).
+    pub fn fold(&mut self, r: RunReport) {
+        self.warmup_end = self.warmup_end.max(r.warmup_end);
+        self.end_clock = self.end_clock.max(r.warmup_end + r.runtime);
+        self.acc.total_ops += r.total_ops;
+        self.acc.remote += r.remote_ops;
+        self.acc.invals += r.invalidations;
+        self.acc.flushed += r.flushed_pages;
+        self.acc.sum_fault += r.sum_fault_ns;
+        self.acc.sum_network += r.sum_network_ns;
+        self.acc.sum_inv_queue += r.sum_inv_queue_ns;
+        self.acc.sum_inv_tlb += r.sum_inv_tlb_ns;
+        self.acc.sum_software += r.sum_software_ns;
+        self.acc.sum_overlapped += r.sum_overlapped_ns;
+        self.acc.sum_remote_lat += r.sum_remote_lat_ns;
+        self.acc.latency.merge(&r.latency);
+        self.metrics.merge(&r.metrics);
+        self.window_metrics.merge(&r.window_metrics);
+        if let Some(series) = r.timeseries {
+            match &mut self.acc.series {
+                Some(mine) => mine.merge(&series),
+                None => self.acc.series = Some(series),
+            }
+        }
+        if let Some(t) = r.trace {
+            match &mut self.trace {
+                Some(mine) => mine.merge(t),
+                None => self.trace = Some(t),
+            }
+        }
+        self.folded += 1;
+    }
+
+    /// How many reports have been folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Finishes the merge: recomputes every derived float from the folded
+    /// integers through [`finish_report`]'s shared arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was folded.
+    pub fn finish(self) -> RunReport {
+        assert!(self.folded > 0, "nothing to merge");
+        let mut merged = finish_report(
+            self.name,
+            self.warmup_end,
+            self.end_clock,
+            self.acc,
+            self.metrics,
+            self.window_metrics,
+        );
+        merged.trace = self.trace;
+        merged
+    }
+}
+
 /// Merges reports from disjoint partitions into the report the fused run
 /// over their union would produce: integers and histograms add, the
 /// measured window spans `[max warmup_end, max end-of-run]`, and every
@@ -368,52 +472,21 @@ pub(crate) fn finish_report(
 /// exactly — the `shards = 1` identity the sharded executor is checked
 /// against.
 ///
+/// This is the in-memory reference form of [`ReportMerger`]: it folds the
+/// slice element-by-element through the identical streaming arithmetic,
+/// so the streamed and in-memory merges agree byte-for-byte by shared
+/// code, not by parallel implementations.
+///
 /// # Panics
 ///
 /// Panics if `reports` is empty.
 pub fn merge_reports(name: impl Into<String>, reports: &[RunReport]) -> RunReport {
     assert!(!reports.is_empty(), "nothing to merge");
-    let warmup_end = reports.iter().map(|r| r.warmup_end).max().expect("non-empty");
-    let end_clock = reports
-        .iter()
-        .map(|r| r.warmup_end + r.runtime)
-        .max()
-        .expect("non-empty");
-    let mut acc = Accum::new();
-    let mut metrics = Metrics::new();
-    let mut window_metrics = Metrics::new();
-    let mut trace: Option<TraceData> = None;
+    let mut merger = ReportMerger::new(name);
     for r in reports {
-        acc.total_ops += r.total_ops;
-        acc.remote += r.remote_ops;
-        acc.invals += r.invalidations;
-        acc.flushed += r.flushed_pages;
-        acc.sum_fault += r.sum_fault_ns;
-        acc.sum_network += r.sum_network_ns;
-        acc.sum_inv_queue += r.sum_inv_queue_ns;
-        acc.sum_inv_tlb += r.sum_inv_tlb_ns;
-        acc.sum_software += r.sum_software_ns;
-        acc.sum_overlapped += r.sum_overlapped_ns;
-        acc.sum_remote_lat += r.sum_remote_lat_ns;
-        acc.latency.merge(&r.latency);
-        metrics.merge(&r.metrics);
-        window_metrics.merge(&r.window_metrics);
-        if let Some(series) = &r.timeseries {
-            match &mut acc.series {
-                Some(mine) => mine.merge(series),
-                None => acc.series = Some(series.clone()),
-            }
-        }
-        if let Some(t) = &r.trace {
-            match &mut trace {
-                Some(mine) => mine.merge(t.clone()),
-                None => trace = Some(t.clone()),
-            }
-        }
+        merger.fold(r.clone());
     }
-    let mut merged = finish_report(name.into(), warmup_end, end_clock, acc, metrics, window_metrics);
-    merged.trace = trace;
-    merged
+    merger.finish()
 }
 
 /// Drives a set of issue streams (threads) through a system's

@@ -9,25 +9,38 @@
 //!   [`mind_sim::EventQueue`];
 //! - [`run_sharded`]: the same partitions split across `shards`
 //!   sub-clusters, each advanced through **conservative time windows** of
-//!   [`ShardSpec::horizon`] — no shard executes an event past the current
-//!   horizon until every shard has caught up to it — and merged with
-//!   [`merge_reports`] into one report.
+//!   [`ShardSpec::horizon`] — a shard executes no event past a horizon
+//!   before observing it as a window boundary (recording its epoch mark
+//!   there) — and streamed through [`StreamedMerge`] into one report in
+//!   shard-index order, byte-identical to an in-memory
+//!   [`crate::runner::merge_reports`] over the same per-shard reports.
 //!
-//! ## Multi-core execution
+//! ## Multi-core, constant-memory execution
 //!
-//! Shards share nothing, so [`run_sharded`] advances them on real OS
-//! threads: every conservative window is a *parallel epoch*. A reusable
-//! pool of scoped worker threads (each owning a disjoint slice of the
-//! shard list) advances its shards to the current horizon, a barrier
-//! waits for the slowest, and only then does any worker step to the next
-//! horizon. Workers never exchange simulation state — the only shared
-//! word is the count of unfinished shards — and the final merge folds
-//! per-shard reports **in shard-index order, never completion order**, so
-//! the merged report is byte-identical whatever the thread count. The
+//! Shards share nothing: a shard's advance through any horizon depends
+//! only on its own state, and whether it has drained at a horizon is a
+//! purely shard-local condition. [`run_sharded`] exploits both halves of
+//! that independence. Scoped worker threads *claim* shard indices from a
+//! shared cursor; each worker **builds its shard lazily, steps it through
+//! the conservative horizons to completion, finalizes its report, and
+//! streams the report into a running accumulator** ([`StreamedMerge`])
+//! before claiming the next index. No barrier synchronizes horizons
+//! across shards — the lockstep schedule earlier revisions ran is
+//! semantically inert for share-nothing shards, so dropping it changes no
+//! output byte — and at no point does more than one sub-cluster (plus a
+//! bounded reorder buffer of finished reports) live per worker lane.
+//! Peak memory is therefore O(lanes × one shard), not O(all shards):
+//! the property that makes 10⁶-tenant scenarios affordable.
+//!
+//! The merge folds per-shard reports **in shard-index order, never
+//! completion order**: [`StreamedMerge`] buffers any report that arrives
+//! ahead of a lower-index shard and folds it the moment the gap closes,
+//! so the merged report is byte-identical whatever the thread count or
+//! completion schedule (proptested in `tests/streamed_merge.rs`). The
 //! driver picks its thread count from the process-wide
 //! [`mind_sim::threads`] budget (override with [`SHARD_THREADS_ENV`], or
 //! call [`run_sharded_threads`] for an exact count), degrading to the
-//! sequential single-thread path when the budget is spent — a scheduling
+//! sequential single-lane path when the budget is spent — a scheduling
 //! decision only, never a semantic one.
 //!
 //! ## Determinism contract
@@ -62,9 +75,10 @@
 //! rejected up front with a typed [`ShardError`] naming the invariant,
 //! instead of aborting mid-replay.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::Mutex;
 
 use mind_core::cluster::{MindCluster, MindConfig};
 use mind_core::controller::Pid;
@@ -75,7 +89,7 @@ use mind_sim::stats::Metrics;
 use mind_sim::{threads, EventQueue, SimTime};
 
 use crate::runner::{
-    finish_report, merge_reports, Accum, ClusterDriver, Concurrency, RunConfig, RunReport,
+    finish_report, Accum, ClusterDriver, Concurrency, ReportMerger, RunConfig, RunReport,
 };
 use crate::trace::{TraceOp, Workload};
 
@@ -230,8 +244,12 @@ pub struct ShardSpec {
 
 /// Builds the workload of one partition, keyed by its *global* partition
 /// index so a partition generates the identical op stream whichever shard
-/// (or the fused rack) hosts it.
-pub type PartitionFactory<'a> = dyn Fn(u16) -> Box<dyn Workload> + 'a;
+/// (or the fused rack) hosts it. `Sync` because worker lanes construct
+/// their shards lazily and concurrently; a factory must derive a
+/// partition's workload from the index alone (shared captures are fine,
+/// per-call mutation is not — which is also what index-keyed determinism
+/// already demanded).
+pub type PartitionFactory<'a> = dyn Fn(u16) -> Box<dyn Workload> + Sync + 'a;
 
 struct PartitionState {
     /// Protection domains: one entry (per-partition mode) or one per
@@ -737,9 +755,152 @@ pub fn run_sharded_threads(
     run_sharded_inner(spec, shards, lanes, factory)
 }
 
-/// The shard driver behind both public entry points: builds the
-/// sub-cluster groups, advances them through conservative windows on
-/// `lanes` threads, and merges in shard-index order.
+/// The shard-index-order streaming merge: per-shard reports are folded
+/// into a running [`ReportMerger`] the moment every lower-index shard has
+/// been folded, whatever order they *arrive* in. Reports that complete
+/// ahead of a lower-index shard wait in a reorder buffer bounded by the
+/// number of concurrently-running lanes — never by the shard count — so
+/// merging `n` shards holds one accumulator plus O(lanes) buffered
+/// reports instead of all `n`.
+///
+/// Fold order is the whole point: integer, histogram, and timeseries
+/// folds are order-independent by construction, but trace merge extends
+/// event vectors, so only an index-order fold reproduces the in-memory
+/// [`crate::runner::merge_reports`] bytes. The reorder buffer makes the
+/// fold order a function of shard *indices* alone; completion order,
+/// thread count, and OS scheduling cannot reach it (proptested in
+/// `tests/streamed_merge.rs`).
+pub struct StreamedMerge {
+    merger: ReportMerger,
+    /// Reports that arrived ahead of a lower-index shard, keyed by shard.
+    pending: BTreeMap<usize, RunReport>,
+    /// The next shard index the merger will fold.
+    next: usize,
+    /// Total shards this merge expects.
+    total: usize,
+}
+
+impl StreamedMerge {
+    /// An empty merge expecting `total` shards for the report named
+    /// `name`.
+    pub fn new(name: impl Into<String>, total: usize) -> Self {
+        StreamedMerge {
+            merger: ReportMerger::new(name),
+            pending: BTreeMap::new(),
+            next: 0,
+            total,
+        }
+    }
+
+    /// Offers shard `shard`'s finished report: folds it immediately if
+    /// every lower-index shard is already folded (then drains any
+    /// now-contiguous buffered successors), otherwise buffers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or was already offered.
+    pub fn offer(&mut self, shard: usize, report: RunReport) {
+        assert!(shard < self.total, "shard {shard} out of range {}", self.total);
+        assert!(
+            shard >= self.next && !self.pending.contains_key(&shard),
+            "shard {shard} offered twice"
+        );
+        if shard != self.next {
+            self.pending.insert(shard, report);
+            return;
+        }
+        self.merger.fold(report);
+        self.next += 1;
+        while let Some(r) = self.pending.remove(&self.next) {
+            self.merger.fold(r);
+            self.next += 1;
+        }
+    }
+
+    /// Shards folded into the accumulator so far (buffered ones excluded).
+    pub fn folded(&self) -> usize {
+        self.merger.folded()
+    }
+
+    /// Reports currently waiting in the reorder buffer.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Finishes the merge into the fused report.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every expected shard was offered.
+    pub fn finish(self) -> RunReport {
+        assert_eq!(
+            self.merger.folded(),
+            self.total,
+            "streamed merge finished before every shard was offered"
+        );
+        self.merger.finish()
+    }
+}
+
+/// Builds shard `s` of the spec, runs it through its conservative
+/// horizons to completion, and finalizes its report with trace lanes
+/// rebased onto the fused rack's global blade indices (shard `s` owns
+/// blades starting at `s × sub.n_compute`, so the merged trace is
+/// grouping-invariant).
+///
+/// Horizon stepping is shard-local: whether this shard drains at a
+/// horizon — and the `ShardEpoch` mark it records when it does not —
+/// depends only on its own state, so stepping it alone produces the
+/// identical event sequence the old cluster-wide lockstep did.
+fn run_one_shard(
+    spec: &ShardSpec,
+    sub: MindConfig,
+    per_shard: u16,
+    s: u16,
+    factory: &PartitionFactory,
+) -> Result<RunReport, ShardError> {
+    let mut group = {
+        let _t = mind_obs::profile::scope("shard.build");
+        GroupRun::new(
+            format!("{}/shard{s}", spec.name),
+            sub,
+            s * per_shard,
+            per_shard,
+            spec.run,
+            spec.domain_per_thread,
+            factory,
+        )?
+    };
+    let mut horizon = spec.horizon;
+    loop {
+        let _t = mind_obs::profile::scope("shard.advance");
+        if group.advance_until(horizon) {
+            break;
+        }
+        group.mark_epoch(s as u32, horizon);
+        horizon += spec.horizon;
+    }
+    let mut report = group.finish();
+    if let Some(t) = &mut report.trace {
+        t.rebase_lanes(s as u32 * sub.n_compute as u32);
+    }
+    Ok(report)
+}
+
+/// The shard driver behind both public entry points: `lanes` worker
+/// threads claim shard indices from a shared cursor, each building its
+/// shard lazily, running it to completion, and streaming the finished
+/// report into a [`StreamedMerge`] — so peak memory is O(lanes) live
+/// sub-clusters, never O(shards), and no `Vec<RunReport>` ever
+/// materializes.
+///
+/// Workers share no simulation state whatsoever — each [`GroupRun`] is
+/// built, run, and freed by exactly one worker — so preemption and
+/// completion order cannot influence any simulated quantity, and the
+/// index-ordered fold keeps the merged bytes thread-count-invariant.
+/// On a construction error the lowest failing shard index wins (shard
+/// construction is deterministic per index, so the reported error is
+/// too) and workers stop claiming.
 fn run_sharded_inner(
     spec: &ShardSpec,
     shards: u16,
@@ -757,117 +918,53 @@ fn run_sharded_inner(
     }
     let sub = spec.base.try_partition(shards)?;
     let per_shard = spec.partitions / shards;
-    let mut groups: Vec<GroupRun> = (0..shards)
-        .map(|s| {
-            GroupRun::new(
-                format!("{}/shard{s}", spec.name),
-                sub,
-                s * per_shard,
-                per_shard,
-                spec.run,
-                spec.domain_per_thread,
-                factory,
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    let lanes = lanes.clamp(1, shards as usize);
 
-    let lanes = lanes.max(1).min(groups.len());
-    if lanes == 1 {
-        let mut horizon = spec.horizon;
-        loop {
-            let mut all_done = true;
-            for (s, g) in groups.iter_mut().enumerate() {
-                let done = g.advance_until(horizon);
-                if !done {
-                    g.mark_epoch(s as u32, horizon);
-                }
-                all_done &= done;
+    let merge = Mutex::new(StreamedMerge::new(spec.name.clone(), shards as usize));
+    let cursor = AtomicUsize::new(0);
+    let failed: Mutex<Option<(u16, ShardError)>> = Mutex::new(None);
+    let run_lane = || loop {
+        if failed.lock().expect("no panic holds the error slot").is_some() {
+            break;
+        }
+        let s = cursor.fetch_add(1, Ordering::Relaxed);
+        if s >= shards as usize {
+            break;
+        }
+        match run_one_shard(spec, sub, per_shard, s as u16, factory) {
+            Ok(report) => {
+                let _t = mind_obs::profile::scope("shard.merge");
+                merge
+                    .lock()
+                    .expect("no panic holds the streamed merge")
+                    .offer(s, report);
             }
-            if all_done {
+            Err(e) => {
+                let mut slot = failed.lock().expect("no panic holds the error slot");
+                if slot.is_none_or(|(lowest, _)| (s as u16) < lowest) {
+                    *slot = Some((s as u16, e));
+                }
                 break;
             }
-            horizon += spec.horizon;
         }
+    };
+    if lanes == 1 {
+        run_lane();
     } else {
-        advance_parallel(&mut groups, spec.horizon, lanes);
+        std::thread::scope(|scope| {
+            for _ in 0..lanes {
+                scope.spawn(run_lane);
+            }
+        });
     }
 
-    // Merge strictly by shard index — the groups vector is still in
-    // construction order here regardless of which worker finished last.
-    // Shard traces recorded local blade lanes; rebase each onto the fused
-    // rack's global indices (shard `s` owns blades starting at
-    // `s × sub.n_compute`) so the merged trace is grouping-invariant.
-    let _merge_timer = mind_obs::profile::scope("shard.merge");
-    let reports: Vec<RunReport> = groups
-        .into_iter()
-        .enumerate()
-        .map(|(s, g)| {
-            let mut r = g.finish();
-            if let Some(t) = &mut r.trace {
-                t.rebase_lanes(s as u32 * sub.n_compute as u32);
-            }
-            r
-        })
-        .collect();
-    Ok(merge_reports(spec.name.clone(), &reports))
-}
-
-/// Advances every group through successive conservative windows on
-/// `lanes` scoped OS threads.
-///
-/// Protocol per epoch: each worker advances its own disjoint slice of the
-/// group list to the shared horizon, then all workers meet at a barrier;
-/// between that barrier and a second one every worker reads the shared
-/// count of unfinished groups (no one mutates it in that span, so all
-/// workers read the same value and take the same branch); after the
-/// second barrier they either all exit or all step to the next horizon.
-/// Workers share no simulation state whatsoever — each [`GroupRun`] is
-/// fully owned by exactly one worker for the whole run — so preemption
-/// and completion order cannot influence any simulated quantity.
-fn advance_parallel(groups: &mut [GroupRun], step: SimTime, lanes: usize) {
-    let unfinished = AtomicUsize::new(groups.len());
-    let per_lane = groups.len().div_ceil(lanes);
-    let slices: Vec<(usize, &mut [GroupRun])> = groups
-        .chunks_mut(per_lane)
-        .enumerate()
-        .map(|(j, s)| (j * per_lane, s))
-        .collect();
-    let barrier = Barrier::new(slices.len());
-    let barrier = &barrier;
-    let unfinished = &unfinished;
-    std::thread::scope(|scope| {
-        for (first_shard, slice) in slices {
-            scope.spawn(move || {
-                let mut horizon = step;
-                let mut done = vec![false; slice.len()];
-                loop {
-                    {
-                        let _t = mind_obs::profile::scope("shard.advance");
-                        for (i, (g, d)) in slice.iter_mut().zip(done.iter_mut()).enumerate() {
-                            if *d {
-                                continue;
-                            }
-                            if g.advance_until(horizon) {
-                                *d = true;
-                                unfinished.fetch_sub(1, Ordering::AcqRel);
-                            } else {
-                                g.mark_epoch((first_shard + i) as u32, horizon);
-                            }
-                        }
-                    }
-                    let _t = mind_obs::profile::scope("shard.barrier_wait");
-                    barrier.wait();
-                    let all_done = unfinished.load(Ordering::Acquire) == 0;
-                    barrier.wait();
-                    drop(_t);
-                    if all_done {
-                        break;
-                    }
-                    horizon += step;
-                }
-            });
-        }
-    });
+    if let Some((_, e)) = failed.into_inner().expect("workers joined") {
+        return Err(e);
+    }
+    Ok(merge
+        .into_inner()
+        .expect("workers joined")
+        .finish())
 }
 
 // The Send audit, enforced at compile time: a shard's whole execution
